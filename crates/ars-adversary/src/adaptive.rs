@@ -1,0 +1,251 @@
+//! Generic adaptive adversaries used to stress-test estimators.
+//!
+//! Unlike the tailor-made AMS attack of [`crate::ams_attack`], the
+//! adversaries here do not exploit the algebraic structure of a particular
+//! sketch; they implement general response-guided strategies that any
+//! client observing a streaming service could mount:
+//!
+//! * [`DistinctDuplicateAdversary`] — a *dip-hunting* attacker for `F₀`:
+//!   it inserts fresh items while watching the published estimate, and the
+//!   moment the estimate strays outside the `(1 ± ε)` window of the true
+//!   count (which the adversary knows, having chosen the stream), it
+//!   freezes the true value by replaying duplicates forever, locking in the
+//!   violation. A static one-shot sketch with constant per-query failure
+//!   probability is eventually caught by this; a robust tracking algorithm
+//!   is not.
+//! * [`SurgeAdversary`] — a response-guided mass placer for moment
+//!   estimators: it grows a heavy coordinate whenever the estimator appears
+//!   to under-report and spreads mass across fresh light items whenever it
+//!   appears to over-report, amplifying whichever bias the estimator
+//!   currently has.
+
+use ars_stream::Update;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::game::Adversary;
+
+/// Dip-hunting adversary against distinct-elements estimators.
+#[derive(Debug, Clone)]
+pub struct DistinctDuplicateAdversary {
+    /// The relative-error window it hunts for.
+    epsilon: f64,
+    /// Items inserted so far (`1..=fresh_inserted`).
+    fresh_inserted: u64,
+    /// Once a dip (or spike) is detected the adversary stops inserting
+    /// fresh items and replays this one forever.
+    locked_on: Option<u64>,
+    /// Minimum true count before it starts hunting, so tiny-count noise is
+    /// not mistaken for a violation.
+    min_count: u64,
+}
+
+impl DistinctDuplicateAdversary {
+    /// Creates the adversary hunting for relative error ε.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            epsilon,
+            fresh_inserted: 0,
+            locked_on: None,
+            min_count: 200,
+        }
+    }
+
+    /// Sets the minimum true count before the adversary starts hunting.
+    #[must_use]
+    pub fn with_min_count(mut self, min_count: u64) -> Self {
+        self.min_count = min_count;
+        self
+    }
+
+    /// Whether the adversary has detected a violation and locked the stream.
+    #[must_use]
+    pub fn locked(&self) -> bool {
+        self.locked_on.is_some()
+    }
+
+    /// The true number of distinct items it has inserted.
+    #[must_use]
+    pub fn true_distinct(&self) -> u64 {
+        self.fresh_inserted
+    }
+}
+
+impl Adversary for DistinctDuplicateAdversary {
+    fn next_update(&mut self, last_response: f64) -> Update {
+        if let Some(item) = self.locked_on {
+            // Freeze the true count; the estimator's error can only persist.
+            return Update::insert(item);
+        }
+        let truth = self.fresh_inserted as f64;
+        if self.fresh_inserted >= self.min_count
+            && truth > 0.0
+            && ((last_response - truth) / truth).abs() > self.epsilon
+        {
+            // Dip (or spike) detected: lock on to a duplicate.
+            self.locked_on = Some(1);
+            return Update::insert(1);
+        }
+        self.fresh_inserted += 1;
+        Update::insert(self.fresh_inserted)
+    }
+
+    fn name(&self) -> String {
+        format!("distinct-dip-hunter(eps={})", self.epsilon)
+    }
+}
+
+/// Response-guided mass placer against `F_p` estimators.
+#[derive(Debug, Clone)]
+pub struct SurgeAdversary {
+    /// The moment order the target is supposed to estimate (used to keep
+    /// the adversary's own exact bookkeeping).
+    p: f64,
+    /// The heavy coordinate the adversary grows.
+    heavy_item: u64,
+    heavy_count: u64,
+    /// Fresh light items inserted so far.
+    light_inserted: u64,
+    rng: StdRng,
+}
+
+impl SurgeAdversary {
+    /// Creates the adversary for moment order `p`.
+    #[must_use]
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0);
+        Self {
+            p,
+            heavy_item: 0,
+            heavy_count: 0,
+            light_inserted: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The exact `F_p` of the stream the adversary has emitted so far.
+    #[must_use]
+    pub fn exact_fp(&self) -> f64 {
+        (self.heavy_count as f64).powf(self.p) + self.light_inserted as f64
+    }
+}
+
+impl Adversary for SurgeAdversary {
+    fn next_update(&mut self, last_response: f64) -> Update {
+        let truth = self.exact_fp();
+        let under_reporting = truth > 0.0 && last_response < truth;
+        // Amplify the current bias: if the estimator under-reports, pour
+        // more mass onto the heavy item (its contribution grows like
+        // count^p, stressing the estimator's large coordinates); if it
+        // over-reports, scatter mass across fresh singletons (keeping the
+        // truth growth minimal so an inflated estimate sticks out).
+        // A small random exploration keeps the adversary from being stuck
+        // by rounding plateaus.
+        let explore = self.rng.gen::<f64>() < 0.05;
+        if under_reporting != explore {
+            self.heavy_count += 1;
+            Update::insert(self.heavy_item)
+        } else {
+            self.light_inserted += 1;
+            Update::insert(1_000_000 + self.light_inserted)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("surge(p={})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{GameConfig, GameRunner};
+    use ars_sketch::kmv::{KmvConfig, KmvSketch};
+    use ars_sketch::pstable::{PStableConfig, PStableSketch};
+    use ars_stream::exact::Query;
+
+    #[test]
+    fn dip_hunter_eventually_fools_an_undersized_single_kmv() {
+        // A single KMV with only ~1/eps^2 minima has constant per-scale
+        // failure probability and no tracking guarantee; hunting across many
+        // scales finds a dip. Run several seeds and require that the attack
+        // wins at least once — that is all non-robustness means.
+        let epsilon = 0.15;
+        let mut wins = 0;
+        for seed in 0..6u64 {
+            let mut sketch = KmvSketch::new(KmvConfig { k: 64 }, seed);
+            let mut adversary = DistinctDuplicateAdversary::new(epsilon);
+            let config =
+                GameConfig::relative(Query::F0, epsilon, 60_000).with_warmup(200);
+            let outcome = GameRunner::new(config).run(&mut sketch, &mut adversary);
+            if outcome.adversary_won() {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 1,
+            "the dip hunter should fool an undersized static sketch at least once"
+        );
+    }
+
+    #[test]
+    fn dip_hunter_locks_after_detecting_a_violation() {
+        let mut adversary = DistinctDuplicateAdversary::new(0.1).with_min_count(10);
+        // Simulate responses: correct for a while, then wildly wrong.
+        for i in 1..=20u64 {
+            let _ = adversary.next_update(i as f64 - 1.0);
+        }
+        assert!(!adversary.locked());
+        // Response far below the true count triggers the lock.
+        let _ = adversary.next_update(1.0);
+        assert!(adversary.locked());
+        let before = adversary.true_distinct();
+        for _ in 0..100 {
+            let u = adversary.next_update(1.0);
+            assert_eq!(u.item, 1, "locked adversary only replays duplicates");
+        }
+        assert_eq!(adversary.true_distinct(), before);
+    }
+
+    #[test]
+    fn surge_adversary_tracks_its_own_truth() {
+        let mut adversary = SurgeAdversary::new(2.0, 3);
+        let mut exact = ars_stream::FrequencyVector::new();
+        let mut last = 0.0;
+        for _ in 0..2_000 {
+            let u = adversary.next_update(last);
+            exact.apply(u);
+            last = exact.f2() * 1.01; // pretend near-perfect responses
+        }
+        let claimed = adversary.exact_fp();
+        let actual = exact.f2();
+        assert!(
+            ((claimed - actual) / actual).abs() < 1e-9,
+            "adversary bookkeeping {claimed} vs exact {actual}"
+        );
+    }
+
+    #[test]
+    fn surge_adversary_does_not_fool_a_well_sized_pstable_sketch_quickly() {
+        // Sanity check in the other direction: a properly sized static
+        // sketch facing this generic (non-tailored) adversary for a short
+        // horizon usually survives; the integration tests compare this
+        // against the robust wrappers over longer horizons.
+        let mut sketch = PStableSketch::new(PStableConfig::for_accuracy(2.0, 0.1), 3);
+        let mut adversary = SurgeAdversary::new(2.0, 5);
+        let config = GameConfig::relative(Query::Fp(2.0), 0.5, 3_000).with_warmup(300);
+        let outcome = GameRunner::new(config).run(&mut sketch, &mut adversary);
+        assert!(
+            outcome.max_error.is_finite(),
+            "game must complete and produce finite errors"
+        );
+    }
+
+    #[test]
+    fn adversary_names_are_descriptive() {
+        assert!(DistinctDuplicateAdversary::new(0.1).name().contains("dip-hunter"));
+        assert!(SurgeAdversary::new(1.5, 0).name().contains("surge"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Adversarial two-player game harness and concrete adaptive adversaries.
+//!
+//! The adversarial streaming setting (Section 1 of the PODS 2020 paper) is
+//! a game between a `StreamingAlgorithm` and an `Adversary`: in round `t`
+//! the adversary chooses an update `u_t` — possibly depending on every
+//! previous update *and every previous output* — the algorithm processes it
+//! and publishes its response `R_t`, and the adversary observes `R_t`. The
+//! adversary wins if some `R_t` fails the query's correctness requirement.
+//!
+//! This crate provides:
+//!
+//! * [`game`] — the game runner: wires any [`Adversary`] against any
+//!   estimator, enforces the declared [`ars_stream::StreamModel`], scores
+//!   every response against an exact oracle, and reports when (if ever) the
+//!   algorithm was fooled.
+//! * [`ams_attack`] — the explicit attack of Section 9 (Algorithm 3 /
+//!   Theorem 9.1) that drives the AMS sketch's estimate below half of the
+//!   true `F₂` after `O(t)` adaptively chosen updates.
+//! * [`adaptive`] — generic adaptive adversaries (estimate-guided
+//!   duplicate/fresh probing for `F₀`, surge adversaries for moments) used
+//!   to stress-test the robust estimators in integration tests and
+//!   benchmarks.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod ams_attack;
+pub mod game;
+
+pub use adaptive::{DistinctDuplicateAdversary, SurgeAdversary};
+pub use ams_attack::AmsAttackAdversary;
+pub use game::{Adversary, GameConfig, GameOutcome, GameRunner};

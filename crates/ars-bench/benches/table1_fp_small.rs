@@ -1,0 +1,16 @@
+//! `cargo bench --bench table1_fp_small` regenerates experiment E2 of DESIGN.md
+//! (see EXPERIMENTS.md for the recorded output and its comparison against
+//! the paper's claims).
+
+use ars_bench::{run_experiment, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::var("ARS_BENCH_FULL").is_ok() {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::quick()
+    };
+    let report = run_experiment("E2", scale, 42).expect("experiment E2 exists");
+    println!("{}", report.to_markdown());
+    eprintln!("{}", report.to_json());
+}

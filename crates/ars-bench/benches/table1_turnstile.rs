@@ -1,0 +1,16 @@
+//! `cargo bench --bench table1_turnstile` regenerates experiment E6 of DESIGN.md
+//! (see EXPERIMENTS.md for the recorded output and its comparison against
+//! the paper's claims).
+
+use ars_bench::{run_experiment, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::var("ARS_BENCH_FULL").is_ok() {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::quick()
+    };
+    let report = run_experiment("E6", scale, 42).expect("experiment E6 exists");
+    println!("{}", report.to_markdown());
+    eprintln!("{}", report.to_json());
+}

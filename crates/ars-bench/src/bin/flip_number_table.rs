@@ -1,0 +1,18 @@
+//! Prints the flip-number comparison table (experiment E9) on its own:
+//! empirical flip numbers of `F₀`, `F₁`, `F₂`, `2^H` and the
+//! bounded-deletion `L₁` against the analytic bounds of Corollary 3.5,
+//! Proposition 7.2 and Lemma 8.2.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin flip_number_table [--full]`
+
+use ars_bench::{flip_number_experiment, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::quick()
+    };
+    let report = flip_number_experiment(scale, 42);
+    println!("{}", report.to_markdown());
+}

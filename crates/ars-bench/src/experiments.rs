@@ -1,0 +1,930 @@
+//! The experiment implementations (one per DESIGN.md experiment id).
+//!
+//! Every function takes an [`ExperimentScale`] so the same code can run as
+//! a quick smoke test (`Scale::quick()`, used by `cargo bench` and CI) or a
+//! longer run (`Scale::full()`, used to produce the numbers recorded in
+//! EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use ars_adversary::{AmsAttackAdversary, DistinctDuplicateAdversary, GameConfig, GameRunner};
+use ars_core::{
+    empirical_flip_number, CryptoBackend, CryptoRobustF0Builder, EntropyMethod, F0Method,
+    FlipNumberBound, FpMethod, RobustBoundedDeletionFpBuilder, RobustEntropyBuilder,
+    RobustF0Builder, RobustFpBuilder, RobustFpLargeBuilder, RobustL2HeavyHittersBuilder,
+    RobustTurnstileFpBuilder,
+};
+use ars_sketch::ams::{AmsConfig, AmsSketch};
+use ars_sketch::countsketch::{CountSketch, CountSketchConfig};
+use ars_sketch::entropy::{RenyiEntropyConfig, RenyiEntropyEstimator};
+use ars_sketch::fast_f0::{FastF0Config, FastF0Sketch};
+use ars_sketch::fp_large::{FpLargeConfig, FpLargeSketch};
+use ars_sketch::kmv::{KmvConfig, KmvSketch};
+use ars_sketch::misra_gries::MisraGries;
+use ars_sketch::pstable::{PStableConfig, PStableSketch};
+use ars_sketch::Estimator;
+use ars_stream::exact::Query;
+use ars_stream::generator::{
+    BoundedDeletionGenerator, BurstyGenerator, Generator, TurnstileWaveGenerator,
+    UniformGenerator, ZipfGenerator,
+};
+use ars_stream::{FrequencyVector, Update};
+
+use crate::report::{ExperimentReport, Row};
+
+/// How large the synthetic streams are.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Stream length per run.
+    pub stream_length: usize,
+    /// Item domain size.
+    pub domain: u64,
+    /// Independent trials for probabilistic claims (the attack success
+    /// rate).
+    pub trials: usize,
+}
+
+impl ExperimentScale {
+    /// A fast configuration suitable for `cargo bench` smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            stream_length: 6_000,
+            domain: 1 << 12,
+            trials: 5,
+        }
+    }
+
+    /// The configuration used for the numbers recorded in EXPERIMENTS.md.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            stream_length: 40_000,
+            domain: 1 << 16,
+            trials: 10,
+        }
+    }
+}
+
+/// Feeds a stream to an estimator while scoring it against the exact value
+/// of `query` at every step; returns `(max_relative_error, space_bytes)`.
+fn score_tracking<E: Estimator + ?Sized>(
+    estimator: &mut E,
+    updates: &[Update],
+    query: Query,
+    warmup: usize,
+    additive: bool,
+) -> (f64, usize) {
+    let mut oracle = ars_stream::TrackingOracle::new(query);
+    let mut worst: f64 = 0.0;
+    for (i, &u) in updates.iter().enumerate() {
+        let truth = oracle.update(u);
+        estimator.update(u);
+        if i < warmup {
+            continue;
+        }
+        let estimate = estimator.estimate();
+        let err = if additive {
+            (estimate - truth).abs()
+        } else if truth == 0.0 {
+            0.0
+        } else {
+            ((estimate - truth) / truth).abs()
+        };
+        worst = worst.max(err);
+    }
+    (worst, estimator.space_bytes())
+}
+
+fn tracking_row(
+    algorithm: &str,
+    workload: &str,
+    epsilon: f64,
+    worst: f64,
+    space: usize,
+    additive: bool,
+) -> Row {
+    Row {
+        algorithm: algorithm.to_string(),
+        workload: workload.to_string(),
+        epsilon,
+        space_bytes: space,
+        max_error: worst,
+        within_guarantee: worst <= epsilon * if additive { 1.0 } else { 1.2 },
+        notes: String::new(),
+    }
+}
+
+/// E1 — Table 1 row "Distinct elements": robust vs static vs exact.
+#[must_use]
+pub fn table1_f0(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E1", "Table 1 row: distinct elements (F0)");
+    let updates = UniformGenerator::new(scale.domain, seed).take_updates(scale.stream_length);
+    let workload = format!("uniform(n={})", scale.domain);
+    let warmup = scale.stream_length / 20;
+
+    for &epsilon in &[0.1, 0.2] {
+        // Exact (deterministic) baseline: a hash set, Ω(n) space.
+        let exact: FrequencyVector = updates.iter().copied().collect();
+        report.rows.push(Row {
+            algorithm: "exact (deterministic)".to_string(),
+            workload: workload.clone(),
+            epsilon,
+            space_bytes: exact.f0() as usize * 8,
+            max_error: 0.0,
+            within_guarantee: true,
+            notes: "Omega(n) lower bound for deterministic algorithms".to_string(),
+        });
+
+        let mut static_kmv = KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed);
+        let (err, space) = score_tracking(&mut static_kmv, &updates, Query::F0, warmup, false);
+        report
+            .rows
+            .push(tracking_row("static KMV", &workload, epsilon, err, space, false));
+
+        let mut fast = FastF0Sketch::new(
+            FastF0Config::for_accuracy(epsilon, 0.01, scale.domain),
+            seed + 1,
+        );
+        let (err, space) = score_tracking(&mut fast, &updates, Query::F0, warmup, false);
+        report.rows.push(tracking_row(
+            "static level-list (Alg. 2)",
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut switching = RobustF0Builder::new(epsilon)
+            .method(F0Method::SketchSwitching)
+            .stream_length(scale.stream_length as u64)
+            .domain(scale.domain)
+            .seed(seed + 2)
+            .build();
+        let (err, space) = score_tracking(&mut switching, &updates, Query::F0, warmup, false);
+        report.rows.push(tracking_row(
+            "robust F0 (sketch switching, Thm 1.1)",
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut paths = RobustF0Builder::new(epsilon)
+            .method(F0Method::ComputationPaths)
+            .stream_length(scale.stream_length as u64)
+            .domain(scale.domain)
+            .seed(seed + 3)
+            .build();
+        let (err, space) = score_tracking(&mut paths, &updates, Query::F0, warmup, false);
+        report.rows.push(tracking_row(
+            "robust F0 (computation paths, Thm 1.2)",
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut crypto = CryptoRobustF0Builder::new(epsilon)
+            .backend(CryptoBackend::ChaChaPrf)
+            .stream_length(scale.stream_length as u64)
+            .seed(seed + 4)
+            .build();
+        let (err, space) = score_tracking(&mut crypto, &updates, Query::F0, warmup, false);
+        report.rows.push(tracking_row(
+            "robust F0 (crypto PRF, Thm 10.1)",
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+    }
+    report
+}
+
+/// E2 — Table 1 rows "Fp estimation, p ≤ 2".
+#[must_use]
+pub fn table1_fp_small(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E2", "Table 1 rows: Fp estimation, 0 < p <= 2");
+    let updates =
+        ZipfGenerator::new(scale.domain, 1.1, seed).take_updates(scale.stream_length);
+    let workload = format!("zipf(n={}, s=1.1)", scale.domain);
+    let warmup = scale.stream_length / 20;
+    let epsilon = 0.25;
+
+    for &p in &[0.5, 1.0, 2.0] {
+        let mut static_sketch =
+            PStableSketch::new(PStableConfig::for_accuracy(p, epsilon), seed + 10);
+        let (err, space) =
+            score_tracking(&mut static_sketch, &updates, Query::Fp(p), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("static p-stable (p={p})"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut switching = RobustFpBuilder::new(p, epsilon)
+            .method(FpMethod::SketchSwitching)
+            .stream_length(scale.stream_length as u64)
+            .domain(scale.domain, scale.stream_length as u64)
+            .seed(seed + 11)
+            .build();
+        let (err, space) = score_tracking(&mut switching, &updates, Query::Fp(p), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("robust Fp (sketch switching, p={p}, Thm 1.4)"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut paths = RobustFpBuilder::new(p, epsilon)
+            .method(FpMethod::ComputationPaths)
+            .stream_length(scale.stream_length as u64)
+            .domain(scale.domain, scale.stream_length as u64)
+            .seed(seed + 12)
+            .build();
+        let (err, space) = score_tracking(&mut paths, &updates, Query::Fp(p), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("robust Fp (computation paths, p={p}, Thm 1.5)"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+    }
+    report
+}
+
+/// E3 — Table 1 row "Fp estimation, p > 2".
+#[must_use]
+pub fn table1_fp_large(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E3", "Table 1 row: Fp estimation, p > 2");
+    let domain = scale.domain.min(1 << 14);
+    let updates = ZipfGenerator::new(domain, 1.4, seed).take_updates(scale.stream_length);
+    let workload = format!("zipf(n={domain}, s=1.4)");
+    let warmup = scale.stream_length / 10;
+    let epsilon = 0.3;
+
+    for &p in &[3.0, 4.0] {
+        let mut static_sketch =
+            FpLargeSketch::new(FpLargeConfig::for_accuracy(p, epsilon, domain), seed + 20);
+        let (err, space) =
+            score_tracking(&mut static_sketch, &updates, Query::Fp(p), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("static heavy-elements (p={p})"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut robust = RobustFpLargeBuilder::new(p, epsilon)
+            .domain(domain)
+            .stream_length(scale.stream_length as u64)
+            .seed(seed + 21)
+            .build();
+        let (err, space) = score_tracking(&mut robust, &updates, Query::Fp(p), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("robust Fp (computation paths, p={p}, Thm 1.7)"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+    }
+    report
+}
+
+/// E4 — Table 1 row "L2 heavy hitters": recall/precision and space.
+#[must_use]
+pub fn table1_heavy_hitters(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E4", "Table 1 row: L2 heavy hitters");
+    let epsilon = 0.1;
+    let updates = BurstyGenerator::new(scale.domain, 5, 0.4, seed).take_updates(scale.stream_length);
+    let workload = format!("bursty(n={}, heavy=5)", scale.domain);
+    let truth: FrequencyVector = updates.iter().copied().collect();
+    let true_heavy = truth.l2_heavy_hitters(epsilon);
+    let floor = 0.5 * epsilon * truth.l2();
+
+    let score_set = |reported: &[u64], space: usize, algorithm: &str| -> Row {
+        let recall = if true_heavy.is_empty() {
+            1.0
+        } else {
+            true_heavy
+                .iter()
+                .filter(|item| reported.contains(item))
+                .count() as f64
+                / true_heavy.len() as f64
+        };
+        let false_positives = reported
+            .iter()
+            .filter(|&&item| (truth.get(item) as f64) < floor)
+            .count();
+        Row {
+            algorithm: algorithm.to_string(),
+            workload: workload.clone(),
+            epsilon,
+            space_bytes: space,
+            max_error: 1.0 - recall,
+            within_guarantee: recall >= 1.0 - 1e-9 && false_positives == 0,
+            notes: format!(
+                "recall {recall:.2}, false positives below eps/2 threshold: {false_positives}"
+            ),
+        }
+    };
+
+    // Deterministic Misra-Gries baseline (L1 guarantee only).
+    let mut mg = MisraGries::for_accuracy(epsilon * epsilon);
+    for &u in &updates {
+        mg.update(u);
+    }
+    let mg_reported = mg.heavy_hitters(epsilon * truth.l2() * 0.75);
+    report
+        .rows
+        .push(score_set(&mg_reported, mg.space_bytes(), "deterministic Misra-Gries (L1)"));
+
+    // Static CountSketch.
+    let mut cs = CountSketch::new(
+        CountSketchConfig::for_accuracy(epsilon / 4.0, 1e-3, scale.domain),
+        seed + 30,
+    );
+    for &u in &updates {
+        cs.update(u);
+    }
+    let cs_reported = cs.heavy_hitters(0.75 * epsilon * truth.l2());
+    report
+        .rows
+        .push(score_set(&cs_reported, cs.space_bytes(), "static CountSketch"));
+
+    // Robust heavy hitters.
+    let mut robust = RobustL2HeavyHittersBuilder::new(epsilon)
+        .domain(scale.domain)
+        .stream_length(scale.stream_length as u64)
+        .seed(seed + 31)
+        .build();
+    for &u in &updates {
+        robust.update(u);
+    }
+    let robust_reported = robust.heavy_hitters();
+    report.rows.push(score_set(
+        &robust_reported,
+        robust.space_bytes(),
+        "robust L2 heavy hitters (Thm 1.9)",
+    ));
+
+    report
+}
+
+/// E5 — Table 1 row "Entropy estimation" (additive error).
+#[must_use]
+pub fn table1_entropy(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E5", "Table 1 row: entropy estimation");
+    let epsilon = 0.3;
+    let domain = 256u64;
+    let m = scale.stream_length.min(8_000);
+    let updates = ZipfGenerator::new(domain, 1.1, seed).take_updates(m);
+    let workload = format!("zipf(n={domain}, s=1.1)");
+    let warmup = m / 5;
+
+    let mut static_renyi = RenyiEntropyEstimator::new(
+        RenyiEntropyConfig::for_accuracy(epsilon, m as u64),
+        seed + 40,
+    );
+    let (err, space) = score_tracking(
+        &mut static_renyi,
+        &updates,
+        Query::ShannonEntropy,
+        warmup,
+        true,
+    );
+    report.rows.push(tracking_row(
+        "static Renyi-reduction estimator",
+        &workload,
+        epsilon,
+        err,
+        space,
+        true,
+    ));
+
+    for (label, method) in [
+        ("robust entropy (Renyi backend, Thm 1.10)", EntropyMethod::Renyi),
+        ("robust entropy (sampled backend, random-oracle row)", EntropyMethod::Sampled),
+    ] {
+        let mut robust = RobustEntropyBuilder::new(epsilon)
+            .method(method)
+            .domain(domain)
+            .stream_length(m as u64)
+            .seed(seed + 41)
+            .build();
+        let (err, space) = score_tracking(
+            &mut robust,
+            &updates,
+            Query::ShannonEntropy,
+            warmup,
+            true,
+        );
+        report
+            .rows
+            .push(tracking_row(label, &workload, epsilon, err, space, true));
+    }
+    report
+}
+
+/// E6 — Table 1 row "Turnstile Fp with λ-bounded flip number".
+#[must_use]
+pub fn table1_turnstile(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("E6", "Table 1 row: turnstile Fp with bounded flip number");
+    let epsilon = 0.25;
+    let wave = (scale.stream_length / 8).max(500) as u64;
+    let updates = TurnstileWaveGenerator::new(wave).take_updates(scale.stream_length);
+    let workload = format!("turnstile-waves(len={wave})");
+    let warmup = scale.stream_length / 20;
+    let waves = (scale.stream_length as u64 / (2 * wave)).max(1) as usize + 1;
+    let lambda = 2 * waves * FlipNumberBound::monotone(epsilon / 20.0, wave as f64).bound;
+
+    let mut static_sketch =
+        PStableSketch::new(PStableConfig::for_accuracy(2.0, epsilon), seed + 50);
+    let (err, space) = score_tracking(&mut static_sketch, &updates, Query::Fp(2.0), warmup, false);
+    report.rows.push(tracking_row(
+        "static p-stable (turnstile)",
+        &workload,
+        epsilon,
+        err,
+        space,
+        false,
+    ));
+
+    let mut robust = RobustTurnstileFpBuilder::new(2.0, epsilon, lambda)
+        .stream_length(scale.stream_length as u64)
+        .domain(scale.domain, 4)
+        .seed(seed + 51)
+        .build();
+    let (err, space) = score_tracking(&mut robust, &updates, Query::Fp(2.0), warmup, false);
+    report.rows.push(Row {
+        algorithm: "robust turnstile Fp (Thm 1.6)".to_string(),
+        workload,
+        epsilon,
+        space_bytes: space,
+        max_error: err,
+        within_guarantee: err <= epsilon * 1.2,
+        notes: format!("lambda budget {lambda}, budget exceeded: {}", robust.budget_exceeded()),
+    });
+    report
+}
+
+/// E7 — Table 1 row "Fp with α-bounded deletions".
+#[must_use]
+pub fn table1_bounded_deletion(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E7", "Table 1 row: Fp with bounded deletions");
+    let epsilon = 0.25;
+    let warmup = scale.stream_length / 20;
+
+    for &alpha in &[2.0, 8.0] {
+        let updates = BoundedDeletionGenerator::new(alpha, 500, seed + alpha as u64)
+            .take_updates(scale.stream_length);
+        let workload = format!("bounded-deletion(alpha={alpha})");
+
+        let mut static_sketch =
+            PStableSketch::new(PStableConfig::for_accuracy(1.0, epsilon), seed + 60);
+        let (err, space) =
+            score_tracking(&mut static_sketch, &updates, Query::Fp(1.0), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("static p-stable (alpha={alpha})"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+
+        let mut robust = RobustBoundedDeletionFpBuilder::new(1.0, epsilon, alpha)
+            .stream_length(scale.stream_length as u64)
+            .domain(scale.domain, 4)
+            .seed(seed + 61)
+            .build();
+        let (err, space) = score_tracking(&mut robust, &updates, Query::Fp(1.0), warmup, false);
+        report.rows.push(tracking_row(
+            &format!("robust bounded-deletion Fp (alpha={alpha}, Thm 1.11)"),
+            &workload,
+            epsilon,
+            err,
+            space,
+            false,
+        ));
+    }
+    report
+}
+
+/// E8 — the AMS attack of Theorem 9.1: success rate and rounds to failure,
+/// plus the robust wrapper's behaviour under the identical adversary.
+#[must_use]
+pub fn attack_ams(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E8",
+        "Theorem 9.1: adaptive attack on the AMS sketch vs the robust wrapper",
+    );
+    for &rows in &[32usize, 64, 128] {
+        let rounds = 60 * rows;
+        let mut successes = 0usize;
+        let mut first_violations = Vec::new();
+        for trial in 0..scale.trials {
+            let mut sketch = AmsSketch::new(AmsConfig::single_mean(rows), seed + trial as u64);
+            let mut adversary = AmsAttackAdversary::new(rows, seed + 100 + trial as u64);
+            let config = GameConfig::relative(Query::Fp(2.0), 0.5, rounds).with_warmup(1);
+            let outcome = GameRunner::new(config).run(&mut sketch, &mut adversary);
+            if outcome.adversary_won() {
+                successes += 1;
+                first_violations.push(outcome.first_violation.unwrap_or(rounds));
+            }
+        }
+        first_violations.sort_unstable();
+        let median_rounds = first_violations
+            .get(first_violations.len() / 2)
+            .copied()
+            .unwrap_or(rounds);
+        let success_rate = successes as f64 / scale.trials as f64;
+        report.rows.push(Row {
+            algorithm: format!("AMS sketch (t={rows} rows), under Algorithm 3"),
+            workload: format!("adaptive attack, {rounds} rounds"),
+            epsilon: 0.5,
+            space_bytes: AmsSketch::new(AmsConfig::single_mean(rows), 0).space_bytes(),
+            max_error: success_rate,
+            within_guarantee: success_rate < 0.5,
+            notes: format!(
+                "attack success rate {success_rate:.2} (paper: >= 0.9), median rounds to failure {median_rounds} (= {:.1} t)",
+                median_rounds as f64 / rows as f64
+            ),
+        });
+    }
+
+    // The same adversary run against the robust F2 estimator.
+    let rows = 64usize;
+    let rounds = 60 * rows;
+    let mut robust_failures = 0usize;
+    for trial in 0..scale.trials {
+        let mut robust = RobustFpBuilder::new(2.0, 0.5)
+            .method(FpMethod::SketchSwitching)
+            .stream_length(rounds as u64)
+            .seed(seed + 200 + trial as u64)
+            .build();
+        let mut adversary = AmsAttackAdversary::new(rows, seed + 300 + trial as u64);
+        let config = GameConfig::relative(Query::Fp(2.0), 0.5, rounds).with_warmup(1);
+        let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+        if outcome.adversary_won() {
+            robust_failures += 1;
+        }
+    }
+    report.rows.push(Row {
+        algorithm: "robust F2 (sketch switching) under the same adversary".to_string(),
+        workload: format!("adaptive attack, {rounds} rounds"),
+        epsilon: 0.5,
+        space_bytes: RobustFpBuilder::new(2.0, 0.5)
+            .stream_length(rounds as u64)
+            .build()
+            .space_bytes(),
+        max_error: robust_failures as f64 / scale.trials as f64,
+        within_guarantee: robust_failures == 0,
+        notes: format!(
+            "failure rate {:.2} over {} trials",
+            robust_failures as f64 / scale.trials as f64,
+            scale.trials
+        ),
+    });
+    report
+}
+
+/// E9 — empirical flip numbers vs the analytic bounds of Corollary 3.5,
+/// Lemma 8.2 and Proposition 7.2.
+#[must_use]
+pub fn flip_number_experiment(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("E9", "Flip numbers: empirical vs analytic bounds");
+    let epsilon = 0.1;
+    let m = scale.stream_length;
+    let updates = UniformGenerator::new(scale.domain, seed).take_updates(m);
+
+    let mut cases: Vec<(&str, Query, usize)> = vec![
+        (
+            "F0 (insertion only)",
+            Query::F0,
+            FlipNumberBound::insertion_only_fp(epsilon, 0.0, scale.domain, 1).bound,
+        ),
+        (
+            "F1 (insertion only)",
+            Query::Fp(1.0),
+            FlipNumberBound::insertion_only_fp(epsilon, 1.0, scale.domain, m as u64).bound,
+        ),
+        (
+            "F2 (insertion only)",
+            Query::Fp(2.0),
+            FlipNumberBound::insertion_only_fp(epsilon, 2.0, scale.domain, m as u64).bound,
+        ),
+    ];
+    // Entropy exponential: measured on the same stream.
+    let entropy_bound =
+        FlipNumberBound::entropy_exponential(epsilon, scale.domain, m as u64).bound;
+    cases.push(("2^H (entropy exponential)", Query::ShannonEntropy, entropy_bound));
+
+    for (label, query, bound) in cases {
+        let mut oracle = ars_stream::TrackingOracle::new(query);
+        oracle.update_all(&updates);
+        let values: Vec<f64> = if matches!(query, Query::ShannonEntropy) {
+            oracle.history().iter().map(|h| 2f64.powf(*h)).collect()
+        } else {
+            oracle.history().to_vec()
+        };
+        let measured = empirical_flip_number(&values, epsilon);
+        report.rows.push(Row {
+            algorithm: label.to_string(),
+            workload: format!("uniform(n={}, m={m})", scale.domain),
+            epsilon,
+            space_bytes: 0,
+            max_error: measured as f64 / bound as f64,
+            within_guarantee: measured <= bound,
+            notes: format!("measured {measured}, analytic bound {bound}"),
+        });
+    }
+
+    // Bounded deletion flip number (Lemma 8.2).
+    let alpha = 2.0;
+    let bd_updates = BoundedDeletionGenerator::new(alpha, 500, seed + 5).take_updates(m);
+    let mut oracle = ars_stream::TrackingOracle::new(Query::Lp(1.0));
+    oracle.update_all(&bd_updates);
+    let measured = empirical_flip_number(oracle.history(), epsilon);
+    let bound =
+        FlipNumberBound::bounded_deletion_lp(epsilon, 1.0, alpha, scale.domain, m as u64).bound;
+    report.rows.push(Row {
+        algorithm: "L1 (alpha=2 bounded deletions)".to_string(),
+        workload: format!("bounded-deletion(alpha={alpha}, m={m})"),
+        epsilon,
+        space_bytes: 0,
+        max_error: measured as f64 / bound as f64,
+        within_guarantee: measured <= bound,
+        notes: format!("measured {measured}, analytic bound {bound} (Lemma 8.2)"),
+    });
+    report
+}
+
+/// E10 — update-time comparison for distinct elements (Theorem 5.4's
+/// motivation): fast level-list vs KMV vs robust wrappers.
+#[must_use]
+pub fn fast_f0_update_time(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E10",
+        "Fast robust distinct elements: amortized update time (ns/update)",
+    );
+    let updates = UniformGenerator::new(scale.domain, seed).take_updates(scale.stream_length);
+    let workload = format!("uniform(n={}, m={})", scale.domain, scale.stream_length);
+    let epsilon = 0.1;
+
+    let mut contenders: Vec<(&str, Box<dyn Estimator>)> = vec![
+        (
+            "static KMV",
+            Box::new(KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed)),
+        ),
+        (
+            "static level-list (Alg. 2)",
+            Box::new(FastF0Sketch::new(
+                FastF0Config::for_accuracy(epsilon, 1e-9, scale.domain),
+                seed + 1,
+            )),
+        ),
+        (
+            "robust F0 (sketch switching)",
+            Box::new(
+                RobustF0Builder::new(epsilon)
+                    .method(F0Method::SketchSwitching)
+                    .stream_length(scale.stream_length as u64)
+                    .domain(scale.domain)
+                    .seed(seed + 2)
+                    .build(),
+            ),
+        ),
+        (
+            "robust F0 (computation paths over Alg. 2, Thm 5.4)",
+            Box::new(
+                RobustF0Builder::new(epsilon)
+                    .method(F0Method::ComputationPaths)
+                    .stream_length(scale.stream_length as u64)
+                    .domain(scale.domain)
+                    .seed(seed + 3)
+                    .build(),
+            ),
+        ),
+    ];
+
+    for (label, estimator) in &mut contenders {
+        let start = Instant::now();
+        for &u in &updates {
+            estimator.update(u);
+        }
+        let elapsed = start.elapsed();
+        let ns_per_update = elapsed.as_nanos() as f64 / updates.len() as f64;
+        report.rows.push(Row {
+            algorithm: (*label).to_string(),
+            workload: workload.clone(),
+            epsilon,
+            space_bytes: estimator.space_bytes(),
+            max_error: ns_per_update,
+            within_guarantee: true,
+            notes: format!("{ns_per_update:.0} ns/update"),
+        });
+    }
+    report
+}
+
+/// E11 — the cryptographic F0 construction: space and robustness against a
+/// polynomial-time adaptive adversary.
+#[must_use]
+pub fn crypto_f0_experiment(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E11",
+        "Theorem 10.1: crypto/random-oracle robust F0 vs sketch switching",
+    );
+    let epsilon = 0.1;
+    let rounds = scale.stream_length;
+
+    let mut contenders: Vec<(&str, Box<dyn Estimator>)> = vec![
+        (
+            "static KMV (non-robust)",
+            Box::new(KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed)),
+        ),
+        (
+            "crypto robust F0 (ChaCha PRF)",
+            Box::new(
+                CryptoRobustF0Builder::new(epsilon)
+                    .backend(CryptoBackend::ChaChaPrf)
+                    .stream_length(rounds as u64)
+                    .seed(seed + 1)
+                    .build(),
+            ),
+        ),
+        (
+            "crypto robust F0 (random oracle)",
+            Box::new(
+                CryptoRobustF0Builder::new(epsilon)
+                    .backend(CryptoBackend::RandomOracle)
+                    .stream_length(rounds as u64)
+                    .seed(seed + 2)
+                    .build(),
+            ),
+        ),
+        (
+            "robust F0 (sketch switching, for comparison)",
+            Box::new(
+                RobustF0Builder::new(epsilon)
+                    .method(F0Method::SketchSwitching)
+                    .stream_length(rounds as u64)
+                    .domain(scale.domain)
+                    .seed(seed + 3)
+                    .build(),
+            ),
+        ),
+    ];
+
+    for (label, estimator) in &mut contenders {
+        let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(500);
+        let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(500);
+        let outcome = GameRunner::new(config).run(estimator.as_mut(), &mut adversary);
+        report.rows.push(Row {
+            algorithm: (*label).to_string(),
+            workload: format!("adaptive dip-hunter, {rounds} rounds"),
+            epsilon,
+            space_bytes: estimator.space_bytes(),
+            max_error: outcome.max_error,
+            within_guarantee: !outcome.adversary_won(),
+            notes: format!(
+                "adversary won: {}, first violation: {:?}",
+                outcome.adversary_won(),
+                outcome.first_violation
+            ),
+        });
+    }
+    report
+}
+
+/// E12 — ablation between the two wrappers: space and accuracy of sketch
+/// switching vs computation paths for F0 as the failure probability varies.
+#[must_use]
+pub fn wrapper_ablation(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E12",
+        "Ablation: sketch switching vs computation paths as delta varies",
+    );
+    let epsilon = 0.2;
+    let updates = UniformGenerator::new(scale.domain, seed).take_updates(scale.stream_length);
+    let workload = format!("uniform(n={})", scale.domain);
+    let warmup = scale.stream_length / 20;
+
+    for &delta in &[1e-2, 1e-6] {
+        for (label, method) in [
+            ("sketch switching", F0Method::SketchSwitching),
+            ("computation paths", F0Method::ComputationPaths),
+        ] {
+            let mut robust = RobustF0Builder::new(epsilon)
+                .method(method)
+                .delta(delta)
+                .stream_length(scale.stream_length as u64)
+                .domain(scale.domain)
+                .seed(seed + 70)
+                .build();
+            let (err, space) = score_tracking(&mut robust, &updates, Query::F0, warmup, false);
+            report.rows.push(Row {
+                algorithm: format!("{label} (delta={delta:.0e})"),
+                workload: workload.clone(),
+                epsilon,
+                space_bytes: space,
+                max_error: err,
+                within_guarantee: err <= epsilon * 1.2,
+                notes: String::new(),
+            });
+        }
+    }
+    report
+}
+
+/// Runs a named experiment at the given scale (used by the bin targets).
+#[must_use]
+pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<ExperimentReport> {
+    match id {
+        "E1" => Some(table1_f0(scale, seed)),
+        "E2" => Some(table1_fp_small(scale, seed)),
+        "E3" => Some(table1_fp_large(scale, seed)),
+        "E4" => Some(table1_heavy_hitters(scale, seed)),
+        "E5" => Some(table1_entropy(scale, seed)),
+        "E6" => Some(table1_turnstile(scale, seed)),
+        "E7" => Some(table1_bounded_deletion(scale, seed)),
+        "E8" => Some(attack_ams(scale, seed)),
+        "E9" => Some(flip_number_experiment(scale, seed)),
+        "E10" => Some(fast_f0_update_time(scale, seed)),
+        "E11" => Some(crypto_f0_experiment(scale, seed)),
+        "E12" => Some(wrapper_ablation(scale, seed)),
+        _ => None,
+    }
+}
+
+/// All experiment ids, in DESIGN.md order.
+#[must_use]
+pub fn all_experiment_ids() -> Vec<&'static str> {
+    vec![
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            stream_length: 3_000,
+            domain: 1 << 10,
+            trials: 2,
+        }
+    }
+
+    #[test]
+    fn flip_number_experiment_respects_bounds() {
+        let report = flip_number_experiment(tiny(), 3);
+        assert!(!report.rows.is_empty());
+        for row in &report.rows {
+            assert!(
+                row.within_guarantee,
+                "{}: measured flip number exceeded its analytic bound ({})",
+                row.algorithm, row.notes
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_ids_round_trip() {
+        for id in all_experiment_ids() {
+            // Only check dispatch, not execution (some experiments are slow).
+            assert!(
+                ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+                    .contains(&id)
+            );
+        }
+        assert!(run_experiment("bogus", tiny(), 0).is_none());
+    }
+
+    #[test]
+    fn wrapper_ablation_produces_all_rows() {
+        let report = wrapper_ablation(tiny(), 5);
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.to_markdown().contains("sketch switching"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark harness regenerating the tables and figures of the PODS 2020
+//! adversarially robust streaming paper.
+//!
+//! The paper's evaluation artifacts are:
+//!
+//! * **Table 1** — space of robust algorithms vs. the best static
+//!   randomized algorithms vs. deterministic lower bounds, for each
+//!   problem (distinct elements, `F_p` for `p ≤ 2` and `p > 2`, `L₂` heavy
+//!   hitters, entropy, λ-flip turnstile, bounded deletions).
+//! * **Theorem 9.1** — the adaptive attack on the AMS sketch succeeds with
+//!   probability ≥ 9/10 within `O(t)` updates.
+//! * The flip-number bounds (Corollary 3.5, Proposition 7.2, Lemma 8.2)
+//!   that drive every overhead factor.
+//!
+//! Each experiment in [`experiments`] reproduces one of those rows/claims
+//! empirically on synthetic workloads and returns structured rows;
+//! [`report`] renders them as the markdown tables recorded in
+//! EXPERIMENTS.md. The `benches/` directory contains one `cargo bench`
+//! target per experiment id (E1–E12 in DESIGN.md) plus Criterion timing
+//! benchmarks for the update-time claims, and `src/bin/` exposes the same
+//! experiments as standalone binaries.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::{print_markdown_table, ExperimentReport, Row};

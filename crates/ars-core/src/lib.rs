@@ -1,0 +1,63 @@
+//! The adversarially robust streaming framework of Ben-Eliezer, Jayaram,
+//! Woodruff and Yogev (PODS 2020).
+//!
+//! A streaming algorithm is *adversarially robust* if its `(1 ± ε)`
+//! tracking guarantee holds even when every stream update is chosen by an
+//! adversary that has seen all of the algorithm's previous outputs. Most
+//! classical randomized sketches are **not** robust — Section 9 of the
+//! paper (and the `ars-adversary` crate) exhibits an explicit adaptive
+//! attack on the AMS sketch — but the paper gives two generic wrappers that
+//! turn a static (oblivious-stream) algorithm into a robust one whenever
+//! the tracked function has a small *flip number*:
+//!
+//! * [`sketch_switch::SketchSwitch`] — maintain `λ` independent copies,
+//!   publish ε-rounded outputs, and switch to a fresh copy each time the
+//!   published value must change (Algorithm 1, Lemma 3.6, Theorem 4.1).
+//! * [`computation_paths::ComputationPaths`] — keep one copy with a very
+//!   small failure probability and union bound over all the rounded output
+//!   sequences the adversary could ever observe (Lemma 3.8).
+//!
+//! On top of the wrappers, this crate provides ready-made robust estimators
+//! for each problem the paper treats:
+//!
+//! | Type | Paper result |
+//! |---|---|
+//! | [`robust_f0::RobustF0`] | Theorems 1.1 and 1.2 (distinct elements) |
+//! | [`robust_fp::RobustFp`] | Theorems 1.4 and 1.5 (`F_p`, `0 < p ≤ 2`) |
+//! | [`robust_fp::RobustFpLarge`] | Theorem 1.7 (`F_p`, `p > 2`) |
+//! | [`robust_turnstile::RobustTurnstileFp`] | Theorem 1.6 (λ-flip turnstile) |
+//! | [`robust_heavy_hitters::RobustL2HeavyHitters`] | Theorem 1.9 (`L₂` heavy hitters) |
+//! | [`robust_entropy::RobustEntropy`] | Theorem 1.10 (entropy) |
+//! | [`robust_bounded_deletion::RobustBoundedDeletionFp`] | Theorem 1.11 (bounded deletions) |
+//! | [`crypto_f0::CryptoRobustF0`] | Theorem 10.1 (crypto / random oracle) |
+//!
+//! The supporting machinery — ε-rounding ([`rounding`]) and flip-number
+//! bounds ([`flip_number`]) — is public as well, so new robust estimators
+//! can be assembled from any static sketch implementing
+//! [`ars_sketch::EstimatorFactory`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod computation_paths;
+pub mod crypto_f0;
+pub mod flip_number;
+pub mod robust_bounded_deletion;
+pub mod robust_entropy;
+pub mod robust_f0;
+pub mod robust_fp;
+pub mod robust_heavy_hitters;
+pub mod robust_turnstile;
+pub mod rounding;
+pub mod sketch_switch;
+
+pub use computation_paths::{ComputationPaths, ComputationPathsConfig};
+pub use crypto_f0::{CryptoBackend, CryptoRobustF0, CryptoRobustF0Builder};
+pub use flip_number::{empirical_flip_number, FlipNumberBound};
+pub use robust_bounded_deletion::{RobustBoundedDeletionFp, RobustBoundedDeletionFpBuilder};
+pub use robust_entropy::{EntropyMethod, RobustEntropy, RobustEntropyBuilder};
+pub use robust_f0::{F0Method, RobustF0, RobustF0Builder};
+pub use robust_fp::{FpMethod, RobustFp, RobustFpBuilder, RobustFpLarge, RobustFpLargeBuilder};
+pub use robust_heavy_hitters::{RobustL2HeavyHitters, RobustL2HeavyHittersBuilder};
+pub use robust_turnstile::{RobustTurnstileFp, RobustTurnstileFpBuilder};
+pub use rounding::{round_to_power, EpsilonRounder};
+pub use sketch_switch::{SketchSwitch, SketchSwitchConfig, SwitchStrategy};

@@ -1,0 +1,278 @@
+//! Adversarially robust `F_p` estimation for α-bounded-deletion streams
+//! (Theorem 1.11 / 8.3, Section 8).
+//!
+//! Bounded-deletion streams (Definition 8.1) may delete, but never more
+//! than a `1 − 1/α` fraction of the `F_p` mass they inserted. Lemma 8.2
+//! shows their `L_p` flip number is `O(p α ε^{-p} log n)` — small, unlike
+//! general turnstile streams — so the computation-paths wrapper over a
+//! small-δ static turnstile sketch is robust with space
+//! `O(α ε^{-(2+p)} log³ n)`.
+
+use ars_sketch::pstable::{PStableConfig, PStableFactory, PStableSketch};
+use ars_sketch::Estimator;
+use ars_stream::Update;
+
+use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
+use crate::flip_number::FlipNumberBound;
+
+/// Builder for [`RobustBoundedDeletionFp`].
+#[derive(Debug, Clone, Copy)]
+pub struct RobustBoundedDeletionFpBuilder {
+    p: f64,
+    epsilon: f64,
+    alpha: f64,
+    stream_length: u64,
+    domain: u64,
+    max_frequency: u64,
+    seed: u64,
+    delta: f64,
+}
+
+impl RobustBoundedDeletionFpBuilder {
+    /// Starts a builder for `p ∈ [1, 2]` and deletion parameter `α ≥ 1`.
+    #[must_use]
+    pub fn new(p: f64, epsilon: f64, alpha: f64) -> Self {
+        assert!((1.0..=2.0).contains(&p), "Theorem 8.3 covers p in [1, 2]");
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(alpha >= 1.0);
+        Self {
+            p,
+            epsilon,
+            alpha,
+            stream_length: 1 << 20,
+            domain: 1 << 20,
+            max_frequency: 1 << 20,
+            seed: 0,
+            delta: 1e-3,
+        }
+    }
+
+    /// Maximum stream length `m`.
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m.max(1);
+        self
+    }
+
+    /// Domain size `n` and frequency magnitude bound `M`.
+    #[must_use]
+    pub fn domain(mut self, n: u64, max_frequency: u64) -> Self {
+        self.domain = n.max(2);
+        self.max_frequency = max_frequency.max(1);
+        self
+    }
+
+    /// Overall failure probability δ.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        self.delta = delta;
+        self
+    }
+
+    /// Seed for all randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The flip-number budget of Lemma 8.2.
+    #[must_use]
+    pub fn flip_number(&self) -> usize {
+        FlipNumberBound::bounded_deletion_lp(
+            self.epsilon / 20.0,
+            self.p,
+            self.alpha,
+            self.domain,
+            self.max_frequency,
+        )
+        .bound
+    }
+
+    /// Builds the robust estimator.
+    #[must_use]
+    pub fn build(self) -> RobustBoundedDeletionFp {
+        let lambda = self.flip_number();
+        let value_range = (self.max_frequency as f64).powf(self.p) * self.domain as f64;
+        let paths = ComputationPathsConfig::new(
+            self.epsilon,
+            lambda,
+            self.stream_length,
+            value_range.max(2.0),
+            self.delta,
+        );
+        let delta0 = paths.required_delta_clamped().max(1e-12);
+        let factory = PStableFactory {
+            config: PStableConfig::for_tracking(self.p, self.epsilon / 2.0, delta0),
+        };
+        RobustBoundedDeletionFp {
+            inner: ComputationPaths::new(&factory, paths, self.seed),
+            p: self.p,
+            alpha: self.alpha,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+/// An adversarially robust `F_p` estimator for α-bounded-deletion streams.
+#[derive(Debug)]
+pub struct RobustBoundedDeletionFp {
+    inner: ComputationPaths<PStableSketch>,
+    p: f64,
+    alpha: f64,
+    epsilon: f64,
+}
+
+impl RobustBoundedDeletionFp {
+    /// Processes one (possibly negative) stream update. The caller is
+    /// responsible for the stream actually satisfying the α-bounded-deletion
+    /// property (use [`ars_stream::StreamValidator`] to enforce it).
+    pub fn update(&mut self, update: Update) {
+        self.inner.update(update);
+    }
+
+    /// The current `(1 ± ε)` estimate of `F_p = ‖f‖_p^p`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.inner.estimate()
+    }
+
+    /// The deletion parameter α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The moment order p.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The approximation parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of published-output changes so far (≤ the Lemma 8.2 budget
+    /// when the stream respects the model).
+    #[must_use]
+    pub fn output_changes(&self) -> usize {
+        self.inner.output_changes()
+    }
+
+    /// Memory footprint in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+}
+
+impl Estimator for RobustBoundedDeletionFp {
+    fn update(&mut self, update: Update) {
+        RobustBoundedDeletionFp::update(self, update);
+    }
+
+    fn estimate(&self) -> f64 {
+        RobustBoundedDeletionFp::estimate(self)
+    }
+
+    fn space_bytes(&self) -> usize {
+        RobustBoundedDeletionFp::space_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::generator::{BoundedDeletionGenerator, Generator};
+    use ars_stream::{FrequencyVector, StreamModel, StreamValidator};
+
+    #[test]
+    fn tracks_f1_on_bounded_deletion_streams() {
+        let alpha = 2.0;
+        let epsilon = 0.25;
+        let mut robust = RobustBoundedDeletionFpBuilder::new(1.0, epsilon, alpha)
+            .stream_length(15_000)
+            .domain(1 << 14, 4)
+            .seed(3)
+            .build();
+        let mut generator = BoundedDeletionGenerator::new(alpha, 500, 7);
+        let updates = generator.take_updates(15_000);
+        // Confirm the generator respects the model it claims.
+        let mut validator = StreamValidator::new(StreamModel::bounded_deletion(alpha, 1.0));
+        validator.apply_all(&updates).expect("generator stays in model");
+
+        let mut truth = FrequencyVector::new();
+        let mut worst: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+            let t = truth.l1();
+            if t >= 200.0 {
+                worst = worst.max(((robust.estimate() - t) / t).abs());
+            }
+        }
+        assert!(worst <= 0.35, "worst-case error {worst}");
+    }
+
+    #[test]
+    fn tracks_f2_on_bounded_deletion_streams() {
+        let alpha = 3.0;
+        let epsilon = 0.3;
+        let mut robust = RobustBoundedDeletionFpBuilder::new(2.0, epsilon, alpha)
+            .stream_length(12_000)
+            .domain(1 << 14, 4)
+            .seed(5)
+            .build();
+        let updates = BoundedDeletionGenerator::new(alpha, 400, 11).take_updates(12_000);
+        let mut truth = FrequencyVector::new();
+        let mut worst: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+            let t = truth.f2();
+            if t >= 200.0 {
+                worst = worst.max(((robust.estimate() - t) / t).abs());
+            }
+        }
+        assert!(worst <= 0.4, "worst-case error {worst}");
+    }
+
+    #[test]
+    fn flip_number_grows_with_alpha_and_inverse_epsilon() {
+        let base = RobustBoundedDeletionFpBuilder::new(1.0, 0.2, 2.0).flip_number();
+        let more_deletions = RobustBoundedDeletionFpBuilder::new(1.0, 0.2, 8.0).flip_number();
+        let finer = RobustBoundedDeletionFpBuilder::new(1.0, 0.05, 2.0).flip_number();
+        assert!(more_deletions > base);
+        assert!(finer > base);
+    }
+
+    #[test]
+    fn output_changes_stay_within_budget_on_model_streams() {
+        let alpha = 2.0;
+        let mut robust = RobustBoundedDeletionFpBuilder::new(1.0, 0.3, alpha)
+            .stream_length(10_000)
+            .domain(1 << 12, 4)
+            .seed(13)
+            .build();
+        let updates = BoundedDeletionGenerator::new(alpha, 300, 17).take_updates(10_000);
+        for &u in &updates {
+            robust.update(u);
+        }
+        assert!(
+            robust.output_changes() <= robust.inner.config().lambda,
+            "output changed {} times, budget {}",
+            robust.output_changes(),
+            robust.inner.config().lambda
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [1, 2]")]
+    fn rejects_p_outside_range() {
+        let _ = RobustBoundedDeletionFpBuilder::new(0.5, 0.1, 2.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Adversarially robust Shannon-entropy estimation
+//! (Theorem 1.10 / 7.3, Section 7).
+//!
+//! Entropy is approximated *additively*, but the robustification machinery
+//! of Section 3 is multiplicative. The paper's observation (the remark
+//! before Proposition 7.1) is that an ε-additive approximation of `H(f)` is
+//! exactly a `(1 ± Θ(ε))`-multiplicative approximation of `g(f) = 2^{H(f)}`
+//! — and Proposition 7.2 bounds the flip number of `2^{H(f)}` on
+//! insertion-only streams by `poly(ε^{-1}, log n)`. So the robust algorithm
+//! is: exponentiate the static entropy estimate, sketch-switch the
+//! exponentials, and take a logarithm before answering.
+
+use ars_sketch::entropy::{
+    RenyiEntropyConfig, RenyiEntropyFactory, SampledEntropyConfig, SampledEntropyFactory,
+};
+use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
+use ars_sketch::{Estimator, EstimatorFactory};
+use ars_stream::Update;
+
+use crate::flip_number::FlipNumberBound;
+use crate::sketch_switch::{SketchSwitch, SketchSwitchConfig};
+
+/// Adapter exposing `2^{inner estimate}` as the tracked quantity, so the
+/// multiplicative sketch-switching wrapper can drive an additive guarantee.
+#[derive(Debug, Clone)]
+pub struct ExponentialAdapter<E> {
+    inner: E,
+}
+
+impl<E: Estimator> ExponentialAdapter<E> {
+    /// Wraps an estimator whose estimate is measured in bits.
+    #[must_use]
+    pub fn new(inner: E) -> Self {
+        Self { inner }
+    }
+}
+
+impl<E: Estimator> Estimator for ExponentialAdapter<E> {
+    fn update(&mut self, update: Update) {
+        self.inner.update(update);
+    }
+
+    fn estimate(&self) -> f64 {
+        // Clamp the exponent so a transiently wild inner estimate cannot
+        // produce an infinite value (the ε-rounding machinery requires
+        // finite inputs); 2^900 is far beyond any entropy arising from a
+        // 64-bit item domain.
+        2f64.powf(self.inner.estimate().clamp(0.0, 900.0))
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+}
+
+/// Factory adapter pairing [`ExponentialAdapter`] with any inner factory.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialFactory<F> {
+    /// The factory producing the additive-scale estimators.
+    pub inner: F,
+}
+
+impl<F: EstimatorFactory> EstimatorFactory for ExponentialFactory<F> {
+    type Output = ExponentialAdapter<F::Output>;
+
+    fn build(&self, seed: u64) -> Self::Output {
+        ExponentialAdapter::new(self.inner.build(seed))
+    }
+
+    fn name(&self) -> String {
+        format!("2^[{}]", self.inner.name())
+    }
+}
+
+/// Which static entropy estimator backs the robust wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntropyMethod {
+    /// Rényi-entropy reduction over a p-stable `F_α` sketch (general
+    /// insertion-only model, the `O(ε^{-5} log⁶ n)` row of Table 1).
+    #[default]
+    Renyi,
+    /// Reservoir-sampling plug-in estimator (the random-oracle-model row;
+    /// the sample addresses are the only randomness the adversary could
+    /// target, and they are never revealed).
+    Sampled,
+}
+
+/// Builder for [`RobustEntropy`].
+#[derive(Debug, Clone, Copy)]
+pub struct RobustEntropyBuilder {
+    epsilon: f64,
+    delta: f64,
+    domain: u64,
+    stream_length: u64,
+    seed: u64,
+    method: EntropyMethod,
+}
+
+impl RobustEntropyBuilder {
+    /// Starts a builder for an ε-additive robust entropy estimator.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            epsilon,
+            delta: 1e-3,
+            domain: 1 << 20,
+            stream_length: 1 << 20,
+            seed: 0,
+            method: EntropyMethod::default(),
+        }
+    }
+
+    /// Overall failure probability δ.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        self.delta = delta;
+        self
+    }
+
+    /// Domain size `n`.
+    #[must_use]
+    pub fn domain(mut self, n: u64) -> Self {
+        self.domain = n.max(4);
+        self
+    }
+
+    /// Maximum stream length `m`.
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m.max(4);
+        self
+    }
+
+    /// Seed for all randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the static estimator backend.
+    #[must_use]
+    pub fn method(mut self, method: EntropyMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The flip-number budget of `2^{H}` (Proposition 7.2).
+    #[must_use]
+    pub fn flip_number(&self) -> usize {
+        FlipNumberBound::entropy_exponential(self.epsilon / 20.0, self.domain, self.stream_length)
+            .bound
+    }
+
+    /// Builds the robust entropy estimator.
+    #[must_use]
+    pub fn build(self) -> RobustEntropy {
+        // Multiplicative parameter for the exponential of the entropy: an
+        // eps-additive error in bits is a 2^{±eps} multiplicative error.
+        let mult_epsilon = (2f64.powf(self.epsilon) - 1.0).min(0.5);
+        // Entropy is not additive over stream suffixes, so the restart
+        // optimization of Theorem 4.1 does not apply: Theorem 7.3 uses the
+        // plain (exhaustible) sketch-switching wrapper of Lemma 3.6. The
+        // flip-number budget of Proposition 7.2 is polynomial in 1/ε and
+        // log n; the pool is capped at a laptop-friendly size (documented
+        // constant substitution) and the wrapper degrades gracefully — it
+        // keeps using its last copy — if a stream exhausts it.
+        let pool = self.flip_number().min(64).max(8);
+        let switch = SketchSwitchConfig::exhaustible(mult_epsilon, pool);
+        let inner = match self.method {
+            EntropyMethod::Renyi => {
+                // A practically parametrized Rényi order: the paper's
+                // α − 1 = Θ̃(ε / log² n) makes the F_α sketch astronomically
+                // large; α − 1 = ε/2 with a capped row budget preserves the
+                // qualitative behaviour (H_α ≤ H, converging as α → 1) at
+                // laptop scale (documented substitution in DESIGN.md).
+                let config = RenyiEntropyConfig::with_alpha(
+                    (1.0 + self.epsilon / 2.0).min(1.5),
+                    1025,
+                );
+                let factory = ExponentialFactory {
+                    inner: MedianTrackingFactory {
+                        inner: RenyiEntropyFactory { config },
+                        config: MedianTrackingConfig { copies: 1 },
+                    },
+                };
+                EntropyInner::Renyi(Box::new(SketchSwitch::new(factory, switch, self.seed)))
+            }
+            EntropyMethod::Sampled => {
+                let factory = ExponentialFactory {
+                    inner: MedianTrackingFactory {
+                        inner: SampledEntropyFactory {
+                            config: SampledEntropyConfig::for_accuracy(self.epsilon / 2.0),
+                        },
+                        config: MedianTrackingConfig { copies: 3 },
+                    },
+                };
+                EntropyInner::Sampled(Box::new(SketchSwitch::new(factory, switch, self.seed)))
+            }
+        };
+        RobustEntropy {
+            inner,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+type RenyiSwitch = SketchSwitch<
+    ExponentialFactory<MedianTrackingFactory<RenyiEntropyFactory>>,
+>;
+type SampledSwitch = SketchSwitch<
+    ExponentialFactory<MedianTrackingFactory<SampledEntropyFactory>>,
+>;
+
+enum EntropyInner {
+    Renyi(Box<RenyiSwitch>),
+    Sampled(Box<SampledSwitch>),
+}
+
+impl std::fmt::Debug for EntropyInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Renyi(_) => write!(f, "EntropyInner::Renyi"),
+            Self::Sampled(_) => write!(f, "EntropyInner::Sampled"),
+        }
+    }
+}
+
+/// An adversarially robust (additively approximate) Shannon-entropy
+/// estimator for insertion-only streams.
+#[derive(Debug)]
+pub struct RobustEntropy {
+    inner: EntropyInner,
+    epsilon: f64,
+}
+
+impl RobustEntropy {
+    /// Processes one stream update.
+    pub fn update(&mut self, update: Update) {
+        match &mut self.inner {
+            EntropyInner::Renyi(s) => s.update(update),
+            EntropyInner::Sampled(s) => s.update(update),
+        }
+    }
+
+    /// Processes a unit insertion.
+    pub fn insert(&mut self, item: u64) {
+        self.update(Update::insert(item));
+    }
+
+    /// The current entropy estimate in bits.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let exp = match &self.inner {
+            EntropyInner::Renyi(s) => s.estimate(),
+            EntropyInner::Sampled(s) => s.estimate(),
+        };
+        if exp <= 0.0 {
+            0.0
+        } else {
+            exp.log2().max(0.0)
+        }
+    }
+
+    /// The additive approximation parameter ε (bits).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Memory footprint in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        match &self.inner {
+            EntropyInner::Renyi(s) => s.space_bytes(),
+            EntropyInner::Sampled(s) => s.space_bytes(),
+        }
+    }
+}
+
+impl Estimator for RobustEntropy {
+    fn update(&mut self, update: Update) {
+        RobustEntropy::update(self, update);
+    }
+
+    fn estimate(&self) -> f64 {
+        RobustEntropy::estimate(self)
+    }
+
+    fn space_bytes(&self) -> usize {
+        RobustEntropy::space_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::generator::{Generator, ZipfGenerator};
+    use ars_stream::FrequencyVector;
+
+    #[test]
+    fn exponential_adapter_exponentiates() {
+        use ars_sketch::f1::F1Factory;
+        let factory = ExponentialFactory { inner: F1Factory };
+        let mut adapted = factory.build(0);
+        assert_eq!(adapted.estimate(), 1.0, "2^0 = 1");
+        adapted.insert(5);
+        adapted.insert(5);
+        adapted.insert(5);
+        assert!((adapted.estimate() - 8.0).abs() < 1e-9, "2^3 = 8");
+        assert!(factory.name().starts_with("2^["));
+    }
+
+    #[test]
+    fn sampled_backend_tracks_entropy_of_low_entropy_streams() {
+        // 32 equally likely items: H = 5 bits throughout (after warm-up).
+        let mut robust = RobustEntropyBuilder::new(0.2)
+            .method(EntropyMethod::Sampled)
+            .stream_length(20_000)
+            .domain(64)
+            .seed(3)
+            .build();
+        let updates = ZipfGenerator::new(32, 0.01, 7).take_updates(20_000);
+        let mut truth = FrequencyVector::new();
+        let mut worst: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+            if truth.updates_applied() > 2_000 {
+                worst = worst.max((robust.estimate() - truth.shannon_entropy()).abs());
+            }
+        }
+        assert!(worst < 0.6, "worst additive entropy error {worst}");
+    }
+
+    #[test]
+    fn renyi_backend_produces_bounded_error_on_skewed_streams() {
+        let mut robust = RobustEntropyBuilder::new(0.3)
+            .method(EntropyMethod::Renyi)
+            .stream_length(6_000)
+            .domain(256)
+            .seed(5)
+            .build();
+        let updates = ZipfGenerator::new(256, 1.2, 11).take_updates(6_000);
+        let mut truth = FrequencyVector::new();
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+        }
+        let err = (robust.estimate() - truth.shannon_entropy()).abs();
+        // The Renyi proxy with laptop-scale sketch sizes is coarser than the
+        // paper's asymptotic bound; the point here is that the robust
+        // wrapper preserves the static estimator's accuracy.
+        assert!(err < 2.0, "final additive entropy error {err}");
+    }
+
+    #[test]
+    fn flip_number_budget_reflects_parameters() {
+        let coarse = RobustEntropyBuilder::new(0.5).domain(1 << 10).flip_number();
+        let fine = RobustEntropyBuilder::new(0.1).domain(1 << 10).flip_number();
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn empty_stream_has_zero_entropy() {
+        let robust = RobustEntropyBuilder::new(0.2).seed(9).build();
+        assert_eq!(robust.estimate(), 0.0);
+        assert!(robust.space_bytes() > 0);
+    }
+}

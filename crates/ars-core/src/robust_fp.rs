@@ -1,0 +1,528 @@
+//! Adversarially robust `F_p` moment estimation
+//! (Theorems 1.4 / 4.1, 1.5 / 4.2 for `0 < p ≤ 2`, and 1.7 / 4.4 for
+//! `p > 2`).
+//!
+//! For `0 < p ≤ 2` the default route is the optimized sketch-switching
+//! wrapper over a strong-tracking p-stable ensemble (Theorem 4.1); for the
+//! very-small-δ regime the computation-paths route (Theorem 4.2) is
+//! available. For `p > 2` the computation-paths route over the
+//! heavy-elements estimator is used (Theorem 4.4), since that estimator's
+//! space grows only logarithmically in `1/δ`.
+
+use ars_sketch::fp_large::{FpLargeConfig, FpLargeFactory, FpLargeSketch};
+use ars_sketch::pstable::{PStableConfig, PStableFactory, PStableSketch};
+use ars_sketch::Estimator;
+use ars_stream::Update;
+
+use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
+use crate::flip_number::FlipNumberBound;
+use crate::sketch_switch::{SketchSwitch, SketchSwitchConfig};
+
+/// Which robustification route [`RobustFp`] uses for `0 < p ≤ 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FpMethod {
+    /// Optimized sketch switching (Theorem 4.1) — the right choice for
+    /// moderate failure probabilities.
+    #[default]
+    SketchSwitching,
+    /// Computation paths (Theorem 4.2) — preferable when δ must be tiny.
+    ComputationPaths,
+}
+
+/// Builder for [`RobustFp`] (moment order `0 < p ≤ 2`).
+#[derive(Debug, Clone, Copy)]
+pub struct RobustFpBuilder {
+    p: f64,
+    epsilon: f64,
+    delta: f64,
+    stream_length: u64,
+    domain: u64,
+    max_frequency: u64,
+    seed: u64,
+    method: FpMethod,
+}
+
+impl RobustFpBuilder {
+    /// Starts a builder for a `(1 ± ε)` robust `F_p` estimator, `0 < p ≤ 2`.
+    #[must_use]
+    pub fn new(p: f64, epsilon: f64) -> Self {
+        assert!(p > 0.0 && p <= 2.0, "p must lie in (0, 2]; use RobustFpLarge for p > 2");
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            p,
+            epsilon,
+            delta: 1e-3,
+            stream_length: 1 << 20,
+            domain: 1 << 20,
+            max_frequency: 1 << 20,
+            seed: 0,
+            method: FpMethod::default(),
+        }
+    }
+
+    /// Overall failure probability δ.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        self.delta = delta;
+        self
+    }
+
+    /// Maximum stream length `m`.
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m.max(1);
+        self
+    }
+
+    /// Domain size `n` and frequency bound `M` (both default to `2²⁰`).
+    #[must_use]
+    pub fn domain(mut self, n: u64, max_frequency: u64) -> Self {
+        self.domain = n.max(2);
+        self.max_frequency = max_frequency.max(1);
+        self
+    }
+
+    /// Seed for all randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the robustification route.
+    #[must_use]
+    pub fn method(mut self, method: FpMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The flip-number budget (Corollary 3.5).
+    #[must_use]
+    pub fn flip_number(&self) -> usize {
+        FlipNumberBound::insertion_only_fp(
+            self.epsilon / 20.0,
+            self.p,
+            self.domain,
+            self.max_frequency,
+        )
+        .bound
+    }
+
+    /// Builds the robust estimator.
+    #[must_use]
+    pub fn build(self) -> RobustFp {
+        let lambda = self.flip_number();
+        let value_range = (self.max_frequency as f64).powf(self.p.max(1.0))
+            * self.domain as f64;
+        let inner = match self.method {
+            FpMethod::SketchSwitching => {
+                // Strong tracking of each copy with failure δ/λ: the
+                // p-stable median-of-rows estimator concentrates
+                // exponentially in its row count, so the boost is folded
+                // directly into the rows rather than a median-of-copies
+                // layer (same asymptotics, far cheaper constants).
+                let per_copy_delta = (self.delta / lambda as f64).max(1e-4);
+                let factory = PStableFactory {
+                    config: PStableConfig::for_tracking(
+                        self.p,
+                        self.epsilon / 2.0,
+                        per_copy_delta,
+                    ),
+                };
+                // The restart argument of Theorem 4.1 needs the *norm* to
+                // grow by a Θ(1/ε) factor between reuses of a copy; since
+                // this wrapper tracks the moment F_p = ‖f‖_p^p, the pool
+                // must be larger by a factor of p so that the moment grows
+                // by (Θ(1/ε))^p over one rotation.
+                let growth = 8.0 * self.p.max(1.0) / self.epsilon;
+                let copies = ((self.p.max(1.0) * growth.ln())
+                    / (1.0 + self.epsilon / 2.0).ln())
+                .ceil() as usize;
+                let config = SketchSwitchConfig {
+                    epsilon: self.epsilon,
+                    copies: copies.max(4),
+                    strategy: crate::sketch_switch::SwitchStrategy::Restart,
+                };
+                FpInner::Switching(Box::new(SketchSwitch::new(factory, config, self.seed)))
+            }
+            FpMethod::ComputationPaths => {
+                let paths = ComputationPathsConfig::new(
+                    self.epsilon,
+                    lambda,
+                    self.stream_length,
+                    value_range.max(2.0),
+                    self.delta,
+                );
+                let delta0 = paths.required_delta_clamped().max(1e-12);
+                let factory = PStableFactory {
+                    config: PStableConfig::for_tracking(self.p, self.epsilon / 2.0, delta0),
+                };
+                FpInner::Paths(Box::new(ComputationPaths::new(&factory, paths, self.seed)))
+            }
+        };
+        RobustFp {
+            inner,
+            p: self.p,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+enum FpInner {
+    Switching(Box<SketchSwitch<PStableFactory>>),
+    Paths(Box<ComputationPaths<PStableSketch>>),
+}
+
+impl std::fmt::Debug for FpInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Switching(_) => write!(f, "FpInner::Switching"),
+            Self::Paths(_) => write!(f, "FpInner::Paths"),
+        }
+    }
+}
+
+/// An adversarially robust `F_p` moment estimator for `0 < p ≤ 2`.
+///
+/// The estimate is of the *moment* `F_p = ‖f‖_p^p`; callers that want the
+/// norm can take the `1/p`-th power.
+#[derive(Debug)]
+pub struct RobustFp {
+    inner: FpInner,
+    p: f64,
+    epsilon: f64,
+}
+
+impl RobustFp {
+    /// Processes one stream update.
+    pub fn update(&mut self, update: Update) {
+        match &mut self.inner {
+            FpInner::Switching(s) => s.update(update),
+            FpInner::Paths(c) => c.update(update),
+        }
+    }
+
+    /// Processes a unit insertion.
+    pub fn insert(&mut self, item: u64) {
+        self.update(Update::insert(item));
+    }
+
+    /// The current `(1 ± ε)` estimate of `F_p`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match &self.inner {
+            FpInner::Switching(s) => s.estimate(),
+            FpInner::Paths(c) => c.estimate(),
+        }
+    }
+
+    /// The current estimate of the norm `‖f‖_p`.
+    #[must_use]
+    pub fn norm_estimate(&self) -> f64 {
+        self.estimate().max(0.0).powf(1.0 / self.p)
+    }
+
+    /// The moment order `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The approximation parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Memory footprint in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        match &self.inner {
+            FpInner::Switching(s) => s.space_bytes(),
+            FpInner::Paths(c) => c.space_bytes(),
+        }
+    }
+}
+
+impl Estimator for RobustFp {
+    fn update(&mut self, update: Update) {
+        RobustFp::update(self, update);
+    }
+
+    fn estimate(&self) -> f64 {
+        RobustFp::estimate(self)
+    }
+
+    fn space_bytes(&self) -> usize {
+        RobustFp::space_bytes(self)
+    }
+}
+
+/// Builder for [`RobustFpLarge`] (moment order `p > 2`, Theorem 4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct RobustFpLargeBuilder {
+    p: f64,
+    epsilon: f64,
+    delta: f64,
+    stream_length: u64,
+    domain: u64,
+    max_frequency: u64,
+    seed: u64,
+}
+
+impl RobustFpLargeBuilder {
+    /// Starts a builder for a robust `F_p` estimator with `p > 2`.
+    #[must_use]
+    pub fn new(p: f64, epsilon: f64) -> Self {
+        assert!(p > 2.0, "use RobustFp for p <= 2");
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            p,
+            epsilon,
+            delta: 1e-3,
+            stream_length: 1 << 20,
+            domain: 1 << 16,
+            max_frequency: 1 << 20,
+            seed: 0,
+        }
+    }
+
+    /// Overall failure probability δ.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        self.delta = delta;
+        self
+    }
+
+    /// Maximum stream length `m`.
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m.max(1);
+        self
+    }
+
+    /// Domain size `n` (drives the `n^{1−2/p}` space term).
+    #[must_use]
+    pub fn domain(mut self, n: u64) -> Self {
+        self.domain = n.max(16);
+        self
+    }
+
+    /// Seed for all randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The flip-number budget (Corollary 3.5, `O(p ε^{-1} log m)` for
+    /// `p > 2`).
+    #[must_use]
+    pub fn flip_number(&self) -> usize {
+        FlipNumberBound::insertion_only_fp(
+            self.epsilon / 20.0,
+            self.p,
+            self.domain,
+            self.max_frequency,
+        )
+        .bound
+    }
+
+    /// Builds the robust estimator.
+    #[must_use]
+    pub fn build(self) -> RobustFpLarge {
+        let lambda = self.flip_number();
+        let value_range =
+            (self.max_frequency as f64).powf(self.p) * self.domain as f64;
+        let paths = ComputationPathsConfig::new(
+            self.epsilon,
+            lambda,
+            self.stream_length,
+            value_range.max(2.0),
+            self.delta,
+        );
+        let factory = FpLargeFactory {
+            config: FpLargeConfig::for_accuracy(self.p, self.epsilon / 4.0, self.domain),
+        };
+        RobustFpLarge {
+            inner: ComputationPaths::new(&factory, paths, self.seed),
+            p: self.p,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+/// An adversarially robust `F_p` estimator for `p > 2`.
+#[derive(Debug)]
+pub struct RobustFpLarge {
+    inner: ComputationPaths<FpLargeSketch>,
+    p: f64,
+    epsilon: f64,
+}
+
+impl RobustFpLarge {
+    /// Processes one stream update.
+    pub fn update(&mut self, update: Update) {
+        self.inner.update(update);
+    }
+
+    /// Processes a unit insertion.
+    pub fn insert(&mut self, item: u64) {
+        self.update(Update::insert(item));
+    }
+
+    /// The current `(1 ± ε)` estimate of `F_p`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.inner.estimate()
+    }
+
+    /// The moment order `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The approximation parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Memory footprint in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+}
+
+impl Estimator for RobustFpLarge {
+    fn update(&mut self, update: Update) {
+        RobustFpLarge::update(self, update);
+    }
+
+    fn estimate(&self) -> f64 {
+        RobustFpLarge::estimate(self)
+    }
+
+    fn space_bytes(&self) -> usize {
+        RobustFpLarge::space_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::generator::{Generator, ZipfGenerator};
+    use ars_stream::FrequencyVector;
+
+    fn worst_tracking_error(p: f64, method: FpMethod, epsilon: f64, m: usize, seed: u64) -> f64 {
+        let mut robust = RobustFpBuilder::new(p, epsilon)
+            .method(method)
+            .stream_length(m as u64)
+            .domain(1 << 12, 1 << 16)
+            .seed(seed)
+            .build();
+        let updates = ZipfGenerator::new(1 << 12, 1.1, seed).take_updates(m);
+        let mut truth = FrequencyVector::new();
+        let mut worst: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+            let t = truth.fp(p);
+            if truth.updates_applied() >= 500 {
+                worst = worst.max(((robust.estimate() - t) / t).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn robust_f2_by_sketch_switching_tracks() {
+        let worst = worst_tracking_error(2.0, FpMethod::SketchSwitching, 0.25, 10_000, 3);
+        assert!(worst <= 0.35, "worst-case error {worst}");
+    }
+
+    #[test]
+    fn robust_f1_by_sketch_switching_tracks() {
+        let worst = worst_tracking_error(1.0, FpMethod::SketchSwitching, 0.3, 8_000, 5);
+        assert!(worst <= 0.4, "worst-case error {worst}");
+    }
+
+    #[test]
+    fn robust_fp_by_computation_paths_tracks() {
+        let worst = worst_tracking_error(1.5, FpMethod::ComputationPaths, 0.25, 8_000, 7);
+        assert!(worst <= 0.35, "worst-case error {worst}");
+    }
+
+    #[test]
+    fn norm_estimate_is_consistent_with_moment_estimate() {
+        let mut robust = RobustFpBuilder::new(2.0, 0.3).seed(9).build();
+        for _ in 0..200 {
+            robust.insert(1);
+        }
+        let moment = robust.estimate();
+        let norm = robust.norm_estimate();
+        assert!((norm * norm - moment).abs() < 1e-6 * moment.max(1.0));
+    }
+
+    #[test]
+    fn robust_fp_large_tracks_f3_on_skewed_streams() {
+        let p = 3.0;
+        let epsilon = 0.3;
+        let mut robust = RobustFpLargeBuilder::new(p, epsilon)
+            .domain(1 << 12)
+            .stream_length(20_000)
+            .seed(11)
+            .build();
+        let updates = ZipfGenerator::new(1 << 12, 1.4, 11).take_updates(20_000);
+        let mut truth = FrequencyVector::new();
+        let mut worst: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+            let t = truth.fp(p);
+            if truth.updates_applied() >= 2_000 {
+                worst = worst.max(((robust.estimate() - t) / t).abs());
+            }
+        }
+        assert!(worst <= 0.5, "worst-case F3 error {worst}");
+    }
+
+    #[test]
+    fn builders_expose_flip_numbers() {
+        let small_eps = RobustFpBuilder::new(1.0, 0.05).flip_number();
+        let large_eps = RobustFpBuilder::new(1.0, 0.5).flip_number();
+        assert!(small_eps > large_eps);
+        let p_large = RobustFpLargeBuilder::new(4.0, 0.1).flip_number();
+        assert!(p_large > 0);
+    }
+
+    #[test]
+    fn space_reflects_the_method_tradeoff() {
+        // Sketch switching keeps many copies; computation paths keeps one
+        // (larger) copy. Both must at least report non-trivial space.
+        let switching = RobustFpBuilder::new(2.0, 0.3)
+            .method(FpMethod::SketchSwitching)
+            .build();
+        let paths = RobustFpBuilder::new(2.0, 0.3)
+            .method(FpMethod::ComputationPaths)
+            .build();
+        assert!(switching.space_bytes() > 1_000);
+        assert!(paths.space_bytes() > 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in (0, 2]")]
+    fn robust_fp_rejects_large_p() {
+        let _ = RobustFpBuilder::new(3.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "use RobustFp for p <= 2")]
+    fn robust_fp_large_rejects_small_p() {
+        let _ = RobustFpLargeBuilder::new(2.0, 0.1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Adversarially robust `F_p` estimation for turnstile streams with bounded
+//! flip number (Theorem 4.3).
+//!
+//! General turnstile streams can have flip number `Θ(m)` (the adversary can
+//! oscillate the moment across a `(1+ε)` boundary every step), and linear
+//! sketches are provably non-robust there (Hardt–Woodruff). Theorem 4.3
+//! instead considers the class `S_λ` of turnstile streams whose `F_p` flip
+//! number is promised to be at most λ and shows that the computation-paths
+//! wrapper over a small-δ static turnstile sketch is robust for that class,
+//! with space `O(ε^{-2} λ log² n)`.
+//!
+//! The wrapper cannot verify the promise; [`RobustTurnstileFp`] therefore
+//! tracks how often its own published output changes and exposes
+//! [`RobustTurnstileFp::budget_exceeded`] so callers (and the adversarial
+//! game harness) can detect streams that left the promised class.
+
+use ars_sketch::pstable::{PStableConfig, PStableFactory, PStableSketch};
+use ars_sketch::Estimator;
+use ars_stream::Update;
+
+use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
+
+/// Builder for [`RobustTurnstileFp`].
+#[derive(Debug, Clone, Copy)]
+pub struct RobustTurnstileFpBuilder {
+    p: f64,
+    epsilon: f64,
+    lambda: usize,
+    stream_length: u64,
+    domain: u64,
+    max_frequency: u64,
+    seed: u64,
+    delta: f64,
+}
+
+impl RobustTurnstileFpBuilder {
+    /// Starts a builder for the stream class `S_λ` with moment order
+    /// `0 < p ≤ 2` and promised flip number `λ`.
+    #[must_use]
+    pub fn new(p: f64, epsilon: f64, lambda: usize) -> Self {
+        assert!(p > 0.0 && p <= 2.0);
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(lambda >= 1);
+        Self {
+            p,
+            epsilon,
+            lambda,
+            stream_length: 1 << 20,
+            domain: 1 << 20,
+            max_frequency: 1 << 20,
+            seed: 0,
+            delta: 1e-3,
+        }
+    }
+
+    /// Maximum stream length `m`.
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m.max(1);
+        self
+    }
+
+    /// Domain size `n` and frequency magnitude bound `M`.
+    #[must_use]
+    pub fn domain(mut self, n: u64, max_frequency: u64) -> Self {
+        self.domain = n.max(2);
+        self.max_frequency = max_frequency.max(1);
+        self
+    }
+
+    /// Overall failure probability δ (Theorem 4.3 achieves `n^{-Cλ}`;
+    /// experiments use a configurable practical value).
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        self.delta = delta;
+        self
+    }
+
+    /// Seed for all randomness.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the robust estimator.
+    #[must_use]
+    pub fn build(self) -> RobustTurnstileFp {
+        let value_range =
+            (self.max_frequency as f64).powf(self.p.max(1.0)) * self.domain as f64;
+        let paths = ComputationPathsConfig::new(
+            self.epsilon,
+            self.lambda,
+            self.stream_length,
+            value_range.max(2.0),
+            self.delta,
+        );
+        let delta0 = paths.required_delta_clamped().max(1e-12);
+        let factory = PStableFactory {
+            config: PStableConfig::for_tracking(self.p, self.epsilon / 2.0, delta0),
+        };
+        RobustTurnstileFp {
+            inner: ComputationPaths::new(&factory, paths, self.seed),
+            lambda: self.lambda,
+            p: self.p,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+/// An adversarially robust `F_p` estimator for λ-flip-number turnstile
+/// streams.
+#[derive(Debug)]
+pub struct RobustTurnstileFp {
+    inner: ComputationPaths<PStableSketch>,
+    lambda: usize,
+    p: f64,
+    epsilon: f64,
+}
+
+impl RobustTurnstileFp {
+    /// Processes one (possibly negative) stream update.
+    pub fn update(&mut self, update: Update) {
+        self.inner.update(update);
+    }
+
+    /// The current `(1 ± ε)` estimate of `F_p`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.inner.estimate()
+    }
+
+    /// The promised flip-number budget λ.
+    #[must_use]
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// Whether the published output has already changed more than λ times —
+    /// evidence that the stream left the promised class `S_λ` (or that the
+    /// inner estimator failed).
+    #[must_use]
+    pub fn budget_exceeded(&self) -> bool {
+        self.inner.output_changes() > self.lambda
+    }
+
+    /// The moment order `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The approximation parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Memory footprint in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+}
+
+impl Estimator for RobustTurnstileFp {
+    fn update(&mut self, update: Update) {
+        RobustTurnstileFp::update(self, update);
+    }
+
+    fn estimate(&self) -> f64 {
+        RobustTurnstileFp::estimate(self)
+    }
+
+    fn space_bytes(&self) -> usize {
+        RobustTurnstileFp::space_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::generator::{Generator, TurnstileWaveGenerator};
+    use ars_stream::FrequencyVector;
+
+    #[test]
+    fn tracks_f2_through_insert_delete_waves() {
+        // Two full waves of 3000 items each: the F2 rises to 3000 and falls
+        // back to 0 twice. Flip number is about 2 * 2 * log_{1+eps}(3000).
+        let epsilon = 0.25;
+        let lambda = 2 * 2 * ((3000f64).ln() / (1.0_f64 + epsilon / 20.0).ln()).ceil() as usize;
+        let mut robust = RobustTurnstileFpBuilder::new(2.0, epsilon, lambda)
+            .stream_length(20_000)
+            .domain(1 << 14, 4)
+            .seed(3)
+            .build();
+        let updates = TurnstileWaveGenerator::new(3_000).take_updates(12_000);
+        let mut truth = FrequencyVector::new();
+        let mut worst: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            robust.update(u);
+            let t = truth.f2();
+            if t >= 300.0 {
+                worst = worst.max(((robust.estimate() - t) / t).abs());
+            }
+        }
+        assert!(worst <= 0.35, "worst-case error {worst}");
+        assert!(!robust.budget_exceeded(), "budget should cover two waves");
+    }
+
+    #[test]
+    fn budget_exceeded_flags_streams_outside_the_class() {
+        // Promise lambda = 3 but run a stream whose F2 doubles many times.
+        let mut robust = RobustTurnstileFpBuilder::new(2.0, 0.2, 3)
+            .stream_length(10_000)
+            .seed(5)
+            .build();
+        for i in 0..5_000u64 {
+            robust.update(Update::insert(i));
+        }
+        assert!(robust.budget_exceeded());
+    }
+
+    #[test]
+    fn negative_frequencies_are_handled() {
+        // Drive a coordinate negative: F2 must still be tracked since the
+        // p-stable sketch is linear.
+        let mut robust = RobustTurnstileFpBuilder::new(2.0, 0.3, 100)
+            .stream_length(1_000)
+            .seed(7)
+            .build();
+        let mut truth = FrequencyVector::new();
+        for _ in 0..100 {
+            let u = Update::new(1, -1);
+            truth.apply(u);
+            robust.update(u);
+        }
+        let t = truth.f2();
+        let est = robust.estimate();
+        assert!(
+            ((est - t) / t).abs() <= 0.35,
+            "estimate {est} vs truth {t}"
+        );
+    }
+
+    #[test]
+    fn builder_validates_and_reports() {
+        let robust = RobustTurnstileFpBuilder::new(1.0, 0.2, 50).build();
+        assert_eq!(robust.lambda(), 50);
+        assert_eq!(robust.p(), 1.0);
+        assert!(robust.space_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lambda_is_rejected() {
+        let _ = RobustTurnstileFpBuilder::new(1.0, 0.2, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! ε-rounding of values, sequences and algorithm outputs
+//! (Definitions 3.1 and 3.7 of the paper).
+//!
+//! The robustification wrappers never publish a raw estimate: they publish
+//! the power of `(1 + ε)` closest to it, and they keep publishing the *same*
+//! value until it drifts outside a `(1 ± ε)` window of the current raw
+//! estimate. Rounding serves two purposes:
+//!
+//! 1. it leaks less information about the algorithm's internal randomness to
+//!    the adaptive adversary, and
+//! 2. it makes the published sequence change at most `λ_{ε/10,m}(g)` times
+//!    (Lemma 3.3), which is what both the sketch-switching and the
+//!    computation-paths arguments count.
+
+/// Returns `[x]_ε`: the power of `(1 + ε)` closest to `x` in multiplicative
+/// distance, with `[0]_ε = 0` and `[−x]_ε = −[x]_ε` (Section 3).
+///
+/// # Panics
+/// Panics if `epsilon ≤ 0` or `x` is not finite.
+#[must_use]
+pub fn round_to_power(x: f64, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(x.is_finite(), "can only round finite values");
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = x.signum();
+    let magnitude = x.abs();
+    let base = 1.0 + epsilon;
+    // The closest power in multiplicative terms is the one whose exponent is
+    // the rounding of log_base(magnitude).
+    let exponent = (magnitude.ln() / base.ln()).round();
+    sign * base.powf(exponent)
+}
+
+/// Stateful ε-rounding of a sequence (Definition 3.1) or of an algorithm's
+/// outputs (Definition 3.7).
+///
+/// Feed raw values in stream order with [`EpsilonRounder::round`]; the
+/// rounder returns the current published value, only changing it when the
+/// previous published value leaves the `(1 ± ε)` window around the new raw
+/// value.
+#[derive(Debug, Clone)]
+pub struct EpsilonRounder {
+    epsilon: f64,
+    published: Option<f64>,
+    changes: usize,
+}
+
+impl EpsilonRounder {
+    /// Creates a rounder with window parameter ε.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            epsilon,
+            published: None,
+            changes: 0,
+        }
+    }
+
+    /// The window parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Whether publishing for `raw` requires changing the current output,
+    /// i.e. whether the published value lies outside `[(1−ε)·raw, (1+ε)·raw]`.
+    #[must_use]
+    pub fn needs_update(&self, raw: f64) -> bool {
+        match self.published {
+            None => true,
+            Some(current) => !within_window(current, raw, self.epsilon),
+        }
+    }
+
+    /// Feeds the next raw value and returns the published (rounded) value.
+    pub fn round(&mut self, raw: f64) -> f64 {
+        if self.needs_update(raw) {
+            self.published = Some(round_to_power(raw, self.epsilon));
+            self.changes += 1;
+        }
+        self.published.expect("published is set after first round")
+    }
+
+    /// The currently published value (`None` before the first call).
+    #[must_use]
+    pub fn published(&self) -> Option<f64> {
+        self.published
+    }
+
+    /// How many times the published value has changed so far. Lemma 3.3
+    /// bounds this by the flip number of the tracked function.
+    #[must_use]
+    pub fn changes(&self) -> usize {
+        self.changes
+    }
+}
+
+/// Whether `value` lies in the closed window `[(1−ε)·center, (1+ε)·center]`
+/// (with the obvious reflection for negative `center`).
+#[must_use]
+pub fn within_window(value: f64, center: f64, epsilon: f64) -> bool {
+    if center == 0.0 {
+        return value == 0.0;
+    }
+    let lo = center.abs() * (1.0 - epsilon);
+    let hi = center.abs() * (1.0 + epsilon);
+    value.signum() == center.signum() && value.abs() >= lo && value.abs() <= hi
+}
+
+/// Applies Definition 3.1 to a whole sequence at once, returning the
+/// ε-rounded sequence. Used by tests and by the flip-number experiments.
+#[must_use]
+pub fn round_sequence(values: &[f64], epsilon: f64) -> Vec<f64> {
+    let mut rounder = EpsilonRounder::new(epsilon);
+    values.iter().map(|&v| rounder.round(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_power_basics() {
+        assert_eq!(round_to_power(0.0, 0.5), 0.0);
+        // Powers of 1.5 around 10: 1.5^5 = 7.59, 1.5^6 = 11.39; 10 is closer
+        // (multiplicatively) to 11.39? ratios: 10/7.59 = 1.317, 11.39/10 =
+        // 1.139 -> choose 11.39.
+        let r = round_to_power(10.0, 0.5);
+        assert!((r - 1.5f64.powi(6)).abs() < 1e-9, "got {r}");
+        // Negative values mirror positive ones.
+        assert_eq!(round_to_power(-10.0, 0.5), -r);
+    }
+
+    #[test]
+    fn rounding_is_a_multiplicative_approximation() {
+        for &x in &[0.001, 0.7, 1.0, 3.3, 1e6, 7.6e9] {
+            for &eps in &[0.01, 0.1, 0.5] {
+                let r = round_to_power(x, eps);
+                let ratio = if r > x { r / x } else { x / r };
+                assert!(
+                    ratio <= 1.0 + eps / 2.0 + 1e-9,
+                    "[{x}]_{eps} = {r} is not a (1+eps/2) approximation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_powers_round_to_themselves() {
+        let eps = 0.25;
+        let x = 1.25f64.powi(7);
+        assert!((round_to_power(x, eps) - x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounder_publishes_stable_outputs() {
+        let mut r = EpsilonRounder::new(0.2);
+        let first = r.round(100.0);
+        // Small drifts stay inside the window: output unchanged.
+        assert_eq!(r.round(105.0), first);
+        assert_eq!(r.round(95.0), first);
+        assert_eq!(r.changes(), 1);
+        // A big jump forces a change.
+        let second = r.round(200.0);
+        assert_ne!(second, first);
+        assert_eq!(r.changes(), 2);
+    }
+
+    #[test]
+    fn rounder_handles_zero_prefix() {
+        let mut r = EpsilonRounder::new(0.1);
+        assert_eq!(r.round(0.0), 0.0);
+        assert_eq!(r.round(0.0), 0.0);
+        assert_eq!(r.changes(), 1);
+        assert!(r.round(5.0) > 0.0);
+        assert_eq!(r.changes(), 2);
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(within_window(100.0, 100.0, 0.1));
+        assert!(within_window(109.9, 100.0, 0.1));
+        assert!(!within_window(111.0, 100.0, 0.1));
+        assert!(!within_window(-100.0, 100.0, 0.1));
+        assert!(within_window(0.0, 0.0, 0.1));
+        assert!(!within_window(1.0, 0.0, 0.1));
+    }
+
+    #[test]
+    fn monotone_sequence_changes_logarithmically_often() {
+        // Feeding 1..=n, the published value should change O(log n / eps)
+        // times (Lemma 3.3 / Proposition 3.4).
+        let eps = 0.2;
+        let values: Vec<f64> = (1..=100_000).map(|i| i as f64).collect();
+        let mut rounder = EpsilonRounder::new(eps);
+        for &v in &values {
+            rounder.round(v);
+        }
+        let bound = ((100_000f64).ln() / (1.0 + eps).ln()).ceil() as usize + 2;
+        assert!(
+            rounder.changes() <= bound,
+            "changes {} exceed bound {bound}",
+            rounder.changes()
+        );
+        // And every published value is a (1 ± eps) approximation.
+        let rounded = round_sequence(&values, eps);
+        for (v, r) in values.iter().zip(&rounded) {
+            assert!(
+                (r - v).abs() <= eps * v + 1e-9,
+                "published {r} is not within (1±{eps}) of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_sequence_matches_streaming_rounder() {
+        let values = [1.0, 1.05, 1.4, 2.0, 1.9, 10.0, 9.0, 100.0];
+        let batch = round_sequence(&values, 0.3);
+        let mut r = EpsilonRounder::new(0.3);
+        let streamed: Vec<f64> = values.iter().map(|&v| r.round(v)).collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_is_rejected() {
+        let _ = EpsilonRounder::new(0.0);
+    }
+}

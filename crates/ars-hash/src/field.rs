@@ -1,0 +1,165 @@
+//! Arithmetic modulo the Mersenne prime `p = 2^61 − 1`.
+//!
+//! Polynomial hash families need a prime field larger than the item domain;
+//! `2^61 − 1` admits a fast reduction (shift + add) and leaves headroom to
+//! multiply two residues inside a `u128` without overflow. This is the
+//! standard field used by production sketch libraries for k-wise independent
+//! hashing.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u128` modulo `2^61 − 1`.
+///
+/// Uses the identity `x ≡ (x mod 2^61) + (x >> 61) (mod 2^61 − 1)` twice,
+/// which suffices because the input of the second pass is below `2^63`.
+#[must_use]
+#[inline]
+pub fn reduce(x: u128) -> u64 {
+    const P: u128 = MERSENNE_P as u128;
+    let x = (x & P) + (x >> 61);
+    let x = (x & P) + (x >> 61);
+    let mut r = x as u64;
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Modular addition in the field.
+#[must_use]
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    let s = a + b;
+    if s >= MERSENNE_P {
+        s - MERSENNE_P
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction in the field.
+#[must_use]
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    if a >= b {
+        a - b
+    } else {
+        a + MERSENNE_P - b
+    }
+}
+
+/// Modular multiplication in the field.
+#[must_use]
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    reduce(u128::from(a) * u128::from(b))
+}
+
+/// Modular exponentiation `base^exp mod p` by square-and-multiply.
+#[must_use]
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    base %= MERSENNE_P;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`a^{p−2}`).
+///
+/// # Panics
+/// Panics if `a == 0`, which has no inverse.
+#[must_use]
+pub fn inv(a: u64) -> u64 {
+    assert!(a % MERSENNE_P != 0, "zero has no multiplicative inverse");
+    pow(a, MERSENNE_P - 2)
+}
+
+/// Evaluates the polynomial `c_0 + c_1 x + … + c_{d} x^{d}` at `x` by
+/// Horner's rule (all arithmetic in the field).
+#[must_use]
+#[inline]
+pub fn poly_eval(coefficients: &[u64], x: u64) -> u64 {
+    let x = x % MERSENNE_P;
+    let mut acc = 0u64;
+    for &c in coefficients.iter().rev() {
+        acc = add(mul(acc, x), c % MERSENNE_P);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_handles_boundary_values() {
+        assert_eq!(reduce(0), 0);
+        assert_eq!(reduce(u128::from(MERSENNE_P)), 0);
+        assert_eq!(reduce(u128::from(MERSENNE_P) + 1), 1);
+        assert_eq!(reduce(u128::from(MERSENNE_P) * 2), 0);
+        assert_eq!(reduce(u128::MAX % u128::from(MERSENNE_P)), (u128::MAX % u128::from(MERSENNE_P)) as u64);
+    }
+
+    #[test]
+    fn add_sub_are_inverses() {
+        let a = 123_456_789_012_345;
+        let b = MERSENNE_P - 5;
+        assert_eq!(sub(add(a, b), b), a);
+        assert_eq!(add(sub(a, b), b), a);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let pairs = [
+            (2u64, 3u64),
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (1u64 << 60, (1u64 << 60) + 12345),
+        ];
+        for (a, b) in pairs {
+            let expected = (u128::from(a % MERSENNE_P) * u128::from(b % MERSENNE_P)
+                % u128::from(MERSENNE_P)) as u64;
+            assert_eq!(mul(a % MERSENNE_P, b % MERSENNE_P), expected);
+        }
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let a = 987_654_321u64;
+        assert_eq!(pow(a, 0), 1);
+        assert_eq!(pow(a, 1), a);
+        assert_eq!(mul(a, inv(a)), 1);
+        // Fermat: a^{p-1} = 1.
+        assert_eq!(pow(a, MERSENNE_P - 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn polynomial_evaluation_matches_naive() {
+        // p(x) = 3 + 2x + x^2.
+        let coeffs = [3u64, 2, 1];
+        for x in [0u64, 1, 2, 10, MERSENNE_P - 1] {
+            let naive = add(add(3, mul(2, x % MERSENNE_P)), mul(x % MERSENNE_P, x % MERSENNE_P));
+            assert_eq!(poly_eval(&coeffs, x), naive);
+        }
+    }
+
+    #[test]
+    fn empty_polynomial_is_zero() {
+        assert_eq!(poly_eval(&[], 42), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Multiply-shift hashing (Dietzfelbinger et al.).
+//!
+//! `h(x) = (a·x + b) >> (64 − ℓ)` with odd random `a` is a 2-universal hash
+//! into `[0, 2^ℓ)` that costs one multiplication per evaluation. Sketches
+//! use it where only pairwise independence (or plain universality) is
+//! needed — e.g. CountMin bucket assignment — because it is several times
+//! faster than a polynomial evaluation over the Mersenne field.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-universal multiply-shift hash into `[0, 2^output_bits)`.
+#[derive(Debug, Clone)]
+pub struct MultiplyShiftHash {
+    multiplier: u64,
+    addend: u64,
+    output_bits: u32,
+}
+
+impl MultiplyShiftHash {
+    /// Draws a fresh hash with `output_bits ≤ 64` output bits.
+    ///
+    /// # Panics
+    /// Panics if `output_bits` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(output_bits: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::from_rng(output_bits, &mut rng)
+    }
+
+    /// Draws a fresh hash from an existing RNG.
+    #[must_use]
+    pub fn from_rng<R: Rng + ?Sized>(output_bits: u32, rng: &mut R) -> Self {
+        assert!(output_bits >= 1 && output_bits <= 64);
+        Self {
+            multiplier: rng.gen::<u64>() | 1,
+            addend: rng.gen::<u64>(),
+            output_bits,
+        }
+    }
+
+    /// Number of output bits ℓ.
+    #[must_use]
+    pub fn output_bits(&self) -> u32 {
+        self.output_bits
+    }
+
+    /// Hashes an item into `[0, 2^ℓ)`.
+    #[must_use]
+    #[inline]
+    pub fn hash(&self, item: u64) -> u64 {
+        let v = self
+            .multiplier
+            .wrapping_mul(item)
+            .wrapping_add(self.addend);
+        if self.output_bits == 64 {
+            v
+        } else {
+            v >> (64 - self.output_bits)
+        }
+    }
+
+    /// Hashes an item into `[0, buckets)` for an arbitrary (not necessarily
+    /// power-of-two) bucket count, using the high-bits trick to avoid a
+    /// modulo.
+    #[must_use]
+    #[inline]
+    pub fn bucket(&self, item: u64, buckets: u64) -> u64 {
+        debug_assert!(buckets > 0);
+        let h = self.hash(item);
+        if self.output_bits == 64 {
+            ((u128::from(h) * u128::from(buckets)) >> 64) as u64
+        } else {
+            h % buckets
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_fit_in_declared_bits() {
+        let h = MultiplyShiftHash::new(10, 3);
+        for i in 0..10_000u64 {
+            assert!(h.hash(i) < 1 << 10);
+        }
+    }
+
+    #[test]
+    fn full_width_hash_covers_range() {
+        let h = MultiplyShiftHash::new(64, 5);
+        let mut max = 0u64;
+        for i in 0..10_000u64 {
+            max = max.max(h.hash(i));
+        }
+        assert!(max > u64::MAX / 2, "64-bit hash should reach the top half");
+    }
+
+    #[test]
+    fn buckets_are_roughly_uniform() {
+        let h = MultiplyShiftHash::new(64, 17);
+        let buckets = 10u64;
+        let mut counts = vec![0u64; buckets as usize];
+        let n = 100_000u64;
+        for i in 0..n {
+            counts[h.bucket(i, buckets) as usize] += 1;
+        }
+        let expected = n as f64 / buckets as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.1 * expected,
+                "bucket {b} holds {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MultiplyShiftHash::new(32, 9);
+        let b = MultiplyShiftHash::new(32, 9);
+        for i in 0..1000u64 {
+            assert_eq!(a.hash(i), b.hash(i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_output_bits_panics() {
+        let _ = MultiplyShiftHash::new(0, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Pseudorandom functions and the random-oracle abstraction (Section 10).
+//!
+//! The cryptographically robust distinct-elements algorithm of Theorem 10.1
+//! feeds every stream item through a secret random permutation (or, against
+//! a computationally bounded adversary, a pseudorandom function) before
+//! passing it to an ordinary static sketch. The only property needed is
+//! that the adversary cannot predict the images of fresh items.
+//!
+//! Two backends implement the shared [`Prf`] trait:
+//!
+//! * [`ChaChaPrf`] — a keyed ChaCha20-based PRF (the "concrete function"
+//!   instantiation the paper allows against `n^c`-time adversaries). Its
+//!   state is a 256-bit key: `O(c log n)` bits as in Theorem 10.1.
+//! * [`RandomOracle`] — an idealized lazily-sampled random function, i.e.
+//!   the random-oracle model. Its memory grows with the number of distinct
+//!   queries, which is *not charged* in the random-oracle model; the
+//!   `state_bytes` accounting reports only the charged portion (zero) plus
+//!   the key material.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chacha::chacha20_prf_bytes;
+
+/// A keyed pseudorandom function `F_K : u64 → u64`.
+pub trait Prf {
+    /// Evaluates the function on an item.
+    fn evaluate(&mut self, item: u64) -> u64;
+
+    /// Number of bits of state charged to the streaming algorithm.
+    fn charged_state_bits(&self) -> usize;
+}
+
+/// ChaCha20-based PRF with a 256-bit key.
+#[derive(Debug, Clone)]
+pub struct ChaChaPrf {
+    key: [u8; 32],
+}
+
+impl ChaChaPrf {
+    /// Derives a PRF key from a seed (for reproducible experiments).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut key = [0u8; 32];
+        rng.fill(&mut key);
+        Self { key }
+    }
+
+    /// Constructs the PRF from an explicit 256-bit key.
+    #[must_use]
+    pub fn from_key(key: [u8; 32]) -> Self {
+        Self { key }
+    }
+}
+
+impl Prf for ChaChaPrf {
+    fn evaluate(&mut self, item: u64) -> u64 {
+        let bytes = chacha20_prf_bytes(&self.key, item, 8);
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes requested"))
+    }
+
+    fn charged_state_bits(&self) -> usize {
+        256
+    }
+}
+
+/// An idealized random oracle: a lazily-sampled uniformly random function.
+///
+/// In the random-oracle model of streaming the algorithm has free read
+/// access to a long random string, so the per-item images cached here are
+/// not charged to the algorithm's space; only the 64-bit seed is.
+#[derive(Debug, Clone)]
+pub struct RandomOracle {
+    rng: StdRng,
+    images: HashMap<u64, u64>,
+}
+
+impl RandomOracle {
+    /// Creates an oracle from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            images: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct points queried so far (test/diagnostic helper).
+    #[must_use]
+    pub fn queries(&self) -> usize {
+        self.images.len()
+    }
+}
+
+impl Prf for RandomOracle {
+    fn evaluate(&mut self, item: u64) -> u64 {
+        let rng = &mut self.rng;
+        *self.images.entry(item).or_insert_with(|| rng.gen())
+    }
+
+    fn charged_state_bits(&self) -> usize {
+        // Only the seed is charged in the random-oracle model.
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha_prf_is_a_function() {
+        let mut f = ChaChaPrf::new(3);
+        let a = f.evaluate(10);
+        let b = f.evaluate(10);
+        assert_eq!(a, b, "same input must map to the same output");
+        assert_ne!(f.evaluate(11), a, "distinct inputs should (whp) differ");
+    }
+
+    #[test]
+    fn chacha_prf_is_key_sensitive() {
+        let mut f = ChaChaPrf::new(1);
+        let mut g = ChaChaPrf::new(2);
+        let disagreements = (0..64u64).filter(|&i| f.evaluate(i) != g.evaluate(i)).count();
+        assert!(disagreements > 60);
+    }
+
+    #[test]
+    fn chacha_prf_outputs_look_uniform() {
+        let mut f = ChaChaPrf::new(9);
+        let n = 20_000u64;
+        let mut top_half = 0u64;
+        for i in 0..n {
+            if f.evaluate(i) >= u64::MAX / 2 {
+                top_half += 1;
+            }
+        }
+        let frac = top_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "top-half fraction {frac}");
+    }
+
+    #[test]
+    fn random_oracle_is_consistent_and_lazy() {
+        let mut o = RandomOracle::new(5);
+        assert_eq!(o.queries(), 0);
+        let a = o.evaluate(100);
+        let b = o.evaluate(100);
+        assert_eq!(a, b);
+        assert_eq!(o.queries(), 1);
+        let _ = o.evaluate(200);
+        assert_eq!(o.queries(), 2);
+    }
+
+    #[test]
+    fn charged_state_is_small_for_both_backends() {
+        let f = ChaChaPrf::new(0);
+        assert_eq!(f.charged_state_bits(), 256);
+        let mut o = RandomOracle::new(0);
+        for i in 0..1000 {
+            let _ = o.evaluate(i);
+        }
+        assert_eq!(
+            o.charged_state_bits(),
+            64,
+            "random-oracle queries are not charged"
+        );
+    }
+
+    #[test]
+    fn oracle_collisions_are_rare() {
+        let mut o = RandomOracle::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50_000u64 {
+            seen.insert(o.evaluate(i));
+        }
+        assert_eq!(seen.len(), 50_000, "64-bit images should not collide here");
+    }
+}

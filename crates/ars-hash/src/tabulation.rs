@@ -1,0 +1,139 @@
+//! Simple tabulation hashing.
+//!
+//! Splits a 64-bit key into 8 bytes and XORs together 8 random lookup
+//! tables of 256 entries each. Simple tabulation is 3-wise independent and
+//! enjoys Chernoff-style concentration for many natural estimators, making
+//! it a strong practical default where a fully random function would
+//! otherwise be assumed. The fast `F_0` example uses it as an alternative
+//! backend to polynomial hashing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BYTES: usize = 8;
+const TABLE_SIZE: usize = 256;
+
+/// A simple tabulation hash `u64 → u64`.
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Vec<[u64; TABLE_SIZE]>,
+}
+
+impl TabulationHash {
+    /// Draws fresh random tables from the seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::from_rng(&mut rng)
+    }
+
+    /// Draws fresh random tables from an existing RNG.
+    #[must_use]
+    pub fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut tables = Vec::with_capacity(BYTES);
+        for _ in 0..BYTES {
+            let mut table = [0u64; TABLE_SIZE];
+            for entry in &mut table {
+                *entry = rng.gen();
+            }
+            tables.push(table);
+        }
+        Self { tables }
+    }
+
+    /// Hashes a 64-bit key.
+    #[must_use]
+    #[inline]
+    pub fn hash(&self, item: u64) -> u64 {
+        let mut acc = 0u64;
+        for (byte_index, table) in self.tables.iter().enumerate() {
+            let byte = ((item >> (8 * byte_index)) & 0xFF) as usize;
+            acc ^= table[byte];
+        }
+        acc
+    }
+
+    /// Hashes into `[0, buckets)`.
+    #[must_use]
+    #[inline]
+    pub fn bucket(&self, item: u64, buckets: u64) -> u64 {
+        debug_assert!(buckets > 0);
+        ((u128::from(self.hash(item)) * u128::from(buckets)) >> 64) as u64
+    }
+
+    /// Hashes to the unit interval `[0, 1)`.
+    #[must_use]
+    #[inline]
+    pub fn to_unit(&self, item: u64) -> f64 {
+        // Use the top 53 bits for a uniform double.
+        (self.hash(item) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The size in bytes of the table state (used by space accounting).
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        BYTES * TABLE_SIZE * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = TabulationHash::new(1);
+        let b = TabulationHash::new(1);
+        let c = TabulationHash::new(2);
+        for i in 0..100u64 {
+            assert_eq!(a.hash(i), b.hash(i));
+        }
+        assert!((0..100u64).any(|i| a.hash(i) != c.hash(i)));
+    }
+
+    #[test]
+    fn no_collisions_on_small_sets() {
+        let h = TabulationHash::new(7);
+        let mut seen = HashSet::new();
+        for i in 0..20_000u64 {
+            seen.insert(h.hash(i));
+        }
+        assert_eq!(seen.len(), 20_000);
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let h = TabulationHash::new(3);
+        let buckets = 8u64;
+        let mut counts = vec![0u64; buckets as usize];
+        let n = 80_000u64;
+        for i in 0..n {
+            counts[h.bucket(i, buckets) as usize] += 1;
+        }
+        let expected = n as f64 / buckets as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < 0.1 * expected);
+        }
+    }
+
+    #[test]
+    fn unit_values_cover_the_interval() {
+        let h = TabulationHash::new(5);
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for i in 0..10_000u64 {
+            let u = h.to_unit(i);
+            assert!((0.0..1.0).contains(&u));
+            min = min.min(u);
+            max = max.max(u);
+        }
+        assert!(min < 0.01 && max > 0.99);
+    }
+
+    #[test]
+    fn state_size_is_reported() {
+        let h = TabulationHash::new(0);
+        assert_eq!(h.state_bytes(), 8 * 256 * 8);
+    }
+}

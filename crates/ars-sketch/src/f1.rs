@@ -1,0 +1,106 @@
+//! Exact `F₁` estimation for insertion-only streams.
+//!
+//! Footnote 3 of the paper notes that `F₁ = Σ_t Δ_t` admits a trivial
+//! `O(log n)`-bit deterministic (hence adversarially robust) algorithm in
+//! the insertion-only model: keep a counter. This module provides that
+//! counter both as a baseline row for Table 1 and as the exact `‖f‖₁`
+//! ingredient of the entropy estimators (Section 7), which need
+//! `log ‖f‖₁` exactly or to high precision.
+
+use ars_stream::Update;
+
+use crate::{Estimator, EstimatorFactory};
+
+/// Configuration for [`F1Counter`] (no parameters; present for symmetry
+/// with the other sketches so generic code can treat all factories alike).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F1Config;
+
+/// An exact `F₁` counter.
+#[derive(Debug, Clone, Default)]
+pub struct F1Counter {
+    total: i128,
+}
+
+impl F1Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Estimator for F1Counter {
+    fn update(&mut self, update: Update) {
+        self.total += i128::from(update.delta);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.total as f64
+    }
+
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<i128>()
+    }
+}
+
+/// Factory for [`F1Counter`] instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F1Factory;
+
+impl EstimatorFactory for F1Factory {
+    type Output = F1Counter;
+
+    fn build(&self, _seed: u64) -> F1Counter {
+        F1Counter::new()
+    }
+
+    fn name(&self) -> String {
+        "f1-counter".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_insertions_exactly() {
+        let mut c = F1Counter::new();
+        for i in 0..1000u64 {
+            c.insert(i % 10);
+        }
+        assert_eq!(c.estimate(), 1000.0);
+    }
+
+    #[test]
+    fn handles_weighted_and_negative_updates() {
+        let mut c = F1Counter::new();
+        c.update(Update::new(1, 500));
+        c.update(Update::new(2, -200));
+        assert_eq!(c.estimate(), 300.0);
+    }
+
+    #[test]
+    fn space_is_constant() {
+        let mut c = F1Counter::new();
+        let before = c.space_bytes();
+        for i in 0..10_000u64 {
+            c.insert(i);
+        }
+        assert_eq!(c.space_bytes(), before);
+    }
+
+    #[test]
+    fn factory_is_deterministic_regardless_of_seed() {
+        let f = F1Factory;
+        let mut a = f.build(1);
+        let mut b = f.build(999);
+        for i in 0..100u64 {
+            a.insert(i);
+            b.insert(i);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(f.name(), "f1-counter");
+    }
+}

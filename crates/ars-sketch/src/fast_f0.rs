@@ -1,0 +1,280 @@
+//! The fast level-list distinct-elements sketch (Algorithm 2, Lemma 5.2).
+//!
+//! The paper's fast static `F₀` algorithm assigns every item to a geometric
+//! level `j` (level `j` with probability `2^{−(j+1)}`) via a `d`-wise
+//! independent hash, stores the distinct item identities per level in a
+//! list capped at `B = Θ(ε^{-2}(log log n + log δ^{-1}))` entries, deletes
+//! ("saturates") any list that overflows, and estimates `F₀` from the
+//! shallowest still-active list: if level `j` holds `|L_j|` identities then
+//! `F₀ ≈ |L_j| · 2^{j+1}`.
+//!
+//! Its distinguishing feature — the reason Theorem 5.4 pairs it with the
+//! computation-paths reduction rather than sketch switching — is that the
+//! update-time dependence on the failure probability δ is tiny (only the
+//! hash independence grows with `log δ^{-1}`), so setting
+//! `δ = n^{-Θ(ε^{-1} log n)}` for the union bound over computation paths
+//! keeps updates fast.
+//!
+//! Like every `F₀` structure in this crate, re-inserting an already stored
+//! item never changes the state, which Section 10's cryptographic
+//! transformation relies on.
+
+use std::collections::HashSet;
+
+use ars_hash::KWiseHash;
+use ars_stream::Update;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Estimator, EstimatorFactory};
+
+const LEVELS: usize = 61;
+
+/// Configuration for [`FastF0Sketch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastF0Config {
+    /// Per-level list capacity `B = Θ(ε^{-2}(log log n + log δ^{-1}))`.
+    pub list_capacity: usize,
+    /// Independence `d = Θ(log log n + log δ^{-1})` of the level hash.
+    pub hash_independence: usize,
+    /// Number of distinct items stored exactly before switching to the
+    /// randomized estimate (the paper stores the first `O(d/ε)` items
+    /// exactly to absorb the batched-hashing reporting delay).
+    pub exact_threshold: usize,
+}
+
+impl FastF0Config {
+    /// Sizes the sketch for accuracy ε and failure probability δ over a
+    /// domain of size `n`.
+    #[must_use]
+    pub fn for_accuracy(epsilon: f64, delta: f64, domain: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let loglog_n = (domain.max(4) as f64).ln().ln().max(1.0);
+        let log_delta = (1.0 / delta).ln().max(1.0);
+        let b = ((8.0 / (epsilon * epsilon)) * (loglog_n + log_delta).max(1.0)).ceil() as usize;
+        let d = ((loglog_n + log_delta).ceil() as usize).max(4);
+        Self {
+            list_capacity: b.max(32),
+            hash_independence: d,
+            exact_threshold: ((d as f64 / epsilon).ceil() as usize).max(64),
+        }
+    }
+}
+
+/// State of one level list.
+#[derive(Debug, Clone)]
+enum Level {
+    /// Still collecting identities.
+    Active(HashSet<u64>),
+    /// Overflowed and permanently deleted.
+    Saturated,
+}
+
+/// The level-list `F₀` sketch of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct FastF0Sketch {
+    config: FastF0Config,
+    hash: KWiseHash,
+    levels: Vec<Level>,
+    /// Exact storage for the beginning of the stream.
+    exact: Option<HashSet<u64>>,
+}
+
+impl FastF0Sketch {
+    /// Builds the sketch with randomness derived from `seed`.
+    #[must_use]
+    pub fn new(config: FastF0Config, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            hash: KWiseHash::from_rng(config.hash_independence.max(2), &mut rng),
+            levels: (0..LEVELS).map(|_| Level::Active(HashSet::new())).collect(),
+            exact: Some(HashSet::new()),
+            config,
+        }
+    }
+
+    /// The level an item is assigned to (geometric with ratio 1/2).
+    #[must_use]
+    pub fn level_of(&self, item: u64) -> u32 {
+        self.hash.level(item)
+    }
+
+    /// Estimate from the shallowest active level, as in Algorithm 2.
+    fn randomized_estimate(&self) -> f64 {
+        for (j, level) in self.levels.iter().enumerate() {
+            if let Level::Active(set) = level {
+                // Level j captures items with probability 2^{-(j+1)}.
+                return set.len() as f64 * 2f64.powi(j as i32 + 1);
+            }
+        }
+        // All levels saturated (astronomically unlikely with sane configs):
+        // return the largest representable estimate from the deepest level.
+        self.config.list_capacity as f64 * 2f64.powi(LEVELS as i32)
+    }
+}
+
+impl Estimator for FastF0Sketch {
+    fn update(&mut self, update: Update) {
+        if update.delta <= 0 {
+            return; // insertion-only structure
+        }
+        let item = update.item;
+        if let Some(exact) = &mut self.exact {
+            exact.insert(item);
+            if exact.len() <= self.config.exact_threshold {
+                // While in exact mode we still feed the level lists so the
+                // hand-off is seamless.
+            } else {
+                self.exact = None;
+            }
+        }
+        let j = self.hash.level(item) as usize;
+        if let Level::Active(set) = &mut self.levels[j] {
+            set.insert(item);
+            if set.len() > self.config.list_capacity {
+                self.levels[j] = Level::Saturated;
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        if let Some(exact) = &self.exact {
+            return exact.len() as f64;
+        }
+        self.randomized_estimate()
+    }
+
+    fn space_bytes(&self) -> usize {
+        let lists: usize = self
+            .levels
+            .iter()
+            .map(|l| match l {
+                Level::Active(set) => set.len() * 8,
+                Level::Saturated => 1,
+            })
+            .sum();
+        let exact = self.exact.as_ref().map_or(0, |e| e.len() * 8);
+        let hash = self.config.hash_independence * 8;
+        lists + exact + hash
+    }
+}
+
+/// Factory for [`FastF0Sketch`] instances.
+#[derive(Debug, Clone, Copy)]
+pub struct FastF0Factory {
+    /// Configuration shared by every built instance.
+    pub config: FastF0Config,
+}
+
+impl EstimatorFactory for FastF0Factory {
+    type Output = FastF0Sketch;
+
+    fn build(&self, seed: u64) -> FastF0Sketch {
+        FastF0Sketch::new(self.config, seed)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "fast-f0(B={}, d={})",
+            self.config.list_capacity, self.config.hash_independence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::generator::{Generator, UniformGenerator};
+    use ars_stream::FrequencyVector;
+
+    #[test]
+    fn exact_mode_for_small_cardinalities() {
+        let mut sketch = FastF0Sketch::new(FastF0Config::for_accuracy(0.1, 0.01, 1 << 20), 1);
+        for i in 0..50u64 {
+            sketch.insert(i);
+            sketch.insert(i);
+        }
+        assert_eq!(sketch.estimate(), 50.0);
+    }
+
+    #[test]
+    fn estimates_large_cardinalities_within_epsilon() {
+        let mut sketch = FastF0Sketch::new(FastF0Config::for_accuracy(0.05, 0.01, 1 << 20), 3);
+        let n = 200_000u64;
+        for i in 0..n {
+            sketch.insert(i);
+        }
+        let est = sketch.estimate();
+        assert!(
+            (est - n as f64).abs() <= 0.15 * n as f64,
+            "estimate {est} for {n} distinct"
+        );
+    }
+
+    #[test]
+    fn tracks_growth_on_random_streams() {
+        let updates = UniformGenerator::new(100_000, 9).take_updates(150_000);
+        let mut truth = FrequencyVector::new();
+        let mut sketch = FastF0Sketch::new(FastF0Config::for_accuracy(0.05, 0.01, 1 << 20), 11);
+        let mut max_err: f64 = 0.0;
+        for &u in &updates {
+            truth.apply(u);
+            sketch.update(u);
+            let t = truth.f0() as f64;
+            if t > 5_000.0 {
+                max_err = max_err.max(((sketch.estimate() - t) / t).abs());
+            }
+        }
+        assert!(max_err < 0.2, "worst tracking error {max_err}");
+    }
+
+    #[test]
+    fn duplicates_never_change_the_state() {
+        let mut sketch = FastF0Sketch::new(FastF0Config::for_accuracy(0.1, 0.1, 1 << 16), 13);
+        for i in 0..5_000u64 {
+            sketch.insert(i);
+        }
+        let estimate_before = sketch.estimate();
+        let space_before = sketch.space_bytes();
+        for i in 0..5_000u64 {
+            sketch.insert(i);
+        }
+        assert_eq!(sketch.estimate(), estimate_before);
+        assert_eq!(sketch.space_bytes(), space_before);
+    }
+
+    #[test]
+    fn levels_saturate_rather_than_grow_without_bound() {
+        let config = FastF0Config {
+            list_capacity: 64,
+            hash_independence: 4,
+            exact_threshold: 16,
+        };
+        let mut sketch = FastF0Sketch::new(config, 17);
+        for i in 0..100_000u64 {
+            sketch.insert(i);
+        }
+        // Level 0 holds about half of all items and must have saturated.
+        assert!(matches!(sketch.levels[0], Level::Saturated));
+        // Space stays bounded by roughly LEVELS * capacity words.
+        assert!(sketch.space_bytes() < 61 * 64 * 8 + 1024);
+    }
+
+    #[test]
+    fn deletions_are_ignored() {
+        let mut sketch = FastF0Sketch::new(FastF0Config::for_accuracy(0.1, 0.1, 1 << 16), 19);
+        sketch.insert(7);
+        sketch.update(Update::delete(7));
+        assert_eq!(sketch.estimate(), 1.0);
+    }
+
+    #[test]
+    fn factory_name_mentions_parameters() {
+        let factory = FastF0Factory {
+            config: FastF0Config::for_accuracy(0.2, 0.1, 1024),
+        };
+        assert!(factory.name().contains("fast-f0"));
+        let _ = factory.build(0);
+    }
+}

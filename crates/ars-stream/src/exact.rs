@@ -1,0 +1,257 @@
+//! Exact reference oracles used to score streaming estimators.
+//!
+//! The robust algorithms in `ars-core` promise a `(1 ± ε)` *tracking*
+//! guarantee: the estimate must be correct at **every** point `t ∈ [m]` of
+//! the stream (Definition 2.1, strong tracking). To verify that empirically
+//! we need the exact value of the tracked function at every step, which is
+//! what [`ExactOracle`] and [`TrackingOracle`] provide.
+
+use crate::frequency::FrequencyVector;
+use crate::update::{Item, Update};
+
+/// The query an oracle (and the estimators under test) answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Number of distinct elements `F_0`.
+    F0,
+    /// Frequency moment `F_p = Σ |f_i|^p`.
+    Fp(
+        /// Moment order `p > 0`.
+        f64,
+    ),
+    /// `L_p` norm `‖f‖_p`.
+    Lp(
+        /// Norm order `p > 0`.
+        f64,
+    ),
+    /// Empirical Shannon entropy (bits).
+    ShannonEntropy,
+    /// Point query: the frequency of one item.
+    PointQuery(
+        /// The queried item.
+        Item,
+    ),
+}
+
+/// An exactly-maintained oracle answering [`Query`] values over the stream
+/// prefix seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct ExactOracle {
+    frequency: FrequencyVector,
+}
+
+impl ExactOracle {
+    /// Creates an empty oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one update.
+    pub fn update(&mut self, update: Update) {
+        self.frequency.apply(update);
+    }
+
+    /// Feeds a slice of updates.
+    pub fn update_all(&mut self, updates: &[Update]) {
+        self.frequency.apply_all(updates);
+    }
+
+    /// Access to the exact frequency vector.
+    #[must_use]
+    pub fn frequency(&self) -> &FrequencyVector {
+        &self.frequency
+    }
+
+    /// Answers a query exactly on the current prefix.
+    #[must_use]
+    pub fn answer(&self, query: Query) -> f64 {
+        match query {
+            Query::F0 => self.frequency.f0() as f64,
+            Query::Fp(p) => self.frequency.fp(p),
+            Query::Lp(p) => self.frequency.lp(p),
+            Query::ShannonEntropy => self.frequency.shannon_entropy(),
+            Query::PointQuery(item) => self.frequency.get(item) as f64,
+        }
+    }
+}
+
+/// Records the exact answer to a query after every update, producing the
+/// ground-truth sequence `g(f^{(1)}), …, g(f^{(m)})` used for error scoring
+/// and for empirical flip-number measurement.
+#[derive(Debug, Clone)]
+pub struct TrackingOracle {
+    oracle: ExactOracle,
+    query: Query,
+    history: Vec<f64>,
+}
+
+impl TrackingOracle {
+    /// Creates a tracking oracle for the given query.
+    #[must_use]
+    pub fn new(query: Query) -> Self {
+        Self {
+            oracle: ExactOracle::new(),
+            query,
+            history: Vec::new(),
+        }
+    }
+
+    /// Feeds one update and records the exact answer after it.
+    pub fn update(&mut self, update: Update) -> f64 {
+        self.oracle.update(update);
+        let value = self.oracle.answer(self.query);
+        self.history.push(value);
+        value
+    }
+
+    /// Feeds a slice of updates.
+    pub fn update_all(&mut self, updates: &[Update]) {
+        for &u in updates {
+            self.update(u);
+        }
+    }
+
+    /// The exact answer after the most recent update (`0` before any).
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.history.last().copied().unwrap_or(0.0)
+    }
+
+    /// The full ground-truth sequence, one entry per update.
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The underlying exact oracle.
+    #[must_use]
+    pub fn oracle(&self) -> &ExactOracle {
+        &self.oracle
+    }
+
+    /// Scores an estimate sequence against the recorded ground truth:
+    /// returns the maximum relative error `max_t |R_t − g_t| / |g_t|`
+    /// over steps where the ground truth is non-zero.
+    ///
+    /// # Panics
+    /// Panics if the estimate sequence length differs from the history.
+    #[must_use]
+    pub fn max_relative_error(&self, estimates: &[f64]) -> f64 {
+        assert_eq!(
+            estimates.len(),
+            self.history.len(),
+            "one estimate per update is required"
+        );
+        self.history
+            .iter()
+            .zip(estimates)
+            .filter(|(&g, _)| g != 0.0)
+            .map(|(&g, &r)| ((r - g) / g).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scores an estimate sequence by maximum *additive* error
+    /// `max_t |R_t − g_t|` (used for entropy, which the paper approximates
+    /// additively).
+    #[must_use]
+    pub fn max_additive_error(&self, estimates: &[f64]) -> f64 {
+        assert_eq!(estimates.len(), self.history.len());
+        self.history
+            .iter()
+            .zip(estimates)
+            .map(|(&g, &r)| (r - g).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of steps where the estimate is within `(1 ± epsilon)` of the
+    /// ground truth (steps with zero ground truth count as correct iff the
+    /// estimate is within `epsilon` absolutely).
+    #[must_use]
+    pub fn tracking_success_rate(&self, estimates: &[f64], epsilon: f64) -> f64 {
+        assert_eq!(estimates.len(), self.history.len());
+        if self.history.is_empty() {
+            return 1.0;
+        }
+        let good = self
+            .history
+            .iter()
+            .zip(estimates)
+            .filter(|(&g, &r)| {
+                if g == 0.0 {
+                    r.abs() <= epsilon
+                } else {
+                    (r - g).abs() <= epsilon * g.abs()
+                }
+            })
+            .count();
+        good as f64 / self.history.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_oracle_answers_all_queries() {
+        let mut o = ExactOracle::new();
+        o.update_all(&[
+            Update::insert(1),
+            Update::insert(1),
+            Update::insert(2),
+            Update::insert(3),
+        ]);
+        assert_eq!(o.answer(Query::F0), 3.0);
+        assert_eq!(o.answer(Query::Fp(2.0)), 4.0 + 1.0 + 1.0);
+        assert!((o.answer(Query::Lp(2.0)) - 6.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(o.answer(Query::PointQuery(1)), 2.0);
+        assert_eq!(o.answer(Query::PointQuery(99)), 0.0);
+        assert!(o.answer(Query::ShannonEntropy) > 0.0);
+    }
+
+    #[test]
+    fn tracking_oracle_records_history() {
+        let mut t = TrackingOracle::new(Query::F0);
+        t.update(Update::insert(1));
+        t.update(Update::insert(1));
+        t.update(Update::insert(2));
+        assert_eq!(t.history(), &[1.0, 1.0, 2.0]);
+        assert_eq!(t.current(), 2.0);
+    }
+
+    #[test]
+    fn relative_error_scoring() {
+        let mut t = TrackingOracle::new(Query::F0);
+        t.update_all(&[Update::insert(1), Update::insert(2)]);
+        // truth = [1, 2]; estimates = [1.1, 1.8] -> errors 0.1 and 0.1.
+        let err = t.max_relative_error(&[1.1, 1.8]);
+        assert!((err - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn additive_error_scoring() {
+        let mut t = TrackingOracle::new(Query::ShannonEntropy);
+        t.update_all(&[Update::insert(1), Update::insert(2)]);
+        let truth = t.history().to_vec();
+        let shifted: Vec<f64> = truth.iter().map(|v| v + 0.25).collect();
+        assert!((t.max_additive_error(&shifted) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracking_success_rate_counts_good_steps() {
+        let mut t = TrackingOracle::new(Query::F0);
+        t.update_all(&[Update::insert(1), Update::insert(2), Update::insert(3)]);
+        // truth = [1,2,3]; second estimate is off by more than 10%.
+        let rate = t.tracking_success_rate(&[1.0, 3.0, 3.1], 0.1);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one estimate per update")]
+    fn mismatched_lengths_panic() {
+        let mut t = TrackingOracle::new(Query::F0);
+        t.update(Update::insert(1));
+        let _ = t.max_relative_error(&[]);
+    }
+}

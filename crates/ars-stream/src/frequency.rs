@@ -1,0 +1,374 @@
+//! The frequency vector `f ∈ ℝ^n` of a stream and its exact statistics.
+//!
+//! The frequency vector is the central object every streaming query is
+//! defined over: `f_i = Σ_{t : a_t = i} Δ_t`. This module stores it sparsely
+//! and exposes *exact* computations of the quantities the paper's
+//! algorithms approximate — `F_p` moments, `F_0`, the empirical Shannon and
+//! Rényi entropies, `L_p` norms and heavy hitters — so tests and benchmarks
+//! can score approximation error against ground truth.
+
+use std::collections::HashMap;
+
+use crate::update::{Delta, Item, Update};
+
+/// A sparse, exactly-maintained frequency vector.
+///
+/// Zero entries are pruned eagerly so that `support_size` (= `F_0`) is just
+/// the map's length. All statistics are computed exactly in one pass over
+/// the support; this is the ground-truth oracle, not a sketch, so the cost
+/// is linear in the number of distinct items, which is fine for the
+/// laptop-scale synthetic workloads used throughout the repository.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrequencyVector {
+    counts: HashMap<Item, Delta>,
+    /// Total number of updates applied (stream length consumed so far).
+    updates_applied: u64,
+    /// Sum of all deltas, i.e. `F_1` for insertion-only streams.
+    total_delta: i128,
+    /// Sum of |delta| over all updates (the absolute-value stream mass).
+    total_magnitude: u128,
+}
+
+impl FrequencyVector {
+    /// Creates an empty frequency vector (the all-zeros vector `f^{(0)}`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty frequency vector with capacity for `n` distinct items.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            counts: HashMap::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Applies a single update `(a_t, Δ_t)`.
+    pub fn apply(&mut self, update: Update) {
+        self.updates_applied += 1;
+        self.total_delta += i128::from(update.delta);
+        self.total_magnitude += u128::from(update.magnitude());
+        if update.delta == 0 {
+            return;
+        }
+        let entry = self.counts.entry(update.item).or_insert(0);
+        *entry += update.delta;
+        if *entry == 0 {
+            self.counts.remove(&update.item);
+        }
+    }
+
+    /// Applies every update in a slice, in order.
+    pub fn apply_all(&mut self, updates: &[Update]) {
+        for &u in updates {
+            self.apply(u);
+        }
+    }
+
+    /// The current frequency `f_i` of an item (zero if absent).
+    #[must_use]
+    pub fn get(&self, item: Item) -> Delta {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Number of updates applied so far (the current stream position `t`).
+    #[must_use]
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Iterates over the non-zero coordinates `(i, f_i)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, Delta)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// The support `{i : f_i ≠ 0}` as a vector of items.
+    #[must_use]
+    pub fn support(&self) -> Vec<Item> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// `F_0`: the number of distinct elements `|{i : f_i ≠ 0}|`.
+    #[must_use]
+    pub fn f0(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// `F_1` for insertion-only streams: the sum of all deltas. May be
+    /// negative for adversarial turnstile streams; callers that need the
+    /// norm should use [`FrequencyVector::l1`].
+    #[must_use]
+    pub fn total(&self) -> i128 {
+        self.total_delta
+    }
+
+    /// The total inserted magnitude `Σ_t |Δ_t|` — the `F_1` of the
+    /// absolute-value stream `h` used by the bounded-deletion model.
+    #[must_use]
+    pub fn total_magnitude(&self) -> u128 {
+        self.total_magnitude
+    }
+
+    /// `L_1` norm `Σ_i |f_i|`.
+    #[must_use]
+    pub fn l1(&self) -> f64 {
+        self.counts.values().map(|&c| c.unsigned_abs() as f64).sum()
+    }
+
+    /// `L_2` norm `(Σ_i f_i²)^{1/2}`.
+    #[must_use]
+    pub fn l2(&self) -> f64 {
+        self.f2().sqrt()
+    }
+
+    /// `F_2 = Σ_i f_i²`.
+    #[must_use]
+    pub fn f2(&self) -> f64 {
+        self.counts
+            .values()
+            .map(|&c| {
+                let c = c as f64;
+                c * c
+            })
+            .sum()
+    }
+
+    /// `L_∞` norm `max_i |f_i|`.
+    #[must_use]
+    pub fn l_infinity(&self) -> u64 {
+        self.counts
+            .values()
+            .map(|&c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The `p`-th frequency moment `F_p = Σ_i |f_i|^p` (with `0^0 = 0`).
+    ///
+    /// For `p = 0` this returns [`FrequencyVector::f0`] as a float, matching
+    /// the paper's convention.
+    #[must_use]
+    pub fn fp(&self, p: f64) -> f64 {
+        assert!(p >= 0.0, "moment order p must be non-negative");
+        if p == 0.0 {
+            return self.f0() as f64;
+        }
+        self.counts
+            .values()
+            .map(|&c| (c.unsigned_abs() as f64).powf(p))
+            .sum()
+    }
+
+    /// The `L_p` norm `‖f‖_p = F_p^{1/p}` for `p > 0`.
+    #[must_use]
+    pub fn lp(&self, p: f64) -> f64 {
+        assert!(p > 0.0, "norm order p must be positive");
+        self.fp(p).powf(1.0 / p)
+    }
+
+    /// The empirical Shannon entropy
+    /// `H(f) = −Σ_i (|f_i|/‖f‖_1) log₂(|f_i|/‖f‖_1)` in bits.
+    ///
+    /// Returns `0` for the all-zeros vector.
+    #[must_use]
+    pub fn shannon_entropy(&self) -> f64 {
+        let l1 = self.l1();
+        if l1 == 0.0 {
+            return 0.0;
+        }
+        self.counts
+            .values()
+            .map(|&c| {
+                let p = c.unsigned_abs() as f64 / l1;
+                if p > 0.0 {
+                    -p * p.log2()
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// The α-Rényi entropy `H_α(f) = log₂(‖f‖_α^α / ‖f‖_1^α) / (1 − α)`
+    /// for `α ≠ 1`, in bits.
+    ///
+    /// As `α → 1` this converges to the Shannon entropy (Proposition 7.1 of
+    /// the paper quantifies the rate); callers use values of `α` slightly
+    /// above 1 to approximate `H` additively.
+    #[must_use]
+    pub fn renyi_entropy(&self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && (alpha - 1.0).abs() > f64::EPSILON);
+        let l1 = self.l1();
+        if l1 == 0.0 {
+            return 0.0;
+        }
+        let f_alpha = self.fp(alpha);
+        (f_alpha.log2() - alpha * l1.log2()) / (1.0 - alpha)
+    }
+
+    /// All items with `|f_i| ≥ threshold`.
+    #[must_use]
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<Item> {
+        let mut out: Vec<Item> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c.unsigned_abs() as f64 >= threshold)
+            .map(|(&i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All items with `|f_i| ≥ ε · ‖f‖_2` — the `L_2` heavy hitters of
+    /// Definition 6.1.
+    #[must_use]
+    pub fn l2_heavy_hitters(&self, epsilon: f64) -> Vec<Item> {
+        self.heavy_hitters(epsilon * self.l2())
+    }
+
+    /// All items with `|f_i| ≥ ε · ‖f‖_1` — `L_1` heavy hitters.
+    #[must_use]
+    pub fn l1_heavy_hitters(&self, epsilon: f64) -> Vec<Item> {
+        self.heavy_hitters(epsilon * self.l1())
+    }
+
+    /// Returns the dense representation over the domain `[0, n)`.
+    ///
+    /// Intended for tests and small domains; panics if any item is ≥ `n`.
+    #[must_use]
+    pub fn to_dense(&self, n: usize) -> Vec<Delta> {
+        let mut out = vec![0; n];
+        for (&i, &c) in &self.counts {
+            let idx = usize::try_from(i).expect("item does not fit in usize");
+            assert!(idx < n, "item {i} outside domain of size {n}");
+            out[idx] = c;
+        }
+        out
+    }
+}
+
+impl FromIterator<Update> for FrequencyVector {
+    fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
+        let mut f = Self::new();
+        for u in iter {
+            f.apply(u);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector_from(updates: &[(Item, Delta)]) -> FrequencyVector {
+        updates.iter().map(|&(i, d)| Update::new(i, d)).collect()
+    }
+
+    #[test]
+    fn empty_vector_statistics() {
+        let f = FrequencyVector::new();
+        assert_eq!(f.f0(), 0);
+        assert_eq!(f.l1(), 0.0);
+        assert_eq!(f.f2(), 0.0);
+        assert_eq!(f.l_infinity(), 0);
+        assert_eq!(f.shannon_entropy(), 0.0);
+        assert!(f.heavy_hitters(1.0).is_empty());
+    }
+
+    #[test]
+    fn apply_accumulates_and_prunes_zeros() {
+        let mut f = FrequencyVector::new();
+        f.apply(Update::insert(5));
+        f.apply(Update::insert(5));
+        f.apply(Update::delete(5));
+        assert_eq!(f.get(5), 1);
+        assert_eq!(f.f0(), 1);
+        f.apply(Update::delete(5));
+        assert_eq!(f.get(5), 0);
+        assert_eq!(f.f0(), 0, "exactly-cancelled items leave the support");
+        assert_eq!(f.updates_applied(), 4);
+    }
+
+    #[test]
+    fn moments_match_hand_computation() {
+        // f = (3, 4) over items {1, 2}.
+        let f = vector_from(&[(1, 3), (2, 4)]);
+        assert_eq!(f.f0(), 2);
+        assert_eq!(f.l1(), 7.0);
+        assert_eq!(f.f2(), 25.0);
+        assert_eq!(f.l2(), 5.0);
+        assert_eq!(f.l_infinity(), 4);
+        assert!((f.fp(3.0) - (27.0 + 64.0)).abs() < 1e-9);
+        assert!((f.lp(1.0) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_zero_equals_f0() {
+        let f = vector_from(&[(1, 3), (2, -4), (9, 1)]);
+        assert_eq!(f.fp(0.0), 3.0);
+    }
+
+    #[test]
+    fn shannon_entropy_of_uniform_distribution() {
+        // Four items each with frequency 2: entropy = log2(4) = 2 bits.
+        let f = vector_from(&[(0, 2), (1, 2), (2, 2), (3, 2)]);
+        assert!((f.shannon_entropy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_entropy_of_point_mass_is_zero() {
+        let f = vector_from(&[(17, 100)]);
+        assert!(f.shannon_entropy().abs() < 1e-12);
+    }
+
+    #[test]
+    fn renyi_entropy_close_to_shannon_for_alpha_near_one() {
+        let f = vector_from(&[(0, 10), (1, 5), (2, 1), (3, 1)]);
+        let shannon = f.shannon_entropy();
+        let renyi = f.renyi_entropy(1.0 + 1e-6);
+        assert!(
+            (shannon - renyi).abs() < 1e-3,
+            "H = {shannon}, H_alpha = {renyi}"
+        );
+    }
+
+    #[test]
+    fn renyi_entropy_uniform_equals_log_support() {
+        let f = vector_from(&[(0, 3), (1, 3), (2, 3), (3, 3)]);
+        // For the uniform distribution every Rényi entropy equals log2(support).
+        assert!((f.renyi_entropy(2.0) - 2.0).abs() < 1e-12);
+        assert!((f.renyi_entropy(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_hitters_thresholding() {
+        let f = vector_from(&[(1, 10), (2, 5), (3, 1), (4, -8)]);
+        assert_eq!(f.heavy_hitters(8.0), vec![1, 4]);
+        assert_eq!(f.heavy_hitters(100.0), Vec::<Item>::new());
+        // L2 norm = sqrt(100 + 25 + 1 + 64) ≈ 13.78; 0.6 * L2 ≈ 8.27.
+        assert_eq!(f.l2_heavy_hitters(0.6), vec![1]);
+    }
+
+    #[test]
+    fn dense_conversion_round_trip() {
+        let f = vector_from(&[(0, 1), (3, -2)]);
+        assert_eq!(f.to_dense(4), vec![1, 0, 0, -2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn dense_conversion_rejects_out_of_domain_items() {
+        let f = vector_from(&[(10, 1)]);
+        let _ = f.to_dense(4);
+    }
+
+    #[test]
+    fn total_and_magnitude_track_turnstile_mass() {
+        let f = vector_from(&[(1, 5), (2, -3)]);
+        assert_eq!(f.total(), 2);
+        assert_eq!(f.total_magnitude(), 8);
+    }
+}

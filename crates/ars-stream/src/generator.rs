@@ -1,0 +1,542 @@
+//! Synthetic workload generators.
+//!
+//! The paper's motivating applications are database query optimizers
+//! (distinct-value estimation), self-join size estimation, network traffic
+//! heavy hitters and data-skew measurement. The generators in this module
+//! produce streams with those shapes so the benchmark harness can
+//! regenerate the Table 1 comparisons and the examples can run on realistic
+//! data:
+//!
+//! * [`UniformGenerator`] — items drawn uniformly from `[n]`.
+//! * [`ZipfGenerator`] — power-law (skewed) item frequencies, the canonical
+//!   heavy-hitters / skew workload.
+//! * [`BurstyGenerator`] — a background distribution with planted heavy
+//!   items whose frequency bursts during configurable windows.
+//! * [`SlidingDistinctGenerator`] — the number of distinct items grows and
+//!   then plateaus, exercising trackers whose output changes quickly early
+//!   in the stream (large flip-number pressure).
+//! * [`BoundedDeletionGenerator`] — α-bounded-deletion streams
+//!   (Definition 8.1): insert phases followed by partial deletions.
+//! * [`TurnstileWaveGenerator`] — turnstile streams whose `F_p` rises and
+//!   falls a configurable number of times, i.e. with a prescribed flip
+//!   number (Section 4.3).
+//!
+//! Every generator is deterministic given its seed, so experiments are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::update::{Item, Update};
+
+/// A source of stream updates.
+///
+/// Generators are infinite (or effectively so); callers take as many
+/// updates as the experiment needs via [`Generator::take_updates`].
+pub trait Generator {
+    /// Produces the next update of the stream.
+    fn next_update(&mut self) -> Update;
+
+    /// Convenience: materializes the next `m` updates.
+    fn take_updates(&mut self, m: usize) -> Vec<Update> {
+        (0..m).map(|_| self.next_update()).collect()
+    }
+}
+
+/// Items drawn uniformly at random from `[0, domain)`, unit insertions.
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    domain: u64,
+    rng: StdRng,
+}
+
+impl UniformGenerator {
+    /// Creates a uniform generator over `[0, domain)` with the given seed.
+    #[must_use]
+    pub fn new(domain: u64, seed: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Self {
+            domain,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Generator for UniformGenerator {
+    fn next_update(&mut self) -> Update {
+        Update::insert(self.rng.gen_range(0..self.domain))
+    }
+}
+
+/// Zipfian (power-law) item distribution: item `i` has probability
+/// proportional to `1 / (i + 1)^s`.
+///
+/// Implemented with a precomputed cumulative table and binary search so that
+/// no external distribution crate is needed; the table costs `O(domain)`
+/// memory, which is fine for the `n ≤ 2^20` domains used in the experiments.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    cumulative: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfGenerator {
+    /// Creates a Zipf generator over `[0, domain)` with exponent `s > 0`.
+    #[must_use]
+    pub fn new(domain: u64, exponent: f64, seed: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(exponent > 0.0, "Zipf exponent must be positive");
+        let mut cumulative = Vec::with_capacity(domain as usize);
+        let mut acc = 0.0;
+        for i in 0..domain {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self {
+            cumulative,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn sample(&mut self) -> Item {
+        let u: f64 = self.rng.gen();
+        // First index whose cumulative probability is >= u.
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1);
+        idx as Item
+    }
+}
+
+impl Generator for ZipfGenerator {
+    fn next_update(&mut self) -> Update {
+        Update::insert(self.sample())
+    }
+}
+
+/// A background distribution with planted heavy hitters that burst.
+///
+/// With probability `heavy_fraction` an update goes to one of the
+/// `num_heavy` planted items (chosen uniformly among them); otherwise it is
+/// a uniform background item. This produces streams where the planted items
+/// are `L_2` heavy hitters by a comfortable margin, the scenario of
+/// Section 6.
+#[derive(Debug, Clone)]
+pub struct BurstyGenerator {
+    domain: u64,
+    num_heavy: u64,
+    heavy_fraction: f64,
+    rng: StdRng,
+}
+
+impl BurstyGenerator {
+    /// Creates a bursty generator.
+    ///
+    /// `heavy_fraction` is the probability that an update hits one of the
+    /// `num_heavy` planted items `{0, …, num_heavy − 1}`.
+    #[must_use]
+    pub fn new(domain: u64, num_heavy: u64, heavy_fraction: f64, seed: u64) -> Self {
+        assert!(domain > num_heavy, "domain must exceed the number of heavy items");
+        assert!((0.0..=1.0).contains(&heavy_fraction));
+        Self {
+            domain,
+            num_heavy,
+            heavy_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The planted heavy items.
+    #[must_use]
+    pub fn heavy_items(&self) -> Vec<Item> {
+        (0..self.num_heavy).collect()
+    }
+}
+
+impl Generator for BurstyGenerator {
+    fn next_update(&mut self) -> Update {
+        let item = if self.rng.gen::<f64>() < self.heavy_fraction {
+            self.rng.gen_range(0..self.num_heavy)
+        } else {
+            self.rng.gen_range(self.num_heavy..self.domain)
+        };
+        Update::insert(item)
+    }
+}
+
+/// Streams whose number of distinct elements grows steadily and then
+/// plateaus into repetitions of already-seen items.
+///
+/// The first `fresh_items` updates introduce new identifiers; afterwards the
+/// generator re-draws uniformly from the already-seen set. This stresses
+/// `F_0` trackers: the answer changes at every step early on (maximal flip
+/// pressure) and then stabilizes.
+#[derive(Debug, Clone)]
+pub struct SlidingDistinctGenerator {
+    fresh_items: u64,
+    emitted: u64,
+    rng: StdRng,
+}
+
+impl SlidingDistinctGenerator {
+    /// Creates a generator that introduces `fresh_items` distinct items and
+    /// then recycles them.
+    #[must_use]
+    pub fn new(fresh_items: u64, seed: u64) -> Self {
+        assert!(fresh_items > 0);
+        Self {
+            fresh_items,
+            emitted: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Generator for SlidingDistinctGenerator {
+    fn next_update(&mut self) -> Update {
+        let item = if self.emitted < self.fresh_items {
+            self.emitted
+        } else {
+            self.rng.gen_range(0..self.fresh_items)
+        };
+        self.emitted += 1;
+        Update::insert(item)
+    }
+}
+
+/// α-bounded-deletion streams: repeated insert/delete phases that respect
+/// Definition 8.1.
+///
+/// Each cycle inserts `phase_length` unit updates over a fresh block of
+/// items and then deletes a `deletion_fraction ≤ 1 − 1/α` fraction of them,
+/// so the signed mass never drops below `1/α` of the absolute mass.
+#[derive(Debug, Clone)]
+pub struct BoundedDeletionGenerator {
+    phase_length: u64,
+    deletion_fraction: f64,
+    /// Items inserted so far that have not been deleted yet (across phases).
+    pending: Vec<Item>,
+    /// Number of insertions made in the current insert phase.
+    inserted_this_phase: u64,
+    /// Number of deletions still owed in the current deletion phase.
+    deletions_remaining: u64,
+    next_item: Item,
+    rng: StdRng,
+}
+
+impl BoundedDeletionGenerator {
+    /// Creates a bounded-deletion generator for the given α.
+    ///
+    /// The generator deletes at most a `(1 − 1/α)` fraction of each phase,
+    /// guaranteeing the `F_1` (and, for unit updates, every `F_p`)
+    /// bounded-deletion invariant.
+    #[must_use]
+    pub fn new(alpha: f64, phase_length: u64, seed: u64) -> Self {
+        assert!(alpha >= 1.0);
+        assert!(phase_length > 0);
+        // Deleting a fraction x of every phase keeps the cumulative ratio
+        // F_1(f)/F_1(h) at (1 − x)/(1 + x); requiring this to stay at least
+        // 1/α gives x ≤ (α − 1)/(α + 1). A small safety margin keeps
+        // floating-point rounding in the validator from flagging boundary
+        // cases.
+        let deletion_fraction = (alpha - 1.0) / (alpha + 1.0) * 0.95;
+        Self {
+            phase_length,
+            deletion_fraction,
+            pending: Vec::new(),
+            inserted_this_phase: 0,
+            deletions_remaining: 0,
+            next_item: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Generator for BoundedDeletionGenerator {
+    fn next_update(&mut self) -> Update {
+        if self.deletions_remaining > 0 && !self.pending.is_empty() {
+            self.deletions_remaining -= 1;
+            let idx = self.rng.gen_range(0..self.pending.len());
+            let item = self.pending.swap_remove(idx);
+            return Update::delete(item);
+        }
+        if self.inserted_this_phase >= self.phase_length {
+            // Switch to a deletion phase: delete a bounded fraction of the
+            // insertions made in this phase only, so the cumulative ratio
+            // F_1(f)/F_1(h) stays above 1/alpha.
+            self.inserted_this_phase = 0;
+            self.deletions_remaining =
+                ((self.phase_length as f64) * self.deletion_fraction).floor() as u64;
+            if self.deletions_remaining > 0 && !self.pending.is_empty() {
+                return self.next_update();
+            }
+        }
+        let item = self.next_item;
+        self.next_item += 1;
+        self.inserted_this_phase += 1;
+        self.pending.push(item);
+        Update::insert(item)
+    }
+}
+
+/// Turnstile streams whose `F_p` rises to a peak and falls back close to
+/// zero a prescribed number of times.
+///
+/// Each "wave" inserts `wave_length` unit updates over a fresh block of
+/// items and then deletes them all, so the `F_p` flip number of the stream
+/// is `Θ(waves · ε^{-1} log(wave_length))` — the bounded-flip-number regime
+/// of Theorem 4.3.
+#[derive(Debug, Clone)]
+pub struct TurnstileWaveGenerator {
+    wave_length: u64,
+    /// Items inserted in the current wave, to be deleted in LIFO order.
+    inserted: Vec<Item>,
+    deleting: bool,
+    next_item: Item,
+}
+
+impl TurnstileWaveGenerator {
+    /// Creates a wave generator with the given wave length.
+    #[must_use]
+    pub fn new(wave_length: u64) -> Self {
+        assert!(wave_length > 0);
+        Self {
+            wave_length,
+            inserted: Vec::new(),
+            deleting: false,
+            next_item: 0,
+        }
+    }
+}
+
+impl Generator for TurnstileWaveGenerator {
+    fn next_update(&mut self) -> Update {
+        if self.deleting {
+            if let Some(item) = self.inserted.pop() {
+                if self.inserted.is_empty() {
+                    self.deleting = false;
+                }
+                return Update::delete(item);
+            }
+            self.deleting = false;
+        }
+        let item = self.next_item;
+        self.next_item += 1;
+        self.inserted.push(item);
+        if self.inserted.len() as u64 >= self.wave_length {
+            self.deleting = true;
+        }
+        Update::insert(item)
+    }
+}
+
+/// A declarative description of a benchmark workload, serializable so the
+/// bench harness can record exactly which stream each measured row used.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, PartialEq)]
+pub enum WorkloadSpec {
+    /// Uniform items over `[0, domain)`.
+    Uniform {
+        /// Domain size `n`.
+        domain: u64,
+    },
+    /// Zipfian items over `[0, domain)` with the given exponent.
+    Zipf {
+        /// Domain size `n`.
+        domain: u64,
+        /// Skew exponent `s`.
+        exponent: f64,
+    },
+    /// Background + planted heavy hitters.
+    Bursty {
+        /// Domain size `n`.
+        domain: u64,
+        /// Number of planted heavy items.
+        num_heavy: u64,
+        /// Probability an update hits a heavy item.
+        heavy_fraction: f64,
+    },
+    /// Growing-then-plateauing distinct items.
+    SlidingDistinct {
+        /// Number of distinct items introduced before recycling.
+        fresh_items: u64,
+    },
+    /// α-bounded-deletion phases.
+    BoundedDeletion {
+        /// Deletion parameter α.
+        alpha: f64,
+        /// Updates per insert phase.
+        phase_length: u64,
+    },
+    /// Insert-then-delete waves (turnstile).
+    TurnstileWave {
+        /// Updates per wave.
+        wave_length: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiates the described generator with a seed.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Box<dyn Generator> {
+        match *self {
+            Self::Uniform { domain } => Box::new(UniformGenerator::new(domain, seed)),
+            Self::Zipf { domain, exponent } => {
+                Box::new(ZipfGenerator::new(domain, exponent, seed))
+            }
+            Self::Bursty {
+                domain,
+                num_heavy,
+                heavy_fraction,
+            } => Box::new(BurstyGenerator::new(domain, num_heavy, heavy_fraction, seed)),
+            Self::SlidingDistinct { fresh_items } => {
+                Box::new(SlidingDistinctGenerator::new(fresh_items, seed))
+            }
+            Self::BoundedDeletion {
+                alpha,
+                phase_length,
+            } => Box::new(BoundedDeletionGenerator::new(alpha, phase_length, seed)),
+            Self::TurnstileWave { wave_length } => {
+                Box::new(TurnstileWaveGenerator::new(wave_length))
+            }
+        }
+    }
+
+    /// A short human-readable label for tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Uniform { domain } => format!("uniform(n={domain})"),
+            Self::Zipf { domain, exponent } => format!("zipf(n={domain}, s={exponent})"),
+            Self::Bursty {
+                domain, num_heavy, ..
+            } => format!("bursty(n={domain}, heavy={num_heavy})"),
+            Self::SlidingDistinct { fresh_items } => format!("sliding(f={fresh_items})"),
+            Self::BoundedDeletion { alpha, .. } => format!("bounded-del(alpha={alpha})"),
+            Self::TurnstileWave { wave_length } => format!("wave(len={wave_length})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequency::FrequencyVector;
+    use crate::model::{StreamModel, StreamValidator};
+
+    #[test]
+    fn uniform_generator_stays_in_domain_and_is_deterministic() {
+        let mut a = UniformGenerator::new(100, 7);
+        let mut b = UniformGenerator::new(100, 7);
+        let ua = a.take_updates(1000);
+        let ub = b.take_updates(1000);
+        assert_eq!(ua, ub, "same seed must give the same stream");
+        assert!(ua.iter().all(|u| u.item < 100 && u.delta == 1));
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let ua = UniformGenerator::new(1000, 1).take_updates(100);
+        let ub = UniformGenerator::new(1000, 2).take_updates(100);
+        assert_ne!(ua, ub);
+    }
+
+    #[test]
+    fn zipf_generator_is_skewed_toward_small_items() {
+        let mut g = ZipfGenerator::new(1000, 1.2, 3);
+        let updates = g.take_updates(20_000);
+        let f: FrequencyVector = updates.into_iter().collect();
+        // Item 0 should be by far the most frequent.
+        let max_item = f
+            .iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(max_item, 0);
+        // and should dominate a mid-range item.
+        assert!(f.get(0) > 10 * f.get(500).max(1));
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let g = ZipfGenerator::new(50, 1.0, 0);
+        let last = *g.cumulative.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_generator_plants_heavy_hitters() {
+        let mut g = BurstyGenerator::new(10_000, 5, 0.5, 11);
+        let updates = g.take_updates(50_000);
+        let f: FrequencyVector = updates.into_iter().collect();
+        let hh = f.l2_heavy_hitters(0.05);
+        for item in g.heavy_items() {
+            assert!(hh.contains(&item), "planted item {item} should be an L2 heavy hitter");
+        }
+    }
+
+    #[test]
+    fn sliding_distinct_grows_then_plateaus() {
+        let mut g = SlidingDistinctGenerator::new(500, 13);
+        let updates = g.take_updates(2000);
+        let mut f = FrequencyVector::new();
+        f.apply_all(&updates[..500]);
+        assert_eq!(f.f0(), 500, "first phase introduces only fresh items");
+        f.apply_all(&updates[500..]);
+        assert_eq!(f.f0(), 500, "second phase recycles existing items");
+    }
+
+    #[test]
+    fn bounded_deletion_generator_respects_the_model() {
+        let alpha = 2.0;
+        let mut g = BoundedDeletionGenerator::new(alpha, 200, 5);
+        let updates = g.take_updates(5000);
+        let mut v = StreamValidator::new(StreamModel::bounded_deletion(alpha, 1.0));
+        v.apply_all(&updates)
+            .expect("generator must stay within the bounded-deletion model");
+        assert!(updates.iter().any(Update::is_deletion), "should actually delete");
+    }
+
+    #[test]
+    fn turnstile_wave_generator_returns_to_empty() {
+        let mut g = TurnstileWaveGenerator::new(50);
+        // One full wave = 50 inserts + 50 deletes.
+        let updates = g.take_updates(100);
+        let f: FrequencyVector = updates.iter().copied().collect();
+        assert_eq!(f.f0(), 0, "after a full wave the vector is empty");
+        let mid: FrequencyVector = updates[..50].iter().copied().collect();
+        assert_eq!(mid.f0(), 50);
+    }
+
+    #[test]
+    fn workload_spec_round_trips_and_builds() {
+        let specs = vec![
+            WorkloadSpec::Uniform { domain: 10 },
+            WorkloadSpec::Zipf {
+                domain: 10,
+                exponent: 1.1,
+            },
+            WorkloadSpec::Bursty {
+                domain: 100,
+                num_heavy: 2,
+                heavy_fraction: 0.3,
+            },
+            WorkloadSpec::SlidingDistinct { fresh_items: 5 },
+            WorkloadSpec::BoundedDeletion {
+                alpha: 2.0,
+                phase_length: 10,
+            },
+            WorkloadSpec::TurnstileWave { wave_length: 4 },
+        ];
+        for spec in specs {
+            let mut g = spec.build(42);
+            let updates = g.take_updates(64);
+            assert_eq!(updates.len(), 64);
+            assert!(!spec.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Stream model substrate for the adversarially robust streaming framework.
+//!
+//! This crate provides everything the sketches and the robustness wrappers
+//! need to talk about data streams, following Section 2 of
+//! *"A Framework for Adversarially Robust Streaming Algorithms"*
+//! (Ben-Eliezer, Jayaram, Woodruff, Yogev — PODS 2020):
+//!
+//! * [`Update`] — a stream update `(a_t, Δ_t)` over the domain `[n]`.
+//! * [`FrequencyVector`] — the (sparse) frequency vector `f ∈ ℝ^n` with
+//!   `f_i = Σ_{t : a_t = i} Δ_t`, plus exact statistics (`F_p`, `F_0`,
+//!   entropy, heavy hitters) used as ground truth by tests and benches.
+//! * [`StreamModel`] / [`StreamValidator`] — the insertion-only, turnstile
+//!   and α-bounded-deletion models and per-update validation of the model
+//!   constraints.
+//! * [`generator`] — synthetic workload generators (uniform, Zipfian,
+//!   bursty, sliding-window distinct, bounded-deletion, …) used by the
+//!   example applications and by the benchmark harness that regenerates the
+//!   paper's Table 1 rows.
+//! * [`exact::ExactOracle`] — an exact tracking oracle used to score the
+//!   approximation error of every estimator at every point in the stream.
+//!
+//! The crate is deliberately dependency-light (only `rand` for the
+//! generators and `serde` for benchmark result serialization) and contains
+//! no approximation algorithms: those live in `ars-sketch` (static sketches)
+//! and `ars-core` (robust wrappers).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod frequency;
+pub mod generator;
+pub mod model;
+pub mod update;
+
+pub use exact::{ExactOracle, TrackingOracle};
+pub use frequency::FrequencyVector;
+pub use model::{StreamError, StreamModel, StreamValidator};
+pub use update::{Delta, Item, Update};
+
+/// Convenience result alias for stream-model operations.
+pub type Result<T> = std::result::Result<T, StreamError>;

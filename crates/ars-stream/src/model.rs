@@ -1,0 +1,377 @@
+//! Stream models and per-update validation of their constraints.
+//!
+//! The paper analyses three regimes:
+//!
+//! * **Insertion-only** — every `Δ_t > 0` (Sections 4–7).
+//! * **Turnstile** — arbitrary signed updates, with `‖f^{(t)}‖_∞ ≤ M` at all
+//!   times (Section 4.3 considers turnstile streams whose `F_p` flip number
+//!   is bounded).
+//! * **α-bounded deletion** — turnstile streams that never delete more than
+//!   a `1 − 1/α` fraction of the `F_p` mass they inserted (Section 8,
+//!   Definition 8.1).
+//!
+//! [`StreamValidator`] enforces the chosen model update-by-update so
+//! adversaries and workload generators cannot silently escape the regime an
+//! algorithm was analysed in.
+
+use std::fmt;
+
+use crate::frequency::FrequencyVector;
+use crate::update::Update;
+
+/// Errors produced when an update violates the declared stream model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A non-positive update was submitted to an insertion-only stream.
+    NonPositiveInsertion {
+        /// The offending update.
+        update: Update,
+    },
+    /// An update pushed `‖f‖_∞` above the model's magnitude bound `M`.
+    MagnitudeBoundExceeded {
+        /// The offending update.
+        update: Update,
+        /// The magnitude bound `M`.
+        bound: u64,
+        /// The frequency magnitude that would result.
+        resulting: u64,
+    },
+    /// The α-bounded-deletion invariant `F_p(f) ≥ F_p(h)/α` was violated.
+    BoundedDeletionViolated {
+        /// The offending update.
+        update: Update,
+        /// The configured deletion parameter α.
+        alpha: f64,
+        /// `F_p` of the signed frequency vector after the update.
+        fp_signed: f64,
+        /// `F_p` of the absolute-value stream after the update.
+        fp_absolute: f64,
+    },
+    /// The stream exceeded its declared maximum length `m`.
+    LengthExceeded {
+        /// The declared maximum stream length.
+        max_length: u64,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveInsertion { update } => write!(
+                f,
+                "update ({}, {}) is not a positive insertion",
+                update.item, update.delta
+            ),
+            Self::MagnitudeBoundExceeded {
+                update,
+                bound,
+                resulting,
+            } => write!(
+                f,
+                "update ({}, {}) pushes |f_i| to {resulting}, above the bound M = {bound}",
+                update.item, update.delta
+            ),
+            Self::BoundedDeletionViolated {
+                update,
+                alpha,
+                fp_signed,
+                fp_absolute,
+            } => write!(
+                f,
+                "update ({}, {}) violates the {alpha}-bounded-deletion invariant: \
+                 F_p(f) = {fp_signed} < F_p(h)/alpha = {}",
+                update.item,
+                update.delta,
+                fp_absolute / alpha
+            ),
+            Self::LengthExceeded { max_length } => {
+                write!(f, "stream exceeded its declared maximum length {max_length}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// The stream regime an algorithm is analysed in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamModel {
+    /// Insertion-only: every update has `Δ_t > 0`.
+    InsertionOnly,
+    /// General turnstile: signed updates, `‖f‖_∞ ≤ M` enforced when a bound
+    /// is supplied.
+    Turnstile,
+    /// α-bounded deletion (Definition 8.1): at every time `t`,
+    /// `‖f^{(t)}‖_p^p ≥ (1/α) ‖h^{(t)}‖_p^p` where `h` is the absolute-value
+    /// stream.
+    BoundedDeletion {
+        /// The deletion parameter `α ≥ 1`.
+        alpha: f64,
+        /// The moment order `p ≥ 1` the invariant is stated for.
+        p: f64,
+    },
+}
+
+impl StreamModel {
+    /// A bounded-deletion model for `F_p` with the given α.
+    #[must_use]
+    pub fn bounded_deletion(alpha: f64, p: f64) -> Self {
+        assert!(alpha >= 1.0, "alpha must be at least 1");
+        assert!(p >= 1.0, "bounded deletion is defined for p >= 1");
+        Self::BoundedDeletion { alpha, p }
+    }
+
+    /// Whether negative updates are admissible at all in this model.
+    #[must_use]
+    pub fn allows_deletions(&self) -> bool {
+        !matches!(self, Self::InsertionOnly)
+    }
+}
+
+/// Validates a stream against a [`StreamModel`] update-by-update while
+/// maintaining the exact signed and absolute frequency vectors.
+///
+/// The validator is used by the adversarial game harness to guarantee that
+/// an adaptive adversary plays inside the model the algorithm under test was
+/// analysed for, and by workload generators as a self-check.
+#[derive(Debug, Clone)]
+pub struct StreamValidator {
+    model: StreamModel,
+    /// Optional bound `M` on `‖f‖_∞` (`log(mM) = O(log n)` in the paper).
+    magnitude_bound: Option<u64>,
+    /// Optional bound on the stream length `m`.
+    max_length: Option<u64>,
+    signed: FrequencyVector,
+    absolute: FrequencyVector,
+}
+
+impl StreamValidator {
+    /// Creates a validator for the given model with no magnitude or length
+    /// bounds.
+    #[must_use]
+    pub fn new(model: StreamModel) -> Self {
+        Self {
+            model,
+            magnitude_bound: None,
+            max_length: None,
+            signed: FrequencyVector::new(),
+            absolute: FrequencyVector::new(),
+        }
+    }
+
+    /// Enforces `‖f‖_∞ ≤ bound` at every point of the stream.
+    #[must_use]
+    pub fn with_magnitude_bound(mut self, bound: u64) -> Self {
+        self.magnitude_bound = Some(bound);
+        self
+    }
+
+    /// Enforces a maximum stream length `m`.
+    #[must_use]
+    pub fn with_max_length(mut self, m: u64) -> Self {
+        self.max_length = Some(m);
+        self
+    }
+
+    /// The model being enforced.
+    #[must_use]
+    pub fn model(&self) -> StreamModel {
+        self.model
+    }
+
+    /// The exact signed frequency vector of the accepted prefix.
+    #[must_use]
+    pub fn frequency(&self) -> &FrequencyVector {
+        &self.signed
+    }
+
+    /// The exact absolute-value frequency vector `h` of the accepted prefix.
+    #[must_use]
+    pub fn absolute_frequency(&self) -> &FrequencyVector {
+        &self.absolute
+    }
+
+    /// Number of accepted updates so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.signed.updates_applied()
+    }
+
+    /// Whether no updates have been accepted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks whether an update is admissible *without* applying it.
+    ///
+    /// Returns `Ok(())` if applying `update` next would keep the stream
+    /// inside the model.
+    pub fn check(&self, update: Update) -> Result<(), StreamError> {
+        if let Some(m) = self.max_length {
+            if self.len() >= m {
+                return Err(StreamError::LengthExceeded { max_length: m });
+            }
+        }
+        match self.model {
+            StreamModel::InsertionOnly => {
+                if update.delta <= 0 {
+                    return Err(StreamError::NonPositiveInsertion { update });
+                }
+            }
+            StreamModel::Turnstile => {}
+            StreamModel::BoundedDeletion { alpha, p } => {
+                // Simulate the update on both vectors and verify the invariant.
+                let mut signed = self.signed.clone();
+                let mut absolute = self.absolute.clone();
+                signed.apply(update);
+                absolute.apply(update.absolute());
+                let fp_signed = signed.fp(p);
+                let fp_absolute = absolute.fp(p);
+                if fp_signed + 1e-9 < fp_absolute / alpha {
+                    return Err(StreamError::BoundedDeletionViolated {
+                        update,
+                        alpha,
+                        fp_signed,
+                        fp_absolute,
+                    });
+                }
+            }
+        }
+        if let Some(bound) = self.magnitude_bound {
+            let resulting = (self.signed.get(update.item) + update.delta).unsigned_abs();
+            if resulting > bound {
+                return Err(StreamError::MagnitudeBoundExceeded {
+                    update,
+                    bound,
+                    resulting,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and applies an update, updating the internal exact state.
+    pub fn apply(&mut self, update: Update) -> Result<(), StreamError> {
+        self.check(update)?;
+        self.signed.apply(update);
+        self.absolute.apply(update.absolute());
+        Ok(())
+    }
+
+    /// Validates and applies a whole slice of updates, stopping at the first
+    /// violation.
+    pub fn apply_all(&mut self, updates: &[Update]) -> Result<(), StreamError> {
+        for &u in updates {
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_only_rejects_deletions_and_zero_updates() {
+        let mut v = StreamValidator::new(StreamModel::InsertionOnly);
+        assert!(v.apply(Update::insert(1)).is_ok());
+        assert!(matches!(
+            v.apply(Update::delete(1)),
+            Err(StreamError::NonPositiveInsertion { .. })
+        ));
+        assert!(matches!(
+            v.apply(Update::new(1, 0)),
+            Err(StreamError::NonPositiveInsertion { .. })
+        ));
+        // Rejected updates do not change the exact state.
+        assert_eq!(v.frequency().get(1), 1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn turnstile_accepts_signed_updates() {
+        let mut v = StreamValidator::new(StreamModel::Turnstile);
+        assert!(v.apply(Update::new(1, 5)).is_ok());
+        assert!(v.apply(Update::new(1, -7)).is_ok());
+        assert_eq!(v.frequency().get(1), -2);
+    }
+
+    #[test]
+    fn magnitude_bound_is_enforced() {
+        let mut v =
+            StreamValidator::new(StreamModel::Turnstile).with_magnitude_bound(3);
+        assert!(v.apply(Update::new(9, 3)).is_ok());
+        assert!(matches!(
+            v.apply(Update::new(9, 1)),
+            Err(StreamError::MagnitudeBoundExceeded { resulting: 4, .. })
+        ));
+        // Negative excursions are bounded too.
+        assert!(matches!(
+            v.apply(Update::new(9, -7)),
+            Err(StreamError::MagnitudeBoundExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn max_length_is_enforced() {
+        let mut v = StreamValidator::new(StreamModel::InsertionOnly).with_max_length(2);
+        assert!(v.apply(Update::insert(1)).is_ok());
+        assert!(v.apply(Update::insert(2)).is_ok());
+        assert!(matches!(
+            v.apply(Update::insert(3)),
+            Err(StreamError::LengthExceeded { max_length: 2 })
+        ));
+    }
+
+    #[test]
+    fn bounded_deletion_allows_partial_deletion_within_alpha() {
+        // alpha = 2, p = 1: at all times l1(f) >= l1(h) / 2.
+        let mut v = StreamValidator::new(StreamModel::bounded_deletion(2.0, 1.0));
+        for _ in 0..4 {
+            v.apply(Update::insert(1)).unwrap();
+        }
+        // h mass 4, f mass 4. Deleting one: f = 3, h = 5, 3 >= 2.5 OK.
+        assert!(v.apply(Update::delete(1)).is_ok());
+        // Deleting another: f = 2, h = 6, 2 < 3 -> violation.
+        assert!(matches!(
+            v.apply(Update::delete(1)),
+            Err(StreamError::BoundedDeletionViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn bounded_deletion_with_large_alpha_behaves_like_turnstile() {
+        let mut v = StreamValidator::new(StreamModel::bounded_deletion(1e9, 2.0));
+        for i in 0..10u64 {
+            v.apply(Update::insert(i)).unwrap();
+        }
+        for i in 0..9u64 {
+            assert!(v.apply(Update::delete(i)).is_ok());
+        }
+    }
+
+    #[test]
+    fn model_queries() {
+        assert!(!StreamModel::InsertionOnly.allows_deletions());
+        assert!(StreamModel::Turnstile.allows_deletions());
+        assert!(StreamModel::bounded_deletion(3.0, 1.0).allows_deletions());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = StreamError::NonPositiveInsertion {
+            update: Update::new(3, -1),
+        };
+        assert!(err.to_string().contains("not a positive insertion"));
+        let err = StreamError::LengthExceeded { max_length: 7 };
+        assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be at least 1")]
+    fn bounded_deletion_rejects_alpha_below_one() {
+        let _ = StreamModel::bounded_deletion(0.5, 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Stream updates `(a_t, Δ_t)`.
+//!
+//! A data stream of length `m` over a domain `[n]` is a sequence of updates
+//! `(a_1, Δ_1), …, (a_m, Δ_m)` where `a_t ∈ [n]` is an item identifier and
+//! `Δ_t ∈ ℤ` is an increment (or decrement) to that item's frequency.
+
+use serde::{Deserialize, Serialize};
+
+/// Item identifiers: an index into the domain `[n]`.
+///
+/// The paper indexes items by `i ∈ [n]`; we use `u64` so synthetic workloads
+/// can use hashed or structured identifiers (IP addresses, user ids, …)
+/// without remapping.
+pub type Item = u64;
+
+/// Frequency increments `Δ_t`.
+pub type Delta = i64;
+
+/// A single stream update `(a_t, Δ_t)`.
+///
+/// In the *insertion-only* model every `Δ_t > 0`; in the *turnstile* model
+/// `Δ_t` may be negative; the *α-bounded-deletion* model allows negative
+/// updates as long as the stream never deletes more than a `1 − 1/α`
+/// fraction of the mass it inserted (see [`crate::StreamModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Update {
+    /// The item `a_t` being updated.
+    pub item: Item,
+    /// The signed increment `Δ_t` applied to `f_{a_t}`.
+    pub delta: Delta,
+}
+
+impl Update {
+    /// Creates an update with an explicit increment.
+    #[must_use]
+    pub const fn new(item: Item, delta: Delta) -> Self {
+        Self { item, delta }
+    }
+
+    /// Creates a unit insertion `(item, +1)`, the common case in
+    /// insertion-only streams.
+    #[must_use]
+    pub const fn insert(item: Item) -> Self {
+        Self { item, delta: 1 }
+    }
+
+    /// Creates a unit deletion `(item, -1)`.
+    #[must_use]
+    pub const fn delete(item: Item) -> Self {
+        Self { item, delta: -1 }
+    }
+
+    /// Returns `true` if this update increases the item's frequency.
+    #[must_use]
+    pub const fn is_insertion(&self) -> bool {
+        self.delta > 0
+    }
+
+    /// Returns `true` if this update decreases the item's frequency.
+    #[must_use]
+    pub const fn is_deletion(&self) -> bool {
+        self.delta < 0
+    }
+
+    /// The absolute magnitude `|Δ_t|` of the update.
+    #[must_use]
+    pub const fn magnitude(&self) -> u64 {
+        self.delta.unsigned_abs()
+    }
+
+    /// The update applied to the *absolute-value stream* `h` used by the
+    /// bounded-deletion model: `(a_t, |Δ_t|)`.
+    #[must_use]
+    pub const fn absolute(&self) -> Self {
+        Self {
+            item: self.item,
+            delta: self.delta.abs(),
+        }
+    }
+}
+
+impl From<(Item, Delta)> for Update {
+    fn from((item, delta): (Item, Delta)) -> Self {
+        Self { item, delta }
+    }
+}
+
+impl From<Item> for Update {
+    /// A bare item is interpreted as a unit insertion, matching the
+    /// simplified presentation of insertion-only streams in the paper.
+    fn from(item: Item) -> Self {
+        Self::insert(item)
+    }
+}
+
+/// Expands a sequence of updates with arbitrary magnitudes into unit
+/// updates, preserving order.
+///
+/// The bounded-deletion model of the paper (Section 8) assumes unit updates
+/// without loss of generality; this helper performs that reduction for
+/// generators that produce aggregated updates.
+#[must_use]
+pub fn to_unit_updates(updates: &[Update]) -> Vec<Update> {
+    let mut out = Vec::with_capacity(updates.iter().map(|u| u.magnitude() as usize).sum());
+    for u in updates {
+        let unit = if u.delta >= 0 { 1 } else { -1 };
+        for _ in 0..u.magnitude() {
+            out.push(Update::new(u.item, unit));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_delete_constructors() {
+        let ins = Update::insert(42);
+        assert_eq!(ins.item, 42);
+        assert_eq!(ins.delta, 1);
+        assert!(ins.is_insertion());
+        assert!(!ins.is_deletion());
+
+        let del = Update::delete(42);
+        assert_eq!(del.delta, -1);
+        assert!(del.is_deletion());
+        assert!(!del.is_insertion());
+    }
+
+    #[test]
+    fn magnitude_is_absolute_value() {
+        assert_eq!(Update::new(1, -5).magnitude(), 5);
+        assert_eq!(Update::new(1, 5).magnitude(), 5);
+        assert_eq!(Update::new(1, 0).magnitude(), 0);
+    }
+
+    #[test]
+    fn absolute_stream_update() {
+        let u = Update::new(7, -3);
+        let a = u.absolute();
+        assert_eq!(a.item, 7);
+        assert_eq!(a.delta, 3);
+    }
+
+    #[test]
+    fn conversions_from_tuples_and_items() {
+        let u: Update = (3u64, -2i64).into();
+        assert_eq!(u, Update::new(3, -2));
+        let v: Update = 9u64.into();
+        assert_eq!(v, Update::insert(9));
+    }
+
+    #[test]
+    fn unit_expansion_preserves_total_mass_and_order() {
+        let updates = vec![Update::new(1, 3), Update::new(2, -2), Update::new(3, 1)];
+        let units = to_unit_updates(&updates);
+        assert_eq!(units.len(), 6);
+        assert_eq!(&units[0..3], &[Update::insert(1); 3]);
+        assert_eq!(&units[3..5], &[Update::delete(2); 2]);
+        assert_eq!(units[5], Update::insert(3));
+    }
+
+    #[test]
+    fn zero_delta_expands_to_nothing() {
+        let units = to_unit_updates(&[Update::new(5, 0)]);
+        assert!(units.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Facade crate for the *Adversarially Robust Streaming Algorithms*
+//! reproduction (Ben-Eliezer, Jayaram, Woodruff, Yogev — PODS 2020).
+//!
+//! This crate simply re-exports the workspace crates so downstream users can
+//! depend on a single package:
+//!
+//! * [`stream`] — stream model, frequency vectors, workload generators and
+//!   exact reference statistics ([`ars_stream`]).
+//! * [`hash`] — k-wise independent hashing, tabulation hashing and a
+//!   from-scratch ChaCha20 PRF / random oracle ([`ars_hash`]).
+//! * [`sketch`] — static (non-robust) sketches: AMS, CountSketch, KMV,
+//!   p-stable Fp, entropy, Misra–Gries, and strong-tracking wrappers
+//!   ([`ars_sketch`]).
+//! * [`robust`] — the paper's contribution: ε-rounding, flip numbers, sketch
+//!   switching, computation paths and problem-specific robust estimators
+//!   ([`ars_core`]).
+//! * [`adversary`] — the two-player adversarial game harness and the AMS
+//!   attack of Section 9 ([`ars_adversary`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adversarial_robust_streaming::robust::robust_f0::RobustF0Builder;
+//! use adversarial_robust_streaming::stream::Update;
+//!
+//! let mut estimator = RobustF0Builder::new(0.1)
+//!     .stream_length(10_000)
+//!     .seed(7)
+//!     .build();
+//! for i in 0..1_000u64 {
+//!     estimator.insert(i % 250);
+//! }
+//! let est = estimator.estimate();
+//! assert!((est - 250.0).abs() <= 0.2 * 250.0);
+//! # let _ = Update::insert(1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ars_adversary as adversary;
+pub use ars_core as robust;
+pub use ars_hash as hash;
+pub use ars_sketch as sketch;
+pub use ars_stream as stream;

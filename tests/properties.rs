@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! framework: ε-rounding, flip numbers, the stream model validator, the
+//! frequency-vector oracle, and linearity of the sketches.
+
+use adversarial_robust_streaming::hash::field::{add, inv, mul, sub, MERSENNE_P};
+use adversarial_robust_streaming::robust::rounding::{round_sequence, round_to_power, EpsilonRounder};
+use adversarial_robust_streaming::robust::{empirical_flip_number, FlipNumberBound};
+use adversarial_robust_streaming::sketch::ams::{AmsConfig, AmsSketch};
+use adversarial_robust_streaming::sketch::kmv::{KmvConfig, KmvSketch};
+use adversarial_robust_streaming::sketch::Estimator;
+use adversarial_robust_streaming::stream::{FrequencyVector, StreamModel, StreamValidator, Update};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `[x]_ε` is always a `(1 + ε/2)`-multiplicative approximation of `x`
+    /// (the property Section 3 relies on).
+    #[test]
+    fn rounding_is_multiplicative_approximation(
+        x in prop::num::f64::POSITIVE.prop_filter("finite, moderate", |v| v.is_finite() && *v > 1e-9 && *v < 1e12),
+        eps in 0.01f64..0.9,
+    ) {
+        let r = round_to_power(x, eps);
+        let ratio = if r > x { r / x } else { x / r };
+        prop_assert!(ratio <= 1.0 + eps / 2.0 + 1e-9);
+    }
+
+    /// The streamed ε-rounding of any positive sequence stays within
+    /// `(1 ± ε)` of the raw values (Definition 3.1's accuracy guarantee).
+    #[test]
+    fn rounded_sequence_tracks_raw_values(
+        values in prop::collection::vec(1.0f64..1e9, 1..200),
+        eps in 0.05f64..0.5,
+    ) {
+        let rounded = round_sequence(&values, eps);
+        for (raw, r) in values.iter().zip(&rounded) {
+            prop_assert!((r - raw).abs() <= eps * raw + 1e-9,
+                "rounded {r} not within (1±{eps}) of {raw}");
+        }
+    }
+
+    /// The number of output changes of the rounder never exceeds the
+    /// empirical flip number of the raw sequence at ε/10 plus one
+    /// (Lemma 3.3's conclusion, with slack for the initial publication).
+    #[test]
+    fn rounder_changes_bounded_by_flip_number(
+        values in prop::collection::vec(1.0f64..1e6, 1..300),
+        eps in 0.1f64..0.5,
+    ) {
+        let mut rounder = EpsilonRounder::new(eps);
+        for &v in &values {
+            rounder.round(v);
+        }
+        let flips = empirical_flip_number(&values, eps / 10.0);
+        prop_assert!(rounder.changes() <= flips + 1,
+            "rounder changed {} times, flip number {}", rounder.changes(), flips);
+    }
+
+    /// Monotone non-decreasing sequences respect the Proposition 3.4 bound.
+    #[test]
+    fn monotone_flip_number_bound(
+        mut increments in prop::collection::vec(0u64..50, 1..500),
+        eps in 0.1f64..0.5,
+    ) {
+        // Build a non-decreasing positive sequence.
+        let mut acc = 1u64;
+        let values: Vec<f64> = increments
+            .drain(..)
+            .map(|d| {
+                acc += d;
+                acc as f64
+            })
+            .collect();
+        let measured = empirical_flip_number(&values, eps);
+        let bound = FlipNumberBound::monotone(eps, *values.last().unwrap() * 2.0).bound;
+        prop_assert!(measured <= bound, "measured {measured}, bound {bound}");
+    }
+
+    /// The Mersenne-field arithmetic satisfies the field axioms on random
+    /// elements (needed for the k-wise independence argument to make sense).
+    #[test]
+    fn field_axioms_hold(a in 0u64..MERSENNE_P, b in 0u64..MERSENNE_P) {
+        prop_assert_eq!(add(a, b), add(b, a));
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(sub(add(a, b), b), a);
+        if a != 0 {
+            prop_assert_eq!(mul(a, inv(a)), 1);
+        }
+    }
+
+    /// The exact frequency vector agrees with a naive reference
+    /// implementation on arbitrary signed update sequences.
+    #[test]
+    fn frequency_vector_matches_reference(
+        updates in prop::collection::vec((0u64..32, -5i64..5), 0..300),
+    ) {
+        let mut reference = std::collections::HashMap::<u64, i64>::new();
+        let mut vector = FrequencyVector::new();
+        for &(item, delta) in &updates {
+            vector.apply(Update::new(item, delta));
+            *reference.entry(item).or_insert(0) += delta;
+        }
+        reference.retain(|_, v| *v != 0);
+        prop_assert_eq!(vector.f0() as usize, reference.len());
+        for (&item, &count) in &reference {
+            prop_assert_eq!(vector.get(item), count);
+        }
+        let f2: f64 = reference.values().map(|&c| (c * c) as f64).sum();
+        prop_assert!((vector.f2() - f2).abs() < 1e-6);
+    }
+
+    /// The insertion-only validator accepts exactly the streams with all
+    /// positive deltas.
+    #[test]
+    fn insertion_only_validator_accepts_iff_positive(
+        updates in prop::collection::vec((0u64..16, -3i64..4), 1..100),
+    ) {
+        let mut validator = StreamValidator::new(StreamModel::InsertionOnly);
+        let mut all_positive_so_far = true;
+        for &(item, delta) in &updates {
+            let result = validator.apply(Update::new(item, delta));
+            if delta <= 0 {
+                prop_assert!(result.is_err());
+                all_positive_so_far = false;
+                break;
+            }
+            prop_assert!(result.is_ok());
+        }
+        if all_positive_so_far {
+            prop_assert_eq!(validator.len() as usize, updates.len());
+        }
+    }
+
+    /// The AMS sketch is linear: feeding a stream and then its negation
+    /// returns the sketch to (numerically) zero.
+    #[test]
+    fn ams_sketch_is_linear(
+        items in prop::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut sketch = AmsSketch::new(AmsConfig::single_mean(32), 7);
+        for &i in &items {
+            sketch.update(Update::insert(i));
+        }
+        for &i in &items {
+            sketch.update(Update::delete(i));
+        }
+        prop_assert!(sketch.estimate().abs() < 1e-6);
+    }
+
+    /// KMV never overcounts small cardinalities and is invariant under
+    /// duplicate insertions.
+    #[test]
+    fn kmv_exactness_and_duplicate_invariance(
+        items in prop::collection::vec(0u64..500, 1..300),
+    ) {
+        let mut sketch = KmvSketch::new(KmvConfig { k: 1024 }, 3);
+        let mut seen = std::collections::HashSet::new();
+        for &i in &items {
+            sketch.insert(i);
+            seen.insert(i);
+        }
+        prop_assert_eq!(sketch.estimate() as usize, seen.len());
+        let before = sketch.estimate();
+        for &i in &items {
+            sketch.insert(i);
+        }
+        prop_assert_eq!(sketch.estimate(), before);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the robust estimators deliver their
+//! tracking guarantee end-to-end, scored by the exact oracle while playing
+//! the adversarial game of Section 1 against adaptive adversaries.
+
+use adversarial_robust_streaming::adversary::{
+    DistinctDuplicateAdversary, GameConfig, GameRunner, SurgeAdversary,
+};
+use adversarial_robust_streaming::adversary::game::ReplayAdversary;
+use adversarial_robust_streaming::robust::{
+    CryptoBackend, CryptoRobustF0Builder, F0Method, FpMethod, RobustBoundedDeletionFpBuilder,
+    RobustF0Builder, RobustFpBuilder, RobustL2HeavyHittersBuilder,
+};
+use adversarial_robust_streaming::stream::exact::Query;
+use adversarial_robust_streaming::stream::generator::{
+    BoundedDeletionGenerator, BurstyGenerator, Generator, UniformGenerator,
+};
+use adversarial_robust_streaming::stream::{FrequencyVector, StreamModel, StreamValidator};
+
+#[test]
+fn robust_f0_survives_the_dip_hunting_adversary() {
+    let epsilon = 0.15;
+    let rounds = 20_000;
+    let mut robust = RobustF0Builder::new(epsilon)
+        .method(F0Method::SketchSwitching)
+        .stream_length(rounds as u64)
+        .domain(1 << 20)
+        .seed(3)
+        .build();
+    let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(300);
+    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(300);
+    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+    assert!(
+        !outcome.adversary_won(),
+        "adaptive adversary fooled the robust F0 estimator at round {:?} (max error {})",
+        outcome.first_violation,
+        outcome.max_error
+    );
+}
+
+#[test]
+fn crypto_f0_survives_the_dip_hunting_adversary() {
+    let epsilon = 0.15;
+    let rounds = 20_000;
+    let mut robust = CryptoRobustF0Builder::new(epsilon)
+        .backend(CryptoBackend::ChaChaPrf)
+        .stream_length(rounds as u64)
+        .seed(5)
+        .build();
+    let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(300);
+    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(300);
+    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+    assert!(
+        !outcome.adversary_won(),
+        "adaptive adversary fooled the crypto F0 estimator at round {:?}",
+        outcome.first_violation
+    );
+}
+
+#[test]
+fn robust_f2_survives_the_surge_adversary() {
+    let epsilon = 0.3;
+    let rounds = 8_000;
+    let mut robust = RobustFpBuilder::new(2.0, epsilon)
+        .method(FpMethod::SketchSwitching)
+        .stream_length(rounds as u64)
+        .seed(7)
+        .build();
+    let mut adversary = SurgeAdversary::new(2.0, 11);
+    let config = GameConfig::relative(Query::Fp(2.0), epsilon * 1.3, rounds).with_warmup(500);
+    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+    assert!(
+        !outcome.adversary_won(),
+        "surge adversary fooled the robust F2 estimator at round {:?} (max error {})",
+        outcome.first_violation,
+        outcome.max_error
+    );
+}
+
+#[test]
+fn robust_f0_matches_the_exact_oracle_on_oblivious_streams() {
+    // On a fixed (non-adaptive) stream the robust estimator should behave
+    // like a good static algorithm: this is the "no robustness tax on
+    // accuracy" sanity check.
+    let epsilon = 0.1;
+    let rounds = 20_000;
+    let updates = UniformGenerator::new(1 << 18, 13).take_updates(rounds);
+    let mut adversary = ReplayAdversary::new(updates);
+    let mut robust = RobustF0Builder::new(epsilon)
+        .stream_length(rounds as u64)
+        .domain(1 << 18)
+        .seed(17)
+        .build();
+    let config = GameConfig::relative(Query::F0, epsilon * 1.2, rounds).with_warmup(200);
+    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+    assert!(!outcome.adversary_won());
+    assert!(outcome.max_error <= epsilon * 1.2);
+}
+
+#[test]
+fn robust_heavy_hitters_recall_under_adaptive_elephant_migration() {
+    // Elephant flows migrate to fresh ids whenever they see themselves
+    // reported — the adaptive scenario of the network example — and the
+    // robust structure must keep finding them.
+    let epsilon = 0.12;
+    let domain = 1u64 << 13;
+    let rounds = 12_000usize;
+    let mut hh = RobustL2HeavyHittersBuilder::new(epsilon)
+        .domain(domain)
+        .stream_length(rounds as u64)
+        .seed(19)
+        .build();
+    let mut generator = BurstyGenerator::new(domain, 3, 0.5, 23);
+    let mut exact = FrequencyVector::new();
+    for step in 0..rounds {
+        let update = generator.next_update();
+        exact.apply(update);
+        hh.update(update);
+        if step % 3_000 == 2_999 {
+            // Peek at the report mid-stream (this is what makes the stream
+            // adaptive: the updates continue regardless, but a non-robust
+            // structure could be gamed at exactly these points).
+            let _ = hh.heavy_hitters();
+        }
+    }
+    let reported = hh.heavy_hitters();
+    for item in exact.l2_heavy_hitters(epsilon) {
+        assert!(
+            reported.contains(&item),
+            "missed true heavy hitter {item}: reported {reported:?}"
+        );
+    }
+}
+
+#[test]
+fn robust_bounded_deletion_fp_inside_validated_model() {
+    let alpha = 2.0;
+    let epsilon = 0.3;
+    let rounds = 8_000usize;
+    let mut generator = BoundedDeletionGenerator::new(alpha, 400, 29);
+    let updates = generator.take_updates(rounds);
+    let mut validator = StreamValidator::new(StreamModel::bounded_deletion(alpha, 1.0));
+    validator
+        .apply_all(&updates)
+        .expect("generator must respect its own model");
+
+    let mut robust = RobustBoundedDeletionFpBuilder::new(1.0, epsilon, alpha)
+        .stream_length(rounds as u64)
+        .domain(1 << 14, 4)
+        .seed(31)
+        .build();
+    let mut exact = FrequencyVector::new();
+    let mut worst: f64 = 0.0;
+    for &u in &updates {
+        exact.apply(u);
+        robust.update(u);
+        let t = exact.l1();
+        if t > 200.0 {
+            worst = worst.max((robust.estimate() - t).abs() / t);
+        }
+    }
+    assert!(worst <= epsilon * 1.3, "worst error {worst}");
+}
+
+#[test]
+fn space_accounting_is_consistent_across_the_stack() {
+    // The composite estimators must report at least as much space as one of
+    // their ingredients and must not change their reported space when fed
+    // data (the paper's algorithms are fixed-space once configured), except
+    // for structures that legitimately store identities.
+    let robust = RobustFpBuilder::new(2.0, 0.3).stream_length(1_000).build();
+    let before = robust.space_bytes();
+    let mut robust = robust;
+    for i in 0..1_000u64 {
+        robust.insert(i);
+    }
+    assert_eq!(robust.space_bytes(), before, "linear-sketch space is data-independent");
+
+    let mut f0 = RobustF0Builder::new(0.2).stream_length(1_000).build();
+    let f0_before = f0.space_bytes();
+    for i in 0..1_000u64 {
+        f0.insert(i);
+    }
+    assert!(f0.space_bytes() >= f0_before);
+}
