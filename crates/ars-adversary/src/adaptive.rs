@@ -177,8 +177,7 @@ mod tests {
         for seed in 0..6u64 {
             let mut sketch = KmvSketch::new(KmvConfig { k: 64 }, seed);
             let mut adversary = DistinctDuplicateAdversary::new(epsilon);
-            let config =
-                GameConfig::relative(Query::F0, epsilon, 60_000).with_warmup(200);
+            let config = GameConfig::relative(Query::F0, epsilon, 60_000).with_warmup(200);
             let outcome = GameRunner::new(config).run(&mut sketch, &mut adversary);
             if outcome.adversary_won() {
                 wins += 1;
@@ -245,7 +244,9 @@ mod tests {
 
     #[test]
     fn adversary_names_are_descriptive() {
-        assert!(DistinctDuplicateAdversary::new(0.1).name().contains("dip-hunter"));
+        assert!(DistinctDuplicateAdversary::new(0.1)
+            .name()
+            .contains("dip-hunter"));
         assert!(SurgeAdversary::new(1.5, 0).name().contains("surge"));
     }
 }

@@ -1,0 +1,173 @@
+//! `cargo bench --bench batch_throughput` — per-update vs `update_batch`
+//! throughput for the robust estimators.
+//!
+//! The engine's batched hot path amortizes the ε-rounding / switch check
+//! (which for sketch-switching pools means a median computation over the
+//! active copy) to one per batch instead of one per update; this bench
+//! quantifies the win on `RobustF0` and `RobustFp` and writes the repo's
+//! BENCH_batch_throughput.json trajectory point.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ars_core::{RobustBuilder, RobustEstimator};
+use ars_stream::generator::{Generator, UniformGenerator, ZipfGenerator};
+use ars_stream::Update;
+
+const STREAM: usize = 4_096;
+/// The p-stable sketch-switching pool is far heavier per update than the
+/// F0 pool, so the Fp leg uses a shorter stream to keep the bench quick.
+const FP_STREAM: usize = 1_024;
+const BATCH: usize = 256;
+
+fn f0_updates() -> Vec<Update> {
+    UniformGenerator::new(1 << 16, 7).take_updates(STREAM)
+}
+
+fn fp_updates() -> Vec<Update> {
+    ZipfGenerator::new(1 << 12, 1.1, 7).take_updates(FP_STREAM)
+}
+
+fn builder() -> RobustBuilder {
+    RobustBuilder::new(0.2)
+        .stream_length(STREAM as u64)
+        .domain(1 << 16)
+        .seed(9)
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let f0_stream = f0_updates();
+    let fp_stream = fp_updates();
+
+    let mut group = c.benchmark_group("robust_update_path");
+
+    group.bench_function("robust_f0/per_update", |b| {
+        b.iter_batched(
+            || builder().f0(),
+            |mut robust| {
+                for &u in &f0_stream {
+                    robust.update(u);
+                }
+                robust
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("robust_f0/update_batch", |b| {
+        b.iter_batched(
+            || builder().f0(),
+            |mut robust| {
+                for chunk in f0_stream.chunks(BATCH) {
+                    robust.update_batch(chunk);
+                }
+                robust
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("robust_fp2/per_update", |b| {
+        b.iter_batched(
+            || {
+                RobustBuilder::new(0.3)
+                    .stream_length(FP_STREAM as u64)
+                    .domain(1 << 12)
+                    .seed(9)
+                    .fp(2.0)
+            },
+            |mut robust| {
+                for &u in &fp_stream {
+                    robust.update(u);
+                }
+                robust
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("robust_fp2/update_batch", |b| {
+        b.iter_batched(
+            || {
+                RobustBuilder::new(0.3)
+                    .stream_length(FP_STREAM as u64)
+                    .domain(1 << 12)
+                    .seed(9)
+                    .fp(2.0)
+            },
+            |mut robust| {
+                for chunk in fp_stream.chunks(BATCH) {
+                    robust.update_batch(chunk);
+                }
+                robust
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+
+    // Persist the trajectory point: ns/update for each variant, plus the
+    // batched-vs-per-update speedup per estimator.
+    let mut json = String::from("{\"bench\":\"batch_throughput\",\"stream\":");
+    json.push_str(&STREAM.to_string());
+    json.push_str(",\"batch\":");
+    json.push_str(&BATCH.to_string());
+    json.push_str(",\"results\":[");
+    for (i, sample) in c.results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let stream = if sample.id.contains("fp2") {
+            FP_STREAM
+        } else {
+            STREAM
+        };
+        let ns_per_update = sample.median.as_nanos() as f64 / stream as f64;
+        json.push_str(&format!(
+            "{{\"id\":\"{}\",\"ns_per_update\":{ns_per_update:.1}}}",
+            sample.id
+        ));
+    }
+    json.push_str("],\"speedup\":{");
+    for (i, pair) in [
+        ("robust_f0", "robust_update_path/robust_f0"),
+        ("robust_fp2", "robust_update_path/robust_fp2"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let per = c
+            .results
+            .iter()
+            .find(|s| s.id == format!("{}/per_update", pair.1));
+        let batch = c
+            .results
+            .iter()
+            .find(|s| s.id == format!("{}/update_batch", pair.1));
+        if let (Some(per), Some(batch)) = (per, batch) {
+            if i > 0 {
+                json.push(',');
+            }
+            let speedup = per.median.as_nanos() as f64 / batch.median.as_nanos().max(1) as f64;
+            json.push_str(&format!("\"{}\":{speedup:.2}", pair.0));
+        }
+    }
+    json.push_str("}}");
+    println!("{json}");
+    if std::env::var("ARS_BENCH_NO_WRITE").is_err() {
+        // cargo runs benches with the package as cwd; the trajectory file
+        // lives at the workspace root.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_batch_throughput.json"
+        );
+        let _ = std::fs::write(path, format!("{json}\n"));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench_batching
+}
+criterion_main!(benches);

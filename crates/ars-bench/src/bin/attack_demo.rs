@@ -59,7 +59,11 @@ fn main() {
     println!();
     println!(
         "AMS final estimate / truth = {final_ratio:.3} ({}; Theorem 9.1 predicts < 0.5 w.p. 9/10)",
-        if final_ratio < 0.5 { "FOOLED" } else { "survived this run" }
+        if final_ratio < 0.5 {
+            "FOOLED"
+        } else {
+            "survived this run"
+        }
     );
     println!(
         "Robust F2 final estimate / truth = {:.3} (guarantee: within 1 ± 0.5)",

@@ -36,9 +36,6 @@ fn main() {
         let start = std::time::Instant::now();
         let report = run_experiment(id, scale, 42).expect("known experiment id");
         println!("{}", report.to_markdown());
-        println!(
-            "_generated in {:.1}s_\n",
-            start.elapsed().as_secs_f64()
-        );
+        println!("_generated in {:.1}s_\n", start.elapsed().as_secs_f64());
     }
 }

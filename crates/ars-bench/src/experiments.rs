@@ -4,15 +4,23 @@
 //! a quick smoke test (`Scale::quick()`, used by `cargo bench` and CI) or a
 //! longer run (`Scale::full()`, used to produce the numbers recorded in
 //! EXPERIMENTS.md).
+//!
+//! All estimators — static baselines and robust constructions alike — are
+//! driven through **one generic trait-object loop**
+//! ([`score_contenders`]); experiments only differ in which contenders
+//! they enroll ([`Contender`]) and which workload they stream. The robust
+//! contenders are built through the unified
+//! [`ars_core::builder::RobustBuilder`]; there is no per-estimator driver
+//! code anywhere in this crate.
 
 use std::time::Instant;
 
-use ars_adversary::{AmsAttackAdversary, DistinctDuplicateAdversary, GameConfig, GameRunner};
+use ars_adversary::{
+    Adversary, AmsAttackAdversary, DistinctDuplicateAdversary, GameConfig, GameRunner,
+};
 use ars_core::{
-    empirical_flip_number, CryptoBackend, CryptoRobustF0Builder, EntropyMethod, F0Method,
-    FlipNumberBound, FpMethod, RobustBoundedDeletionFpBuilder, RobustEntropyBuilder,
-    RobustF0Builder, RobustFpBuilder, RobustFpLargeBuilder, RobustL2HeavyHittersBuilder,
-    RobustTurnstileFpBuilder,
+    empirical_flip_number, standard_registry, CryptoBackend, FlipNumberBound, RegistryParams,
+    RobustBuilder, RobustEstimator, Strategy,
 };
 use ars_sketch::ams::{AmsConfig, AmsSketch};
 use ars_sketch::countsketch::{CountSketch, CountSketchConfig};
@@ -25,8 +33,8 @@ use ars_sketch::pstable::{PStableConfig, PStableSketch};
 use ars_sketch::Estimator;
 use ars_stream::exact::Query;
 use ars_stream::generator::{
-    BoundedDeletionGenerator, BurstyGenerator, Generator, TurnstileWaveGenerator,
-    UniformGenerator, ZipfGenerator,
+    BoundedDeletionGenerator, BurstyGenerator, Generator, TurnstileWaveGenerator, UniformGenerator,
+    ZipfGenerator,
 };
 use ars_stream::{FrequencyVector, Update};
 
@@ -66,10 +74,43 @@ impl ExperimentScale {
     }
 }
 
+/// One estimator enrolled in an experiment: a label plus the estimator
+/// behind the generic trait object the shared driver consumes.
+///
+/// Robust estimators enter as `Box<dyn RobustEstimator>` (upcast on the
+/// way in); static baselines enter as plain `Box<dyn Estimator>`.
+pub struct Contender {
+    /// Row label.
+    pub label: String,
+    /// The estimator under test.
+    pub estimator: Box<dyn Estimator>,
+}
+
+impl Contender {
+    /// Enrolls a static (baseline) estimator.
+    #[must_use]
+    pub fn baseline<E: Estimator + 'static>(label: impl Into<String>, estimator: E) -> Self {
+        Self {
+            label: label.into(),
+            estimator: Box::new(estimator),
+        }
+    }
+
+    /// Enrolls a robust estimator through the object-safe trait.
+    #[must_use]
+    pub fn robust(label: impl Into<String>, estimator: Box<dyn RobustEstimator>) -> Self {
+        Self {
+            label: label.into(),
+            estimator,
+        }
+    }
+}
+
 /// Feeds a stream to an estimator while scoring it against the exact value
 /// of `query` at every step; returns `(max_relative_error, space_bytes)`.
-fn score_tracking<E: Estimator + ?Sized>(
-    estimator: &mut E,
+/// This is the single tracking loop every experiment shares.
+pub fn score_tracking(
+    estimator: &mut dyn Estimator,
     updates: &[Update],
     query: Query,
     warmup: usize,
@@ -96,6 +137,32 @@ fn score_tracking<E: Estimator + ?Sized>(
     (worst, estimator.space_bytes())
 }
 
+/// Drives every contender over the same stream through the shared tracking
+/// loop and renders one row each.
+pub fn score_contenders(
+    contenders: Vec<Contender>,
+    updates: &[Update],
+    query: Query,
+    workload: &str,
+    epsilon: f64,
+    warmup: usize,
+    additive: bool,
+) -> Vec<Row> {
+    contenders
+        .into_iter()
+        .map(|mut contender| {
+            let (worst, space) = score_tracking(
+                contender.estimator.as_mut(),
+                updates,
+                query,
+                warmup,
+                additive,
+            );
+            tracking_row(&contender.label, workload, epsilon, worst, space, additive)
+        })
+        .collect()
+}
+
 fn tracking_row(
     algorithm: &str,
     workload: &str,
@@ -113,6 +180,93 @@ fn tracking_row(
         within_guarantee: worst <= epsilon * if additive { 1.0 } else { 1.2 },
         notes: String::new(),
     }
+}
+
+/// Plays the adversarial game for every contender under the same
+/// adversary construction and config; one generic loop for E8/E11-style
+/// experiments.
+pub fn game_contenders(
+    contenders: Vec<Contender>,
+    mut make_adversary: impl FnMut() -> Box<dyn Adversary>,
+    config: GameConfig,
+    epsilon: f64,
+    workload: &str,
+) -> Vec<Row> {
+    contenders
+        .into_iter()
+        .map(|mut contender| {
+            let mut adversary = make_adversary();
+            let outcome =
+                GameRunner::new(config).run(contender.estimator.as_mut(), adversary.as_mut());
+            Row {
+                algorithm: contender.label,
+                workload: workload.to_string(),
+                epsilon,
+                space_bytes: contender.estimator.space_bytes(),
+                max_error: outcome.max_error,
+                within_guarantee: !outcome.adversary_won(),
+                notes: format!(
+                    "adversary won: {}, first violation: {:?}",
+                    outcome.adversary_won(),
+                    outcome.first_violation
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Streams `updates` to a registry entry and scores it against the exact
+/// oracle at every observation point, honoring the entry's warmup-free
+/// zone (`min_truth`) and additive/multiplicative scoring. `chunk_size`
+/// 1 exercises the per-update path; larger sizes go through
+/// `update_batch` and score at batch boundaries only (the granularity an
+/// adversary could observe). Returns the worst scored error.
+///
+/// This is the one scoring loop shared by the E13 registry sweep and the
+/// conformance suite in `tests/robust_conformance.rs`.
+pub fn score_registry_entry(
+    entry: &mut ars_core::RegistryEntry,
+    updates: &[Update],
+    chunk_size: usize,
+) -> f64 {
+    let chunk_size = chunk_size.max(1);
+    let warmup = updates.len() / 10;
+    let mut oracle = ars_stream::TrackingOracle::new(entry.query);
+    let mut seen = 0usize;
+    let mut worst: f64 = 0.0;
+    for chunk in updates.chunks(chunk_size) {
+        let mut truth = 0.0;
+        for &u in chunk {
+            truth = oracle.update(u);
+        }
+        if chunk_size == 1 {
+            entry.estimator.update(chunk[0]);
+        } else {
+            entry.estimator.update_batch(chunk);
+        }
+        seen += chunk.len();
+        if seen < warmup || truth < entry.min_truth {
+            continue;
+        }
+        let estimate = entry.estimator.estimate();
+        let err = if entry.additive {
+            (estimate - truth).abs()
+        } else if truth == 0.0 {
+            0.0
+        } else {
+            ((estimate - truth) / truth).abs()
+        };
+        worst = worst.max(err);
+    }
+    worst
+}
+
+fn builder(scale: ExperimentScale, epsilon: f64, seed: u64) -> RobustBuilder {
+    RobustBuilder::new(epsilon)
+        .stream_length(scale.stream_length as u64)
+        .domain(scale.domain)
+        .max_frequency(scale.stream_length as u64)
+        .seed(seed)
 }
 
 /// E1 — Table 1 row "Distinct elements": robust vs static vs exact.
@@ -136,70 +290,39 @@ pub fn table1_f0(scale: ExperimentScale, seed: u64) -> ExperimentReport {
             notes: "Omega(n) lower bound for deterministic algorithms".to_string(),
         });
 
-        let mut static_kmv = KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed);
-        let (err, space) = score_tracking(&mut static_kmv, &updates, Query::F0, warmup, false);
-        report
-            .rows
-            .push(tracking_row("static KMV", &workload, epsilon, err, space, false));
-
-        let mut fast = FastF0Sketch::new(
-            FastF0Config::for_accuracy(epsilon, 0.01, scale.domain),
-            seed + 1,
-        );
-        let (err, space) = score_tracking(&mut fast, &updates, Query::F0, warmup, false);
-        report.rows.push(tracking_row(
-            "static level-list (Alg. 2)",
+        let b = builder(scale, epsilon, seed);
+        let contenders = vec![
+            Contender::baseline(
+                "static KMV",
+                KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed),
+            ),
+            Contender::baseline(
+                "static level-list (Alg. 2)",
+                FastF0Sketch::new(
+                    FastF0Config::for_accuracy(epsilon, 0.01, scale.domain),
+                    seed + 1,
+                ),
+            ),
+            Contender::robust(
+                "robust F0 (sketch switching, Thm 1.1)",
+                Box::new(b.seed(seed + 2).f0()),
+            ),
+            Contender::robust(
+                "robust F0 (computation paths, Thm 1.2)",
+                Box::new(b.seed(seed + 3).strategy(Strategy::ComputationPaths).f0()),
+            ),
+            Contender::robust(
+                "robust F0 (crypto PRF, Thm 10.1)",
+                Box::new(b.seed(seed + 4).crypto_f0()),
+            ),
+        ];
+        report.rows.extend(score_contenders(
+            contenders,
+            &updates,
+            Query::F0,
             &workload,
             epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut switching = RobustF0Builder::new(epsilon)
-            .method(F0Method::SketchSwitching)
-            .stream_length(scale.stream_length as u64)
-            .domain(scale.domain)
-            .seed(seed + 2)
-            .build();
-        let (err, space) = score_tracking(&mut switching, &updates, Query::F0, warmup, false);
-        report.rows.push(tracking_row(
-            "robust F0 (sketch switching, Thm 1.1)",
-            &workload,
-            epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut paths = RobustF0Builder::new(epsilon)
-            .method(F0Method::ComputationPaths)
-            .stream_length(scale.stream_length as u64)
-            .domain(scale.domain)
-            .seed(seed + 3)
-            .build();
-        let (err, space) = score_tracking(&mut paths, &updates, Query::F0, warmup, false);
-        report.rows.push(tracking_row(
-            "robust F0 (computation paths, Thm 1.2)",
-            &workload,
-            epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut crypto = CryptoRobustF0Builder::new(epsilon)
-            .backend(CryptoBackend::ChaChaPrf)
-            .stream_length(scale.stream_length as u64)
-            .seed(seed + 4)
-            .build();
-        let (err, space) = score_tracking(&mut crypto, &updates, Query::F0, warmup, false);
-        report.rows.push(tracking_row(
-            "robust F0 (crypto PRF, Thm 10.1)",
-            &workload,
-            epsilon,
-            err,
-            space,
+            warmup,
             false,
         ));
     }
@@ -210,55 +333,34 @@ pub fn table1_f0(scale: ExperimentScale, seed: u64) -> ExperimentReport {
 #[must_use]
 pub fn table1_fp_small(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let mut report = ExperimentReport::new("E2", "Table 1 rows: Fp estimation, 0 < p <= 2");
-    let updates =
-        ZipfGenerator::new(scale.domain, 1.1, seed).take_updates(scale.stream_length);
+    let updates = ZipfGenerator::new(scale.domain, 1.1, seed).take_updates(scale.stream_length);
     let workload = format!("zipf(n={}, s=1.1)", scale.domain);
     let warmup = scale.stream_length / 20;
     let epsilon = 0.25;
 
     for &p in &[0.5, 1.0, 2.0] {
-        let mut static_sketch =
-            PStableSketch::new(PStableConfig::for_accuracy(p, epsilon), seed + 10);
-        let (err, space) =
-            score_tracking(&mut static_sketch, &updates, Query::Fp(p), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("static p-stable (p={p})"),
+        let b = builder(scale, epsilon, seed);
+        let contenders = vec![
+            Contender::baseline(
+                format!("static p-stable (p={p})"),
+                PStableSketch::new(PStableConfig::for_accuracy(p, epsilon), seed + 10),
+            ),
+            Contender::robust(
+                format!("robust Fp (sketch switching, p={p}, Thm 1.4)"),
+                Box::new(b.seed(seed + 11).fp(p)),
+            ),
+            Contender::robust(
+                format!("robust Fp (computation paths, p={p}, Thm 1.5)"),
+                Box::new(b.seed(seed + 12).strategy(Strategy::ComputationPaths).fp(p)),
+            ),
+        ];
+        report.rows.extend(score_contenders(
+            contenders,
+            &updates,
+            Query::Fp(p),
             &workload,
             epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut switching = RobustFpBuilder::new(p, epsilon)
-            .method(FpMethod::SketchSwitching)
-            .stream_length(scale.stream_length as u64)
-            .domain(scale.domain, scale.stream_length as u64)
-            .seed(seed + 11)
-            .build();
-        let (err, space) = score_tracking(&mut switching, &updates, Query::Fp(p), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("robust Fp (sketch switching, p={p}, Thm 1.4)"),
-            &workload,
-            epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut paths = RobustFpBuilder::new(p, epsilon)
-            .method(FpMethod::ComputationPaths)
-            .stream_length(scale.stream_length as u64)
-            .domain(scale.domain, scale.stream_length as u64)
-            .seed(seed + 12)
-            .build();
-        let (err, space) = score_tracking(&mut paths, &updates, Query::Fp(p), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("robust Fp (computation paths, p={p}, Thm 1.5)"),
-            &workload,
-            epsilon,
-            err,
-            space,
+            warmup,
             false,
         ));
     }
@@ -276,31 +378,24 @@ pub fn table1_fp_large(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let epsilon = 0.3;
 
     for &p in &[3.0, 4.0] {
-        let mut static_sketch =
-            FpLargeSketch::new(FpLargeConfig::for_accuracy(p, epsilon, domain), seed + 20);
-        let (err, space) =
-            score_tracking(&mut static_sketch, &updates, Query::Fp(p), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("static heavy-elements (p={p})"),
+        let b = builder(scale, epsilon, seed).domain(domain);
+        let contenders = vec![
+            Contender::baseline(
+                format!("static heavy-elements (p={p})"),
+                FpLargeSketch::new(FpLargeConfig::for_accuracy(p, epsilon, domain), seed + 20),
+            ),
+            Contender::robust(
+                format!("robust Fp (computation paths, p={p}, Thm 1.7)"),
+                Box::new(b.seed(seed + 21).fp_large(p)),
+            ),
+        ];
+        report.rows.extend(score_contenders(
+            contenders,
+            &updates,
+            Query::Fp(p),
             &workload,
             epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut robust = RobustFpLargeBuilder::new(p, epsilon)
-            .domain(domain)
-            .stream_length(scale.stream_length as u64)
-            .seed(seed + 21)
-            .build();
-        let (err, space) = score_tracking(&mut robust, &updates, Query::Fp(p), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("robust Fp (computation paths, p={p}, Thm 1.7)"),
-            &workload,
-            epsilon,
-            err,
-            space,
+            warmup,
             false,
         ));
     }
@@ -308,11 +403,16 @@ pub fn table1_fp_large(scale: ExperimentScale, seed: u64) -> ExperimentReport {
 }
 
 /// E4 — Table 1 row "L2 heavy hitters": recall/precision and space.
+///
+/// Heavy hitters answer a *set* query, so this experiment keeps its
+/// set-based scorer; the robust structure is still constructed through the
+/// unified builder.
 #[must_use]
 pub fn table1_heavy_hitters(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let mut report = ExperimentReport::new("E4", "Table 1 row: L2 heavy hitters");
     let epsilon = 0.1;
-    let updates = BurstyGenerator::new(scale.domain, 5, 0.4, seed).take_updates(scale.stream_length);
+    let updates =
+        BurstyGenerator::new(scale.domain, 5, 0.4, seed).take_updates(scale.stream_length);
     let workload = format!("bursty(n={}, heavy=5)", scale.domain);
     let truth: FrequencyVector = updates.iter().copied().collect();
     let true_heavy = truth.l2_heavy_hitters(epsilon);
@@ -351,9 +451,11 @@ pub fn table1_heavy_hitters(scale: ExperimentScale, seed: u64) -> ExperimentRepo
         mg.update(u);
     }
     let mg_reported = mg.heavy_hitters(epsilon * truth.l2() * 0.75);
-    report
-        .rows
-        .push(score_set(&mg_reported, mg.space_bytes(), "deterministic Misra-Gries (L1)"));
+    report.rows.push(score_set(
+        &mg_reported,
+        mg.space_bytes(),
+        "deterministic Misra-Gries (L1)",
+    ));
 
     // Static CountSketch.
     let mut cs = CountSketch::new(
@@ -364,16 +466,14 @@ pub fn table1_heavy_hitters(scale: ExperimentScale, seed: u64) -> ExperimentRepo
         cs.update(u);
     }
     let cs_reported = cs.heavy_hitters(0.75 * epsilon * truth.l2());
-    report
-        .rows
-        .push(score_set(&cs_reported, cs.space_bytes(), "static CountSketch"));
+    report.rows.push(score_set(
+        &cs_reported,
+        cs.space_bytes(),
+        "static CountSketch",
+    ));
 
-    // Robust heavy hitters.
-    let mut robust = RobustL2HeavyHittersBuilder::new(epsilon)
-        .domain(scale.domain)
-        .stream_length(scale.stream_length as u64)
-        .seed(seed + 31)
-        .build();
+    // Robust heavy hitters, via the unified builder.
+    let mut robust = builder(scale, epsilon, seed + 31).heavy_hitters();
     for &u in &updates {
         robust.update(u);
     }
@@ -398,47 +498,36 @@ pub fn table1_entropy(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let workload = format!("zipf(n={domain}, s=1.1)");
     let warmup = m / 5;
 
-    let mut static_renyi = RenyiEntropyEstimator::new(
-        RenyiEntropyConfig::for_accuracy(epsilon, m as u64),
-        seed + 40,
-    );
-    let (err, space) = score_tracking(
-        &mut static_renyi,
+    let b = RobustBuilder::new(epsilon)
+        .stream_length(m as u64)
+        .domain(domain)
+        .seed(seed + 41);
+    let contenders = vec![
+        Contender::baseline(
+            "static Renyi-reduction estimator",
+            RenyiEntropyEstimator::new(
+                RenyiEntropyConfig::for_accuracy(epsilon, m as u64),
+                seed + 40,
+            ),
+        ),
+        Contender::robust(
+            "robust entropy (Renyi backend, Thm 1.10)",
+            Box::new(b.entropy_method(ars_core::EntropyMethod::Renyi).entropy()),
+        ),
+        Contender::robust(
+            "robust entropy (sampled backend, random-oracle row)",
+            Box::new(b.entropy_method(ars_core::EntropyMethod::Sampled).entropy()),
+        ),
+    ];
+    report.rows.extend(score_contenders(
+        contenders,
         &updates,
         Query::ShannonEntropy,
-        warmup,
-        true,
-    );
-    report.rows.push(tracking_row(
-        "static Renyi-reduction estimator",
         &workload,
         epsilon,
-        err,
-        space,
+        warmup,
         true,
     ));
-
-    for (label, method) in [
-        ("robust entropy (Renyi backend, Thm 1.10)", EntropyMethod::Renyi),
-        ("robust entropy (sampled backend, random-oracle row)", EntropyMethod::Sampled),
-    ] {
-        let mut robust = RobustEntropyBuilder::new(epsilon)
-            .method(method)
-            .domain(domain)
-            .stream_length(m as u64)
-            .seed(seed + 41)
-            .build();
-        let (err, space) = score_tracking(
-            &mut robust,
-            &updates,
-            Query::ShannonEntropy,
-            warmup,
-            true,
-        );
-        report
-            .rows
-            .push(tracking_row(label, &workload, epsilon, err, space, true));
-    }
     report
 }
 
@@ -455,23 +544,25 @@ pub fn table1_turnstile(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let waves = (scale.stream_length as u64 / (2 * wave)).max(1) as usize + 1;
     let lambda = 2 * waves * FlipNumberBound::monotone(epsilon / 20.0, wave as f64).bound;
 
-    let mut static_sketch =
-        PStableSketch::new(PStableConfig::for_accuracy(2.0, epsilon), seed + 50);
-    let (err, space) = score_tracking(&mut static_sketch, &updates, Query::Fp(2.0), warmup, false);
-    report.rows.push(tracking_row(
+    let contenders = vec![Contender::baseline(
         "static p-stable (turnstile)",
+        PStableSketch::new(PStableConfig::for_accuracy(2.0, epsilon), seed + 50),
+    )];
+    report.rows.extend(score_contenders(
+        contenders,
+        &updates,
+        Query::Fp(2.0),
         &workload,
         epsilon,
-        err,
-        space,
+        warmup,
         false,
     ));
 
-    let mut robust = RobustTurnstileFpBuilder::new(2.0, epsilon, lambda)
-        .stream_length(scale.stream_length as u64)
-        .domain(scale.domain, 4)
-        .seed(seed + 51)
-        .build();
+    // The robust contender goes through the same shared loop; its budget
+    // accounting is read back through the RobustEstimator surface.
+    let mut robust = builder(scale, epsilon, seed + 51)
+        .max_frequency(4)
+        .turnstile_fp(2.0, lambda);
     let (err, space) = score_tracking(&mut robust, &updates, Query::Fp(2.0), warmup, false);
     report.rows.push(Row {
         algorithm: "robust turnstile Fp (Thm 1.6)".to_string(),
@@ -480,7 +571,10 @@ pub fn table1_turnstile(scale: ExperimentScale, seed: u64) -> ExperimentReport {
         space_bytes: space,
         max_error: err,
         within_guarantee: err <= epsilon * 1.2,
-        notes: format!("lambda budget {lambda}, budget exceeded: {}", robust.budget_exceeded()),
+        notes: format!(
+            "lambda budget {lambda}, budget exceeded: {}",
+            robust.budget_exceeded()
+        ),
     });
     report
 }
@@ -496,32 +590,27 @@ pub fn table1_bounded_deletion(scale: ExperimentScale, seed: u64) -> ExperimentR
         let updates = BoundedDeletionGenerator::new(alpha, 500, seed + alpha as u64)
             .take_updates(scale.stream_length);
         let workload = format!("bounded-deletion(alpha={alpha})");
-
-        let mut static_sketch =
-            PStableSketch::new(PStableConfig::for_accuracy(1.0, epsilon), seed + 60);
-        let (err, space) =
-            score_tracking(&mut static_sketch, &updates, Query::Fp(1.0), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("static p-stable (alpha={alpha})"),
+        let contenders = vec![
+            Contender::baseline(
+                format!("static p-stable (alpha={alpha})"),
+                PStableSketch::new(PStableConfig::for_accuracy(1.0, epsilon), seed + 60),
+            ),
+            Contender::robust(
+                format!("robust bounded-deletion Fp (alpha={alpha}, Thm 1.11)"),
+                Box::new(
+                    builder(scale, epsilon, seed + 61)
+                        .max_frequency(4)
+                        .bounded_deletion_fp(1.0, alpha),
+                ),
+            ),
+        ];
+        report.rows.extend(score_contenders(
+            contenders,
+            &updates,
+            Query::Fp(1.0),
             &workload,
             epsilon,
-            err,
-            space,
-            false,
-        ));
-
-        let mut robust = RobustBoundedDeletionFpBuilder::new(1.0, epsilon, alpha)
-            .stream_length(scale.stream_length as u64)
-            .domain(scale.domain, 4)
-            .seed(seed + 61)
-            .build();
-        let (err, space) = score_tracking(&mut robust, &updates, Query::Fp(1.0), warmup, false);
-        report.rows.push(tracking_row(
-            &format!("robust bounded-deletion Fp (alpha={alpha}, Thm 1.11)"),
-            &workload,
-            epsilon,
-            err,
-            space,
+            warmup,
             false,
         ));
     }
@@ -570,20 +659,31 @@ pub fn attack_ams(scale: ExperimentScale, seed: u64) -> ExperimentReport {
         });
     }
 
-    // The same adversary run against the robust F2 estimator.
+    // The same adversary run against the robust F2 estimator, through the
+    // generic game loop.
     let rows = 64usize;
     let rounds = 60 * rows;
     let mut robust_failures = 0usize;
     for trial in 0..scale.trials {
-        let mut robust = RobustFpBuilder::new(2.0, 0.5)
-            .method(FpMethod::SketchSwitching)
-            .stream_length(rounds as u64)
-            .seed(seed + 200 + trial as u64)
-            .build();
-        let mut adversary = AmsAttackAdversary::new(rows, seed + 300 + trial as u64);
+        let contenders = vec![Contender::robust(
+            "robust F2 (sketch switching) under the same adversary".to_string(),
+            Box::new(
+                RobustBuilder::new(0.5)
+                    .stream_length(rounds as u64)
+                    .seed(seed + 200 + trial as u64)
+                    .fp(2.0),
+            ),
+        )];
+        let trial_seed = seed + 300 + trial as u64;
         let config = GameConfig::relative(Query::Fp(2.0), 0.5, rounds).with_warmup(1);
-        let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
-        if outcome.adversary_won() {
+        let game_rows = game_contenders(
+            contenders,
+            || Box::new(AmsAttackAdversary::new(rows, trial_seed)),
+            config,
+            0.5,
+            &format!("adaptive attack, {rounds} rounds"),
+        );
+        if !game_rows[0].within_guarantee {
             robust_failures += 1;
         }
     }
@@ -591,9 +691,9 @@ pub fn attack_ams(scale: ExperimentScale, seed: u64) -> ExperimentReport {
         algorithm: "robust F2 (sketch switching) under the same adversary".to_string(),
         workload: format!("adaptive attack, {rounds} rounds"),
         epsilon: 0.5,
-        space_bytes: RobustFpBuilder::new(2.0, 0.5)
+        space_bytes: RobustBuilder::new(0.5)
             .stream_length(rounds as u64)
-            .build()
+            .fp(2.0)
             .space_bytes(),
         max_error: robust_failures as f64 / scale.trials as f64,
         within_guarantee: robust_failures == 0,
@@ -610,8 +710,7 @@ pub fn attack_ams(scale: ExperimentScale, seed: u64) -> ExperimentReport {
 /// Lemma 8.2 and Proposition 7.2.
 #[must_use]
 pub fn flip_number_experiment(scale: ExperimentScale, seed: u64) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("E9", "Flip numbers: empirical vs analytic bounds");
+    let mut report = ExperimentReport::new("E9", "Flip numbers: empirical vs analytic bounds");
     let epsilon = 0.1;
     let m = scale.stream_length;
     let updates = UniformGenerator::new(scale.domain, seed).take_updates(m);
@@ -634,9 +733,12 @@ pub fn flip_number_experiment(scale: ExperimentScale, seed: u64) -> ExperimentRe
         ),
     ];
     // Entropy exponential: measured on the same stream.
-    let entropy_bound =
-        FlipNumberBound::entropy_exponential(epsilon, scale.domain, m as u64).bound;
-    cases.push(("2^H (entropy exponential)", Query::ShannonEntropy, entropy_bound));
+    let entropy_bound = FlipNumberBound::entropy_exponential(epsilon, scale.domain, m as u64).bound;
+    cases.push((
+        "2^H (entropy exponential)",
+        Query::ShannonEntropy,
+        entropy_bound,
+    ));
 
     for (label, query, bound) in cases {
         let mut oracle = ars_stream::TrackingOracle::new(query);
@@ -679,7 +781,8 @@ pub fn flip_number_experiment(scale: ExperimentScale, seed: u64) -> ExperimentRe
 }
 
 /// E10 — update-time comparison for distinct elements (Theorem 5.4's
-/// motivation): fast level-list vs KMV vs robust wrappers.
+/// motivation): fast level-list vs KMV vs robust wrappers, per-update vs
+/// the engine's batched hot path.
 #[must_use]
 pub fn fast_f0_update_time(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let mut report = ExperimentReport::new(
@@ -689,58 +792,74 @@ pub fn fast_f0_update_time(scale: ExperimentScale, seed: u64) -> ExperimentRepor
     let updates = UniformGenerator::new(scale.domain, seed).take_updates(scale.stream_length);
     let workload = format!("uniform(n={}, m={})", scale.domain, scale.stream_length);
     let epsilon = 0.1;
+    let b = builder(scale, epsilon, seed);
 
-    let mut contenders: Vec<(&str, Box<dyn Estimator>)> = vec![
-        (
+    let mut contenders: Vec<Contender> = vec![
+        Contender::baseline(
             "static KMV",
-            Box::new(KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed)),
+            KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed),
         ),
-        (
+        Contender::baseline(
             "static level-list (Alg. 2)",
-            Box::new(FastF0Sketch::new(
+            FastF0Sketch::new(
                 FastF0Config::for_accuracy(epsilon, 1e-9, scale.domain),
                 seed + 1,
-            )),
+            ),
         ),
-        (
+        Contender::robust(
             "robust F0 (sketch switching)",
-            Box::new(
-                RobustF0Builder::new(epsilon)
-                    .method(F0Method::SketchSwitching)
-                    .stream_length(scale.stream_length as u64)
-                    .domain(scale.domain)
-                    .seed(seed + 2)
-                    .build(),
-            ),
+            Box::new(b.seed(seed + 2).f0()),
         ),
-        (
+        Contender::robust(
             "robust F0 (computation paths over Alg. 2, Thm 5.4)",
-            Box::new(
-                RobustF0Builder::new(epsilon)
-                    .method(F0Method::ComputationPaths)
-                    .stream_length(scale.stream_length as u64)
-                    .domain(scale.domain)
-                    .seed(seed + 3)
-                    .build(),
-            ),
+            Box::new(b.seed(seed + 3).strategy(Strategy::ComputationPaths).f0()),
         ),
     ];
 
-    for (label, estimator) in &mut contenders {
+    for contender in &mut contenders {
         let start = Instant::now();
         for &u in &updates {
-            estimator.update(u);
+            contender.estimator.update(u);
         }
         let elapsed = start.elapsed();
         let ns_per_update = elapsed.as_nanos() as f64 / updates.len() as f64;
         report.rows.push(Row {
-            algorithm: (*label).to_string(),
+            algorithm: contender.label.clone(),
+            workload: workload.clone(),
+            epsilon,
+            space_bytes: contender.estimator.space_bytes(),
+            max_error: ns_per_update,
+            within_guarantee: true,
+            notes: format!("{ns_per_update:.0} ns/update"),
+        });
+    }
+
+    // The same robust estimators through the batched hot path.
+    let batch_contenders: Vec<(String, Box<dyn RobustEstimator>)> = vec![
+        (
+            "robust F0 (sketch switching, update_batch)".to_string(),
+            Box::new(b.seed(seed + 2).f0()),
+        ),
+        (
+            "robust F0 (computation paths, update_batch)".to_string(),
+            Box::new(b.seed(seed + 3).strategy(Strategy::ComputationPaths).f0()),
+        ),
+    ];
+    for (label, mut estimator) in batch_contenders {
+        let start = Instant::now();
+        for chunk in updates.chunks(256) {
+            estimator.update_batch(chunk);
+        }
+        let elapsed = start.elapsed();
+        let ns_per_update = elapsed.as_nanos() as f64 / updates.len() as f64;
+        report.rows.push(Row {
+            algorithm: label,
             workload: workload.clone(),
             epsilon,
             space_bytes: estimator.space_bytes(),
             max_error: ns_per_update,
             within_guarantee: true,
-            notes: format!("{ns_per_update:.0} ns/update"),
+            notes: format!("{ns_per_update:.0} ns/update (batches of 256)"),
         });
     }
     report
@@ -756,63 +875,39 @@ pub fn crypto_f0_experiment(scale: ExperimentScale, seed: u64) -> ExperimentRepo
     );
     let epsilon = 0.1;
     let rounds = scale.stream_length;
+    let b = builder(scale, epsilon, seed);
 
-    let mut contenders: Vec<(&str, Box<dyn Estimator>)> = vec![
-        (
+    let contenders: Vec<Contender> = vec![
+        Contender::baseline(
             "static KMV (non-robust)",
-            Box::new(KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed)),
+            KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed),
         ),
-        (
+        Contender::robust(
             "crypto robust F0 (ChaCha PRF)",
-            Box::new(
-                CryptoRobustF0Builder::new(epsilon)
-                    .backend(CryptoBackend::ChaChaPrf)
-                    .stream_length(rounds as u64)
-                    .seed(seed + 1)
-                    .build(),
-            ),
+            Box::new(b.seed(seed + 1).crypto_f0()),
         ),
-        (
+        Contender::robust(
             "crypto robust F0 (random oracle)",
             Box::new(
-                CryptoRobustF0Builder::new(epsilon)
-                    .backend(CryptoBackend::RandomOracle)
-                    .stream_length(rounds as u64)
-                    .seed(seed + 2)
-                    .build(),
+                b.seed(seed + 2)
+                    .strategy(Strategy::Crypto(CryptoBackend::RandomOracle))
+                    .crypto_f0(),
             ),
         ),
-        (
+        Contender::robust(
             "robust F0 (sketch switching, for comparison)",
-            Box::new(
-                RobustF0Builder::new(epsilon)
-                    .method(F0Method::SketchSwitching)
-                    .stream_length(rounds as u64)
-                    .domain(scale.domain)
-                    .seed(seed + 3)
-                    .build(),
-            ),
+            Box::new(b.seed(seed + 3).f0()),
         ),
     ];
 
-    for (label, estimator) in &mut contenders {
-        let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(500);
-        let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(500);
-        let outcome = GameRunner::new(config).run(estimator.as_mut(), &mut adversary);
-        report.rows.push(Row {
-            algorithm: (*label).to_string(),
-            workload: format!("adaptive dip-hunter, {rounds} rounds"),
-            epsilon,
-            space_bytes: estimator.space_bytes(),
-            max_error: outcome.max_error,
-            within_guarantee: !outcome.adversary_won(),
-            notes: format!(
-                "adversary won: {}, first violation: {:?}",
-                outcome.adversary_won(),
-                outcome.first_violation
-            ),
-        });
-    }
+    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(500);
+    report.rows.extend(game_contenders(
+        contenders,
+        || Box::new(DistinctDuplicateAdversary::new(epsilon).with_min_count(500)),
+        config,
+        epsilon,
+        &format!("adaptive dip-hunter, {rounds} rounds"),
+    ));
     report
 }
 
@@ -830,28 +925,73 @@ pub fn wrapper_ablation(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let warmup = scale.stream_length / 20;
 
     for &delta in &[1e-2, 1e-6] {
-        for (label, method) in [
-            ("sketch switching", F0Method::SketchSwitching),
-            ("computation paths", F0Method::ComputationPaths),
-        ] {
-            let mut robust = RobustF0Builder::new(epsilon)
-                .method(method)
-                .delta(delta)
-                .stream_length(scale.stream_length as u64)
-                .domain(scale.domain)
-                .seed(seed + 70)
-                .build();
-            let (err, space) = score_tracking(&mut robust, &updates, Query::F0, warmup, false);
-            report.rows.push(Row {
-                algorithm: format!("{label} (delta={delta:.0e})"),
-                workload: workload.clone(),
-                epsilon,
-                space_bytes: space,
-                max_error: err,
-                within_guarantee: err <= epsilon * 1.2,
-                notes: String::new(),
-            });
-        }
+        let contenders: Vec<Contender> = [
+            ("sketch switching", Strategy::SketchSwitching),
+            ("computation paths", Strategy::ComputationPaths),
+        ]
+        .into_iter()
+        .map(|(label, strategy)| {
+            Contender::robust(
+                format!("{label} (delta={delta:.0e})"),
+                Box::new(
+                    builder(scale, epsilon, seed + 70)
+                        .delta(delta)
+                        .strategy(strategy)
+                        .f0(),
+                ),
+            )
+        })
+        .collect();
+        report.rows.extend(score_contenders(
+            contenders,
+            &updates,
+            Query::F0,
+            &workload,
+            epsilon,
+            warmup,
+            false,
+        ));
+    }
+    report
+}
+
+/// E13 — the unified registry sweep: every problem × strategy in
+/// [`ars_core::registry::standard_registry`], driven through one
+/// model-aware trait-object loop using the batched hot path.
+#[must_use]
+pub fn registry_sweep(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E13",
+        "Unified registry sweep: all robust estimators through one generic loop",
+    );
+    let params = RegistryParams {
+        epsilon: 0.25,
+        delta: 1e-3,
+        stream_length: scale.stream_length as u64,
+        domain: scale.domain,
+        seed,
+    };
+    for mut entry in standard_registry(&params) {
+        let updates = entry.reference_stream(&params, seed ^ 0x5EED);
+        let worst = score_registry_entry(&mut entry, &updates, 128);
+        report.rows.push(Row {
+            algorithm: entry.label,
+            workload: format!("{:?}", entry.model),
+            epsilon: params.epsilon,
+            space_bytes: entry.estimator.space_bytes(),
+            max_error: worst,
+            within_guarantee: worst <= entry.error_budget,
+            notes: format!(
+                "strategy {}, error budget {:.3}, flips {}/{}",
+                entry.estimator.strategy_name(),
+                entry.error_budget,
+                entry.estimator.output_changes(),
+                match entry.estimator.flip_budget() {
+                    usize::MAX => "inf".to_string(),
+                    b => b.to_string(),
+                },
+            ),
+        });
     }
     report
 }
@@ -872,6 +1012,7 @@ pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<Exp
         "E10" => Some(fast_f0_update_time(scale, seed)),
         "E11" => Some(crypto_f0_experiment(scale, seed)),
         "E12" => Some(wrapper_ablation(scale, seed)),
+        "E13" => Some(registry_sweep(scale, seed)),
         _ => None,
     }
 }
@@ -880,7 +1021,7 @@ pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<Exp
 #[must_use]
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
     ]
 }
 
@@ -913,10 +1054,10 @@ mod tests {
     fn experiment_ids_round_trip() {
         for id in all_experiment_ids() {
             // Only check dispatch, not execution (some experiments are slow).
-            assert!(
-                ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
-                    .contains(&id)
-            );
+            assert!([
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"
+            ]
+            .contains(&id));
         }
         assert!(run_experiment("bogus", tiny(), 0).is_none());
     }
@@ -926,5 +1067,25 @@ mod tests {
         let report = wrapper_ablation(tiny(), 5);
         assert_eq!(report.rows.len(), 4);
         assert!(report.to_markdown().contains("sketch switching"));
+    }
+
+    #[test]
+    fn generic_loop_scores_mixed_contender_sets() {
+        let updates = UniformGenerator::new(1 << 10, 3).take_updates(2_000);
+        let contenders = vec![
+            Contender::baseline(
+                "static KMV",
+                KmvSketch::new(KmvConfig::for_accuracy(0.2), 1),
+            ),
+            Contender::robust(
+                "robust F0",
+                Box::new(RobustBuilder::new(0.2).stream_length(2_000).seed(2).f0()),
+            ),
+        ];
+        let rows = score_contenders(contenders, &updates, Query::F0, "uniform", 0.2, 100, false);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row.within_guarantee, "{}: {}", row.algorithm, row.max_error);
+        }
     }
 }

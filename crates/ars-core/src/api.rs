@@ -1,0 +1,106 @@
+//! The object-safe robust-estimator interface.
+//!
+//! Every robust estimator in this crate — whatever strategy produced it —
+//! is usable as a `Box<dyn RobustEstimator>`: the benchmark harness, the
+//! adversarial game and the conformance suite all drive estimators through
+//! this one trait instead of one hand-written loop per estimator type.
+
+use ars_sketch::Estimator;
+use ars_stream::Update;
+
+/// An adversarially robust streaming estimator.
+///
+/// Extends [`Estimator`] (update / estimate / space accounting) with the
+/// robustness-specific surface: the approximation parameter the guarantee
+/// was configured for, flip-number budget accounting, and a batched update
+/// path for throughput-oriented callers.
+///
+/// # Batched updates and adaptivity
+///
+/// [`RobustEstimator::update_batch`] defaults to calling
+/// [`Estimator::update`] once per element, which preserves per-update
+/// semantics exactly. The [`crate::engine::Robustify`] engine overrides it
+/// to amortize the ε-rounding / switching check to one per batch: no output
+/// is published mid-batch, so an adversary — who by definition only adapts
+/// to *published* outputs — gains nothing from the coarser granularity, and
+/// the estimate read after the batch still carries the `(1 ± ε)` guarantee.
+pub trait RobustEstimator: Estimator {
+    /// Processes a batch of updates. The estimate is only specified at
+    /// batch boundaries; see the trait docs for the adaptivity argument.
+    fn update_batch(&mut self, updates: &[Update]) {
+        for &u in updates {
+            self.update(u);
+        }
+    }
+
+    /// The approximation parameter ε this estimator was built for
+    /// (multiplicative for moments, additive bits for entropy).
+    fn epsilon(&self) -> f64;
+
+    /// Number of times the published output has changed so far.
+    fn output_changes(&self) -> usize;
+
+    /// The flip-number budget λ the estimator was provisioned for.
+    /// Estimators whose robustness argument needs no flip budget (the
+    /// cryptographic route) report `usize::MAX`.
+    fn flip_budget(&self) -> usize;
+
+    /// Whether the published output has changed more often than the
+    /// flip-number budget — evidence that the stream left the promised
+    /// class (e.g. the λ-flip turnstile promise) or that an inner
+    /// estimator failed.
+    fn budget_exceeded(&self) -> bool {
+        self.output_changes() > self.flip_budget()
+    }
+
+    /// The robustification strategy that produced this estimator, for
+    /// reports (e.g. `"sketch-switching"`, `"computation-paths"`).
+    fn strategy_name(&self) -> &'static str;
+}
+
+/// Forwards the whole [`RobustEstimator`] surface of a wrapper struct to an
+/// inner field. The eight problem-specific shim types in this crate are
+/// exactly such wrappers over [`crate::engine::Robustify`]; the macro keeps
+/// them free of hand-written plumbing (the old per-type `enum Inner`
+/// dispatch this crate used to contain).
+macro_rules! delegate_robust_estimator {
+    ($ty:ty, $field:ident) => {
+        impl ars_sketch::Estimator for $ty {
+            fn update(&mut self, update: ars_stream::Update) {
+                self.$field.update(update);
+            }
+
+            fn estimate(&self) -> f64 {
+                self.$field.estimate()
+            }
+
+            fn space_bytes(&self) -> usize {
+                self.$field.space_bytes()
+            }
+        }
+
+        impl $crate::api::RobustEstimator for $ty {
+            fn update_batch(&mut self, updates: &[ars_stream::Update]) {
+                $crate::api::RobustEstimator::update_batch(&mut self.$field, updates);
+            }
+
+            fn epsilon(&self) -> f64 {
+                $crate::api::RobustEstimator::epsilon(&self.$field)
+            }
+
+            fn output_changes(&self) -> usize {
+                $crate::api::RobustEstimator::output_changes(&self.$field)
+            }
+
+            fn flip_budget(&self) -> usize {
+                $crate::api::RobustEstimator::flip_budget(&self.$field)
+            }
+
+            fn strategy_name(&self) -> &'static str {
+                $crate::api::RobustEstimator::strategy_name(&self.$field)
+            }
+        }
+    };
+}
+
+pub(crate) use delegate_robust_estimator;

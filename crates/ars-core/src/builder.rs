@@ -1,0 +1,598 @@
+//! The single builder behind every robust estimator in this crate.
+//!
+//! [`RobustBuilder`] collects the parameters shared by every construction
+//! — ε, δ, stream length, domain, frequency bound, seed and the
+//! robustification [`Strategy`] — and its problem-specific constructors
+//! ([`RobustBuilder::f0`], [`RobustBuilder::fp`],
+//! [`RobustBuilder::entropy`], …) are thin factory selections: each one
+//! computes the problem's flip-number budget, instantiates the right
+//! static-sketch factory, and hands both to the chosen strategy. All the
+//! robustness machinery lives in the [`crate::engine`] and
+//! [`crate::strategy`] modules, exactly once.
+//!
+//! ```
+//! use ars_core::{RobustBuilder, Strategy};
+//!
+//! let mut f0 = RobustBuilder::new(0.1)
+//!     .stream_length(10_000)
+//!     .seed(7)
+//!     .f0();
+//! let mut f2 = RobustBuilder::new(0.3)
+//!     .strategy(Strategy::ComputationPaths)
+//!     .fp(2.0);
+//! f0.insert(1);
+//! f2.insert(1);
+//! ```
+
+use ars_sketch::entropy::{
+    RenyiEntropyConfig, RenyiEntropyFactory, SampledEntropyConfig, SampledEntropyFactory,
+};
+use ars_sketch::fast_f0::{FastF0Config, FastF0Factory};
+use ars_sketch::fp_large::{FpLargeConfig, FpLargeFactory};
+use ars_sketch::kmv::{KmvConfig, KmvFactory};
+use ars_sketch::pstable::{PStableConfig, PStableFactory};
+use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
+use ars_sketch::EstimatorFactory;
+
+use crate::crypto_f0::CryptoRobustF0;
+use crate::engine::{DynRobust, RobustPlan};
+use crate::flip_number::FlipNumberBound;
+use crate::robust_bounded_deletion::RobustBoundedDeletionFp;
+use crate::robust_entropy::{EntropyMethod, ExponentialFactory, RobustEntropy};
+use crate::robust_f0::RobustF0;
+use crate::robust_fp::{RobustFp, RobustFpLarge};
+use crate::robust_heavy_hitters::RobustL2HeavyHitters;
+use crate::robust_turnstile::RobustTurnstileFp;
+use crate::sketch_switch::SketchSwitchConfig;
+use crate::strategy::{
+    ComputationPathsStrategy, CryptoBackend, CryptoMaskStrategy, PoolPolicy, RobustStrategy,
+    SketchSwitchStrategy,
+};
+
+/// Which robustification route the builder applies.
+///
+/// `None` (the builder default) lets each problem pick the route its paper
+/// theorem uses; problems that only admit one route reject the others with
+/// a panic naming the conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Optimized sketch switching (Algorithm 1 / Theorem 4.1).
+    #[default]
+    SketchSwitching,
+    /// Computation paths (Lemma 3.8) — preferable when δ must be tiny.
+    ComputationPaths,
+    /// The cryptographic transformation (Theorem 10.1); only sound for
+    /// duplicate-invariant sketches (the `F₀` family).
+    Crypto(CryptoBackend),
+}
+
+/// The single builder for every robust estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct RobustBuilder {
+    epsilon: f64,
+    delta: f64,
+    stream_length: u64,
+    domain: u64,
+    max_frequency: u64,
+    seed: u64,
+    strategy: Option<Strategy>,
+    /// Practical floor for the computation-paths per-path failure
+    /// probability; the theoretical value underflows `f64` and would make
+    /// the static sketch enormous, so experiments use this floor and report
+    /// the theoretical exponent alongside.
+    practical_delta_floor: f64,
+    entropy_method: EntropyMethod,
+}
+
+impl RobustBuilder {
+    /// Starts a builder for `(1 ± ε)` robust estimators.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self {
+            epsilon,
+            delta: 1e-3,
+            stream_length: 1 << 20,
+            domain: 1 << 20,
+            max_frequency: 1 << 20,
+            seed: 0,
+            strategy: None,
+            practical_delta_floor: 1e-12,
+            entropy_method: EntropyMethod::default(),
+        }
+    }
+
+    /// Overall failure probability δ (default `10⁻³`).
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        self.delta = delta;
+        self
+    }
+
+    /// Maximum stream length `m` (default `2²⁰`).
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m.max(1);
+        self
+    }
+
+    /// Domain size `n` (default `2²⁰`).
+    #[must_use]
+    pub fn domain(mut self, n: u64) -> Self {
+        self.domain = n.max(2);
+        self
+    }
+
+    /// Frequency magnitude bound `M` (default `2²⁰`).
+    #[must_use]
+    pub fn max_frequency(mut self, max_frequency: u64) -> Self {
+        self.max_frequency = max_frequency.max(1);
+        self
+    }
+
+    /// Seed for all randomness (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the robustification route (default: per-problem).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Sets the practical floor on the computation-paths failure
+    /// probability (see the field documentation).
+    #[must_use]
+    pub fn practical_delta_floor(mut self, floor: f64) -> Self {
+        assert!(floor > 0.0 && floor < 1.0);
+        self.practical_delta_floor = floor;
+        self
+    }
+
+    /// Selects the static backend for [`RobustBuilder::entropy`].
+    #[must_use]
+    pub fn entropy_method(mut self, method: EntropyMethod) -> Self {
+        self.entropy_method = method;
+        self
+    }
+
+    /// The configured ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The shared scalar parameters `(δ, n, m, seed)`, for constructions
+    /// (like the heavy-hitters structure) that assemble bespoke state
+    /// around the engine.
+    #[must_use]
+    pub fn raw_parameters(&self) -> (f64, u64, u64, u64) {
+        (self.delta, self.domain, self.stream_length, self.seed)
+    }
+
+    fn plan(&self, lambda: usize, value_range: f64) -> RobustPlan {
+        RobustPlan {
+            epsilon: self.epsilon,
+            rounding_epsilon: self.epsilon,
+            delta: self.delta,
+            stream_length: self.stream_length,
+            domain: self.domain,
+            max_frequency: self.max_frequency,
+            lambda: lambda.max(1),
+            value_range: value_range.max(2.0),
+        }
+    }
+
+    /// Applies any [`RobustStrategy`] — including ones defined outside this
+    /// crate — to any static-sketch factory. This is the extension seam the
+    /// problem constructors below are thin wrappers over.
+    #[must_use]
+    pub fn custom<F, S>(
+        &self,
+        factory: F,
+        strategy: &S,
+        lambda: usize,
+        value_range: f64,
+    ) -> DynRobust
+    where
+        F: EstimatorFactory + Send + 'static,
+        F::Output: Send + 'static,
+        S: RobustStrategy + ?Sized,
+    {
+        strategy.wrap(factory, &self.plan(lambda, value_range), self.seed)
+    }
+
+    // ------------------------------------------------------------------
+    // Problem-specific constructors: thin factory selections.
+    // ------------------------------------------------------------------
+
+    /// The flip-number budget of `F₀` for these parameters
+    /// (Corollary 3.5 with p = 0).
+    #[must_use]
+    pub fn f0_flip_number(&self) -> usize {
+        FlipNumberBound::insertion_only_fp(self.epsilon / 20.0, 0.0, self.domain, 1).bound
+    }
+
+    /// Robust distinct elements (Theorems 1.1 / 1.2 / 10.1 depending on
+    /// the strategy).
+    #[must_use]
+    pub fn f0(&self) -> RobustF0 {
+        let lambda = self.f0_flip_number();
+        let plan = self.plan(lambda, (self.domain.max(2)) as f64);
+        let engine = match self.strategy.unwrap_or_default() {
+            Strategy::SketchSwitching => {
+                // Strong tracking with per-copy failure δ / λ, as Lemma 3.6
+                // requires (floored for practicality; the copy count is
+                // logarithmic in it anyway).
+                let per_copy_delta = (self.delta / lambda as f64).max(1e-6);
+                let factory = MedianTrackingFactory {
+                    inner: KmvFactory {
+                        config: KmvConfig::for_accuracy(self.epsilon / 4.0),
+                    },
+                    config: MedianTrackingConfig::for_strong_tracking(
+                        self.epsilon / 4.0,
+                        per_copy_delta,
+                        self.stream_length,
+                    ),
+                };
+                let strategy = SketchSwitchStrategy {
+                    pool: PoolPolicy::Explicit(SketchSwitchConfig::restarting(self.epsilon)),
+                };
+                strategy.wrap(factory, &plan, self.seed)
+            }
+            Strategy::ComputationPaths => {
+                let delta0 =
+                    ComputationPathsStrategy::required_delta(&plan, self.practical_delta_floor);
+                let factory = FastF0Factory {
+                    config: FastF0Config::for_accuracy(self.epsilon / 4.0, delta0, self.domain),
+                };
+                ComputationPathsStrategy.wrap(factory, &plan, self.seed)
+            }
+            Strategy::Crypto(backend) => {
+                let factory = self.crypto_f0_factory();
+                CryptoMaskStrategy { backend }.wrap(factory, &plan, self.seed)
+            }
+        };
+        RobustF0::from_engine(engine)
+    }
+
+    /// The flip-number budget of `F_p` (Corollary 3.5).
+    #[must_use]
+    pub fn fp_flip_number(&self, p: f64) -> usize {
+        FlipNumberBound::insertion_only_fp(self.epsilon / 20.0, p, self.domain, self.max_frequency)
+            .bound
+    }
+
+    /// Robust `F_p` moment estimation for `0 < p ≤ 2`
+    /// (Theorems 1.4 / 1.5).
+    #[must_use]
+    pub fn fp(&self, p: f64) -> RobustFp {
+        assert!(
+            p > 0.0 && p <= 2.0,
+            "p must lie in (0, 2]; use fp_large for p > 2"
+        );
+        let lambda = self.fp_flip_number(p);
+        let value_range = (self.max_frequency as f64).powf(p.max(1.0)) * self.domain as f64;
+        let plan = self.plan(lambda, value_range);
+        let engine = match self.strategy.unwrap_or_default() {
+            Strategy::SketchSwitching => {
+                // Strong tracking of each copy with failure δ/λ: the
+                // p-stable median-of-rows estimator concentrates
+                // exponentially in its row count, so the boost is folded
+                // directly into the rows rather than a median-of-copies
+                // layer (same asymptotics, far cheaper constants).
+                let per_copy_delta = (self.delta / lambda as f64).max(1e-4);
+                let factory = PStableFactory {
+                    config: PStableConfig::for_tracking(p, self.epsilon / 2.0, per_copy_delta),
+                };
+                SketchSwitchStrategy::restarting_for_moment(p).wrap(factory, &plan, self.seed)
+            }
+            Strategy::ComputationPaths => {
+                let delta0 =
+                    ComputationPathsStrategy::required_delta(&plan, self.practical_delta_floor);
+                let factory = PStableFactory {
+                    config: PStableConfig::for_tracking(p, self.epsilon / 2.0, delta0),
+                };
+                ComputationPathsStrategy.wrap(factory, &plan, self.seed)
+            }
+            Strategy::Crypto(_) => panic!(
+                "the cryptographic transformation (Theorem 10.1) applies only to \
+                 duplicate-invariant sketches; there is no crypto route for Fp"
+            ),
+        };
+        RobustFp::from_engine(engine, p)
+    }
+
+    /// Robust `F_p` for `p > 2` (Theorem 1.7; computation paths over the
+    /// heavy-elements estimator, whose space grows only logarithmically in
+    /// `1/δ`).
+    #[must_use]
+    pub fn fp_large(&self, p: f64) -> RobustFpLarge {
+        assert!(p > 2.0, "use fp for p <= 2");
+        self.reject_non_paths("Fp estimation for p > 2 (Theorem 4.4)");
+        let lambda = self.fp_flip_number(p);
+        let value_range = (self.max_frequency as f64).powf(p) * self.domain as f64;
+        let plan = self.plan(lambda, value_range);
+        let factory = FpLargeFactory {
+            config: FpLargeConfig::for_accuracy(p, self.epsilon / 4.0, self.domain),
+        };
+        let engine = ComputationPathsStrategy.wrap(factory, &plan, self.seed);
+        RobustFpLarge::from_engine(engine, p)
+    }
+
+    /// Robust `F_p` for turnstile streams promised to have flip number at
+    /// most `lambda` (Theorem 1.6 / 4.3). The wrapper cannot verify the
+    /// promise; [`RobustTurnstileFp::budget_exceeded`] flags streams that
+    /// left the class.
+    #[must_use]
+    pub fn turnstile_fp(&self, p: f64, lambda: usize) -> RobustTurnstileFp {
+        assert!(p > 0.0 && p <= 2.0);
+        assert!(lambda >= 1);
+        self.reject_non_paths("turnstile Fp (Theorem 4.3)");
+        let value_range = (self.max_frequency as f64).powf(p.max(1.0)) * self.domain as f64;
+        let plan = self.plan(lambda, value_range);
+        let delta0 = ComputationPathsStrategy::required_delta(&plan, self.practical_delta_floor);
+        let factory = PStableFactory {
+            config: PStableConfig::for_tracking(p, self.epsilon / 2.0, delta0),
+        };
+        let engine = ComputationPathsStrategy.wrap(factory, &plan, self.seed);
+        RobustTurnstileFp::from_engine(engine, p)
+    }
+
+    /// The flip-number budget of Lemma 8.2.
+    #[must_use]
+    pub fn bounded_deletion_flip_number(&self, p: f64, alpha: f64) -> usize {
+        FlipNumberBound::bounded_deletion_lp(
+            self.epsilon / 20.0,
+            p,
+            alpha,
+            self.domain,
+            self.max_frequency,
+        )
+        .bound
+    }
+
+    /// Robust `F_p` for α-bounded-deletion streams (Theorem 1.11 / 8.3),
+    /// `p ∈ [1, 2]`, `α ≥ 1`.
+    #[must_use]
+    pub fn bounded_deletion_fp(&self, p: f64, alpha: f64) -> RobustBoundedDeletionFp {
+        assert!((1.0..=2.0).contains(&p), "Theorem 8.3 covers p in [1, 2]");
+        assert!(alpha >= 1.0);
+        self.reject_non_paths("bounded-deletion Fp (Theorem 8.3)");
+        let lambda = self.bounded_deletion_flip_number(p, alpha);
+        let value_range = (self.max_frequency as f64).powf(p) * self.domain as f64;
+        let plan = self.plan(lambda, value_range);
+        let delta0 = ComputationPathsStrategy::required_delta(&plan, self.practical_delta_floor);
+        let factory = PStableFactory {
+            config: PStableConfig::for_tracking(p, self.epsilon / 2.0, delta0),
+        };
+        let engine = ComputationPathsStrategy.wrap(factory, &plan, self.seed);
+        RobustBoundedDeletionFp::from_engine(engine, p, alpha)
+    }
+
+    /// The flip-number budget of `2^{H}` (Proposition 7.2).
+    #[must_use]
+    pub fn entropy_flip_number(&self) -> usize {
+        FlipNumberBound::entropy_exponential(self.epsilon / 20.0, self.domain, self.stream_length)
+            .bound
+    }
+
+    /// Robust ε-additive Shannon entropy (Theorem 1.10 / 7.3): tracks
+    /// `2^{H(f)}` multiplicatively through exhaustible sketch switching.
+    #[must_use]
+    pub fn entropy(&self) -> RobustEntropy {
+        if let Some(strategy) = self.strategy {
+            assert!(
+                matches!(strategy, Strategy::SketchSwitching),
+                "entropy (Theorem 7.3) robustifies via sketch switching only: entropy is \
+                 not additive over stream suffixes, so neither the restart optimisation \
+                 nor computation paths applies"
+            );
+        }
+        // Multiplicative parameter for the exponential of the entropy: an
+        // eps-additive error in bits is a 2^{±eps} multiplicative error.
+        let mult_epsilon = (2f64.powf(self.epsilon) - 1.0).min(0.5);
+        let lambda = self.entropy_flip_number();
+        let mut plan = self.plan(lambda, (self.stream_length.max(4)) as f64);
+        plan.rounding_epsilon = mult_epsilon;
+        // Entropy is not additive over stream suffixes, so the restart
+        // optimization of Theorem 4.1 does not apply: Theorem 7.3 uses the
+        // plain (exhaustible) sketch-switching wrapper of Lemma 3.6. The
+        // flip-number budget of Proposition 7.2 is polynomial in 1/ε and
+        // log n; the pool is capped at a laptop-friendly size (documented
+        // constant substitution) and the wrapper degrades gracefully — it
+        // keeps using its last copy — if a stream exhausts it.
+        let pool = lambda.clamp(8, 64);
+        let strategy = SketchSwitchStrategy {
+            pool: PoolPolicy::Explicit(SketchSwitchConfig::exhaustible(mult_epsilon, pool)),
+        };
+        let engine = match self.entropy_method {
+            EntropyMethod::Renyi => {
+                // A practically parametrized Rényi order: the paper's
+                // α − 1 = Θ̃(ε / log² n) makes the F_α sketch astronomically
+                // large; α − 1 = ε/2 with a capped row budget preserves the
+                // qualitative behaviour (H_α ≤ H, converging as α → 1) at
+                // laptop scale.
+                let config =
+                    RenyiEntropyConfig::with_alpha((1.0 + self.epsilon / 2.0).min(1.5), 1025);
+                let factory = ExponentialFactory {
+                    inner: MedianTrackingFactory {
+                        inner: RenyiEntropyFactory { config },
+                        config: MedianTrackingConfig { copies: 1 },
+                    },
+                };
+                strategy.wrap(factory, &plan, self.seed)
+            }
+            EntropyMethod::Sampled => {
+                let factory = ExponentialFactory {
+                    inner: MedianTrackingFactory {
+                        inner: SampledEntropyFactory {
+                            config: SampledEntropyConfig::for_accuracy(self.epsilon / 2.0),
+                        },
+                        config: MedianTrackingConfig { copies: 3 },
+                    },
+                };
+                strategy.wrap(factory, &plan, self.seed)
+            }
+        };
+        RobustEntropy::from_engine(engine, self.entropy_method)
+    }
+
+    /// Robust `L₂` heavy hitters / point queries (Theorem 1.9 / 6.5).
+    #[must_use]
+    pub fn heavy_hitters(&self) -> RobustL2HeavyHitters {
+        RobustL2HeavyHitters::from_builder(self)
+    }
+
+    /// Space-optimal robust distinct elements from cryptographic
+    /// assumptions (Theorem 10.1): PRF-mask items into a static tracking
+    /// sketch, publish raw.
+    #[must_use]
+    pub fn crypto_f0(&self) -> CryptoRobustF0 {
+        let backend = match self.strategy {
+            None => CryptoBackend::default(),
+            Some(Strategy::Crypto(backend)) => backend,
+            Some(Strategy::SketchSwitching) | Some(Strategy::ComputationPaths) => panic!(
+                "crypto_f0 is the Theorem 10.1 construction; select the backend with \
+                 Strategy::Crypto(..) or leave the strategy unset"
+            ),
+        };
+        let plan = self.plan(self.f0_flip_number(), (self.domain.max(2)) as f64);
+        let factory = self.crypto_f0_factory();
+        let engine = CryptoMaskStrategy { backend }.wrap(factory, &plan, self.seed);
+        CryptoRobustF0::from_engine(engine, backend)
+    }
+
+    fn crypto_f0_factory(&self) -> MedianTrackingFactory<KmvFactory> {
+        MedianTrackingFactory {
+            inner: KmvFactory {
+                config: KmvConfig::for_accuracy(self.epsilon / 2.0),
+            },
+            config: MedianTrackingConfig::for_strong_tracking(
+                self.epsilon / 2.0,
+                self.delta,
+                self.stream_length,
+            ),
+        }
+    }
+
+    fn reject_non_paths(&self, problem: &str) {
+        if let Some(strategy) = self.strategy {
+            assert!(
+                matches!(strategy, Strategy::ComputationPaths),
+                "{problem} robustifies via computation paths only"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::RobustEstimator;
+
+    #[test]
+    fn every_problem_is_constructible_and_boxable() {
+        let builder = RobustBuilder::new(0.3)
+            .stream_length(2_000)
+            .domain(1 << 10)
+            .max_frequency(1 << 10)
+            .seed(5);
+        let estimators: Vec<Box<dyn RobustEstimator>> = vec![
+            Box::new(builder.f0()),
+            Box::new(builder.strategy(Strategy::ComputationPaths).f0()),
+            Box::new(builder.fp(1.0)),
+            Box::new(builder.fp(2.0)),
+            Box::new(builder.fp_large(3.0)),
+            Box::new(builder.turnstile_fp(2.0, 200)),
+            Box::new(builder.bounded_deletion_fp(1.0, 2.0)),
+            Box::new(builder.entropy()),
+            Box::new(builder.heavy_hitters()),
+            Box::new(builder.crypto_f0()),
+        ];
+        for mut estimator in estimators {
+            for i in 0..300u64 {
+                estimator.insert(i % 97);
+            }
+            assert!(estimator.space_bytes() > 0, "{}", estimator.strategy_name());
+            assert!(estimator.estimate() >= 0.0);
+            assert_eq!(RobustEstimator::epsilon(estimator.as_ref()), 0.3);
+        }
+    }
+
+    #[test]
+    fn strategy_selection_reaches_the_engine() {
+        let builder = RobustBuilder::new(0.2).stream_length(1_000).domain(1 << 10);
+        assert_eq!(
+            builder.f0().strategy_name(),
+            "sketch-switching (restarting)"
+        );
+        assert_eq!(
+            builder
+                .strategy(Strategy::ComputationPaths)
+                .f0()
+                .strategy_name(),
+            "computation-paths"
+        );
+        assert_eq!(
+            builder
+                .strategy(Strategy::Crypto(CryptoBackend::RandomOracle))
+                .f0()
+                .strategy_name(),
+            "crypto-mask"
+        );
+    }
+
+    #[test]
+    fn flip_numbers_scale_as_the_corollaries_say() {
+        let coarse = RobustBuilder::new(0.5).domain(1 << 16);
+        let fine = RobustBuilder::new(0.05).domain(1 << 16);
+        assert!(fine.f0_flip_number() > coarse.f0_flip_number());
+        assert!(fine.fp_flip_number(2.0) > fine.fp_flip_number(1.0));
+        assert!(
+            fine.bounded_deletion_flip_number(1.0, 8.0)
+                > fine.bounded_deletion_flip_number(1.0, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_bad_epsilon() {
+        let _ = RobustBuilder::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1)")]
+    fn rejects_bad_delta() {
+        let _ = RobustBuilder::new(0.1).delta(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no crypto route for Fp")]
+    fn rejects_crypto_for_fp() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::Crypto(CryptoBackend::ChaChaPrf))
+            .fp(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 10.1 construction")]
+    fn crypto_f0_rejects_conflicting_strategy() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::SketchSwitching)
+            .crypto_f0();
+    }
+
+    #[test]
+    #[should_panic(expected = "computation paths only")]
+    fn rejects_switching_for_turnstile() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::SketchSwitching)
+            .turnstile_fp(2.0, 10);
+    }
+}

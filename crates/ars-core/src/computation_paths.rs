@@ -1,4 +1,4 @@
-//! The computation-paths robustification wrapper (Definition 3.7,
+//! The computation-paths robustification strategy (Definition 3.7,
 //! Lemma 3.8).
 //!
 //! Where sketch switching pays for robustness in *copies*, the
@@ -18,12 +18,16 @@
 //! `log(1/δ)` — e.g. the fast level-list `F₀` sketch, whose update *time*
 //! barely depends on δ — are the intended consumers (Theorems 1.2, 4.2,
 //! 4.3, 4.4).
+//!
+//! The ε-rounding of published outputs lives in the
+//! [`crate::engine::Robustify`] engine; this module contributes only the
+//! union-bound arithmetic and the (trivial) single-copy strategy core.
 
 use ars_sketch::{Estimator, EstimatorFactory};
 use ars_stream::Update;
 
+use crate::engine::StrategyCore;
 use crate::flip_number::log2_computation_paths;
-use crate::rounding::EpsilonRounder;
 
 /// Parameters of the computation-paths union bound.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,7 +48,13 @@ pub struct ComputationPathsConfig {
 impl ComputationPathsConfig {
     /// Creates a configuration, validating the parameters.
     #[must_use]
-    pub fn new(epsilon: f64, lambda: usize, stream_length: u64, value_range: f64, delta: f64) -> Self {
+    pub fn new(
+        epsilon: f64,
+        lambda: usize,
+        stream_length: u64,
+        value_range: f64,
+        delta: f64,
+    ) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
         assert!(lambda >= 1);
         assert!(stream_length >= 1);
@@ -57,6 +67,19 @@ impl ComputationPathsConfig {
             value_range,
             delta,
         }
+    }
+
+    /// The configuration implied by an engine plan (the plan carries the
+    /// same five quantities).
+    #[must_use]
+    pub fn from_plan(plan: &crate::engine::RobustPlan) -> Self {
+        Self::new(
+            plan.rounding_epsilon,
+            plan.lambda,
+            plan.stream_length,
+            plan.value_range.max(2.0),
+            plan.delta,
+        )
     }
 
     /// log₂ of the number of distinct rounded output sequences (hence
@@ -95,13 +118,13 @@ impl ComputationPathsConfig {
     }
 }
 
-/// The computation-paths wrapper: a single static-estimator instance whose
-/// outputs are ε-rounded before publication (Definition 3.7's algorithm
-/// `A'`).
+/// The computation-paths strategy core: a single static-estimator instance.
+/// All the robustness machinery (rounded publication, union-bound-sized δ₀)
+/// is parameterisation plus the engine; the core itself is delightfully
+/// boring — which is the point of Lemma 3.8.
 #[derive(Debug, Clone)]
 pub struct ComputationPaths<E> {
     inner: E,
-    rounder: EpsilonRounder,
     config: ComputationPathsConfig,
 }
 
@@ -111,14 +134,10 @@ impl<E: Estimator> ComputationPaths<E> {
     /// The estimator must have been instantiated with failure probability at
     /// most [`ComputationPathsConfig::required_delta_clamped`] for the
     /// robustness argument of Lemma 3.8 to apply; the wrapper cannot verify
-    /// that, it only performs the rounding.
+    /// that.
     #[must_use]
     pub fn wrap(inner: E, config: ComputationPathsConfig) -> Self {
-        Self {
-            rounder: EpsilonRounder::new(config.epsilon / 2.0),
-            inner,
-            config,
-        }
+        Self { inner, config }
     }
 
     /// Builds the inner estimator from a factory and wraps it.
@@ -136,13 +155,6 @@ impl<E: Estimator> ComputationPaths<E> {
         self.config
     }
 
-    /// Number of times the published output has changed; bounded by λ when
-    /// the inner estimator is correct (Lemma 3.3).
-    #[must_use]
-    pub fn output_changes(&self) -> usize {
-        self.rounder.changes()
-    }
-
     /// Read access to the wrapped static estimator (used by tests).
     #[must_use]
     pub fn inner(&self) -> &E {
@@ -150,25 +162,29 @@ impl<E: Estimator> ComputationPaths<E> {
     }
 }
 
-impl<E: Estimator> Estimator for ComputationPaths<E> {
-    fn update(&mut self, update: Update) {
+impl<E: Estimator + Send> StrategyCore for ComputationPaths<E> {
+    fn ingest(&mut self, update: Update) {
         self.inner.update(update);
-        let raw = self.inner.estimate();
-        self.rounder.round(raw);
     }
 
-    fn estimate(&self) -> f64 {
-        self.rounder.published().unwrap_or(0.0)
+    fn raw_estimate(&self) -> f64 {
+        self.inner.estimate()
     }
 
     fn space_bytes(&self) -> usize {
         self.inner.space_bytes() + 32
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "computation-paths"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::RobustEstimator;
+    use crate::engine::{RobustPlan, Robustify};
     use ars_sketch::fast_f0::{FastF0Config, FastF0Factory};
     use ars_sketch::kmv::{KmvConfig, KmvFactory};
     use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
@@ -177,6 +193,14 @@ mod tests {
 
     fn f0_config(lambda: usize) -> ComputationPathsConfig {
         ComputationPathsConfig::new(0.2, lambda, 1 << 16, 1e9, 1e-3)
+    }
+
+    fn plan_for(config: ComputationPathsConfig) -> RobustPlan {
+        let mut plan = RobustPlan::new(config.epsilon, config.lambda);
+        plan.stream_length = config.stream_length;
+        plan.value_range = config.value_range;
+        plan.delta = config.delta;
+        plan
     }
 
     #[test]
@@ -207,7 +231,8 @@ mod tests {
             config: MedianTrackingConfig { copies: 7 },
         };
         let config = ComputationPathsConfig::new(epsilon, 200, 1 << 16, 1e9, 1e-3);
-        let mut robust = ComputationPaths::new(&factory, config, 3);
+        let mut robust =
+            Robustify::new(ComputationPaths::new(&factory, config, 3), plan_for(config));
 
         let updates = UniformGenerator::new(1 << 18, 5).take_updates(30_000);
         let mut truth = FrequencyVector::new();
@@ -230,7 +255,8 @@ mod tests {
             config: FastF0Config::for_accuracy(0.05, 1e-6, 1 << 20),
         };
         let config = ComputationPathsConfig::new(epsilon, 500, 1 << 16, 1e9, 1e-6);
-        let mut robust = ComputationPaths::new(&factory, config, 9);
+        let mut robust =
+            Robustify::new(ComputationPaths::new(&factory, config, 9), plan_for(config));
         let m = 40_000u64;
         for i in 0..m {
             robust.insert(i);
@@ -241,6 +267,7 @@ mod tests {
             "output changed {} times, bound {bound}",
             robust.output_changes()
         );
+        assert!(!robust.budget_exceeded());
     }
 
     #[test]
@@ -250,8 +277,8 @@ mod tests {
         };
         let inner_space = factory.build(0).space_bytes();
         let config = f0_config(10);
-        let wrapped = ComputationPaths::new(&factory, config, 0);
-        assert!(wrapped.space_bytes() <= inner_space + 64);
+        let wrapped = Robustify::new(ComputationPaths::new(&factory, config, 0), plan_for(config));
+        assert!(wrapped.space_bytes() <= inner_space + 128);
     }
 
     #[test]
@@ -259,7 +286,8 @@ mod tests {
         let factory = KmvFactory {
             config: KmvConfig::for_accuracy(0.1),
         };
-        let robust = ComputationPaths::new(&factory, f0_config(10), 1);
+        let config = f0_config(10);
+        let robust = Robustify::new(ComputationPaths::new(&factory, config, 1), plan_for(config));
         assert_eq!(robust.estimate(), 0.0);
     }
 

@@ -18,32 +18,28 @@
 //! applies. The cost over the static algorithm is just the PRF key:
 //! `O(c log n)` bits against `n^c`-time adversaries — this is the
 //! "essentially no extra cost" row of Table 1.
+//!
+//! The masking itself is implemented once, as
+//! [`crate::strategy::CryptoMaskStrategy`]; this module provides the
+//! problem-specific shim and its compatibility builder.
 
-use ars_hash::prf::{ChaChaPrf, Prf, RandomOracle};
-use ars_sketch::kmv::{KmvConfig, KmvFactory};
-use ars_sketch::tracking::{MedianTracking, MedianTrackingConfig, MedianTrackingFactory};
-use ars_sketch::{Estimator, EstimatorFactory};
 use ars_stream::Update;
 
-/// Which keyed-function backend the transformation uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CryptoBackend {
-    /// A concrete exponentially-secure PRF instantiated with ChaCha20 (the
-    /// "under a suitable cryptographic assumption" half of Theorem 10.1).
-    #[default]
-    ChaChaPrf,
-    /// An idealized random oracle (the random-oracle-model half); its
-    /// per-item images are not charged to the algorithm's space.
-    RandomOracle,
-}
+use crate::api::{delegate_robust_estimator, RobustEstimator};
+use crate::builder::{RobustBuilder, Strategy};
+use crate::engine::DynRobust;
 
-/// Builder for [`CryptoRobustF0`].
+pub use crate::strategy::CryptoBackend;
+
+/// Builder for [`CryptoRobustF0`] — a thin compatibility wrapper over
+/// [`RobustBuilder`]; prefer
+/// `RobustBuilder::new(eps).delta(0.25).strategy(Strategy::Crypto(..)).crypto_f0()`
+/// in new code. Note this builder pins Theorem 10.1's δ = 1/4, while
+/// `RobustBuilder` defaults to its shared δ = 10⁻³ — set `.delta(0.25)`
+/// explicitly for an identical sketch.
 #[derive(Debug, Clone, Copy)]
 pub struct CryptoRobustF0Builder {
-    epsilon: f64,
-    delta: f64,
-    stream_length: u64,
-    seed: u64,
+    inner: RobustBuilder,
     backend: CryptoBackend,
 }
 
@@ -52,36 +48,31 @@ impl CryptoRobustF0Builder {
     /// secure against computationally bounded adversaries.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0);
         Self {
-            epsilon,
-            delta: 0.25,
-            stream_length: 1 << 20,
-            seed: 0,
+            // Theorem 10.1 states success probability 3/4, i.e. δ = 1/4.
+            inner: RobustBuilder::new(epsilon).delta(0.25),
             backend: CryptoBackend::default(),
         }
     }
 
-    /// Failure probability δ of the underlying tracking sketch
-    /// (Theorem 10.1 states success probability 3/4, i.e. δ = 1/4).
+    /// Failure probability δ of the underlying tracking sketch.
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(1);
+        self.inner = self.inner.stream_length(m);
         self
     }
 
     /// Seed for the PRF key and the sketch randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
@@ -95,68 +86,30 @@ impl CryptoRobustF0Builder {
     /// Builds the estimator.
     #[must_use]
     pub fn build(self) -> CryptoRobustF0 {
-        let factory = MedianTrackingFactory {
-            inner: KmvFactory {
-                config: KmvConfig::for_accuracy(self.epsilon / 2.0),
-            },
-            config: MedianTrackingConfig::for_strong_tracking(
-                self.epsilon / 2.0,
-                self.delta,
-                self.stream_length,
-            ),
-        };
-        let prf: PrfBackend = match self.backend {
-            CryptoBackend::ChaChaPrf => PrfBackend::ChaCha(ChaChaPrf::new(self.seed)),
-            CryptoBackend::RandomOracle => PrfBackend::Oracle(RandomOracle::new(self.seed)),
-        };
-        CryptoRobustF0 {
-            prf,
-            sketch: factory.build(self.seed.wrapping_add(1)),
-            epsilon: self.epsilon,
-        }
-    }
-}
-
-#[derive(Debug)]
-enum PrfBackend {
-    ChaCha(ChaChaPrf),
-    Oracle(RandomOracle),
-}
-
-impl PrfBackend {
-    fn evaluate(&mut self, item: u64) -> u64 {
-        match self {
-            Self::ChaCha(prf) => prf.evaluate(item),
-            Self::Oracle(oracle) => oracle.evaluate(item),
-        }
-    }
-
-    fn charged_state_bits(&self) -> usize {
-        match self {
-            Self::ChaCha(prf) => prf.charged_state_bits(),
-            Self::Oracle(oracle) => oracle.charged_state_bits(),
-        }
+        self.inner
+            .strategy(Strategy::Crypto(self.backend))
+            .crypto_f0()
     }
 }
 
 /// The cryptographically robust distinct-elements estimator of
-/// Theorem 10.1.
+/// Theorem 10.1: a thin shim over the generic engine in
+/// [`crate::engine::RoundingMode::Raw`] mode.
 #[derive(Debug)]
 pub struct CryptoRobustF0 {
-    prf: PrfBackend,
-    sketch: MedianTracking<ars_sketch::kmv::KmvSketch>,
-    epsilon: f64,
+    engine: DynRobust,
+    backend: CryptoBackend,
 }
 
 impl CryptoRobustF0 {
+    pub(crate) fn from_engine(engine: DynRobust, backend: CryptoBackend) -> Self {
+        Self { engine, backend }
+    }
+
     /// Processes one stream update (insertion-only model; deletions are
     /// ignored by the underlying `F₀` sketch).
     pub fn update(&mut self, update: Update) {
-        if update.delta <= 0 {
-            return;
-        }
-        let masked = self.prf.evaluate(update.item);
-        self.sketch.update(Update::new(masked, update.delta));
+        ars_sketch::Estimator::update(&mut self.engine, update);
     }
 
     /// Processes a unit insertion.
@@ -167,13 +120,19 @@ impl CryptoRobustF0 {
     /// The current `(1 ± ε)` estimate of the number of distinct elements.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        self.sketch.estimate()
+        ars_sketch::Estimator::estimate(&self.engine)
+    }
+
+    /// The keyed-function backend in use.
+    #[must_use]
+    pub fn backend(&self) -> CryptoBackend {
+        self.backend
     }
 
     /// The approximation parameter ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Memory footprint in bytes: the static sketch plus the *charged* PRF
@@ -181,27 +140,18 @@ impl CryptoRobustF0 {
     /// random-oracle model).
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        self.sketch.space_bytes() + self.prf.charged_state_bits().div_ceil(8)
+        ars_sketch::Estimator::space_bytes(&self.engine)
     }
 }
 
-impl Estimator for CryptoRobustF0 {
-    fn update(&mut self, update: Update) {
-        CryptoRobustF0::update(self, update);
-    }
-
-    fn estimate(&self) -> f64 {
-        CryptoRobustF0::estimate(self)
-    }
-
-    fn space_bytes(&self) -> usize {
-        CryptoRobustF0::space_bytes(self)
-    }
-}
+delegate_robust_estimator!(CryptoRobustF0, engine);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ars_sketch::kmv::{KmvConfig, KmvFactory};
+    use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
+    use ars_sketch::{Estimator, EstimatorFactory};
     use ars_stream::generator::{Generator, UniformGenerator};
     use ars_stream::FrequencyVector;
 
@@ -248,7 +198,9 @@ mod tests {
 
     #[test]
     fn space_overhead_over_the_static_sketch_is_a_key() {
-        let robust = CryptoRobustF0Builder::new(0.1).stream_length(1 << 16).build();
+        let robust = CryptoRobustF0Builder::new(0.1)
+            .stream_length(1 << 16)
+            .build();
         let static_factory = MedianTrackingFactory {
             inner: KmvFactory {
                 config: KmvConfig::for_accuracy(0.05),
@@ -280,5 +232,12 @@ mod tests {
         }
         let (ea, eb) = (a.estimate(), b.estimate());
         assert!(((ea - eb) / eb).abs() < 0.2, "estimates {ea} vs {eb}");
+    }
+
+    #[test]
+    fn raw_publication_reports_no_flip_budget() {
+        let robust = CryptoRobustF0Builder::new(0.2).build();
+        assert_eq!(RobustEstimator::flip_budget(&robust), usize::MAX);
+        assert!(!RobustEstimator::budget_exceeded(&robust));
     }
 }

@@ -1,0 +1,458 @@
+//! The generic robustification engine.
+//!
+//! The paper's central message is that robustness is a *generic
+//! transformation*: take any static sketch with a strong-tracking
+//! guarantee, bound the flip number of the tracked function, and wrap the
+//! sketch so that only ε-rounded outputs are ever published. Everything
+//! that is common to the transformations — the ε-rounding of published
+//! outputs, the flip-number budget accounting, the switch bookkeeping, the
+//! space accounting — lives exactly once, here, in [`Robustify`].
+//!
+//! What *varies* between the paper's constructions is how the static
+//! sketch state is organised and what happens when a new value is
+//! published; that seam is the [`StrategyCore`] trait:
+//!
+//! * sketch switching ([`crate::sketch_switch::SketchSwitch`]) feeds every
+//!   update to a pool of copies and retires the active copy whenever its
+//!   estimate is exposed through a publication;
+//! * computation paths ([`crate::computation_paths::ComputationPaths`])
+//!   keeps a single tiny-δ copy and does nothing on publication — the
+//!   union bound over output sequences does the work;
+//! * the cryptographic route ([`crate::crypto_f0`]) masks items through a
+//!   PRF and publishes raw estimates ([`RoundingMode::Raw`]).
+//!
+//! New strategies (a differential-privacy wrapper, difference estimators)
+//! implement [`StrategyCore`] + [`crate::strategy::RobustStrategy`] and
+//! inherit the whole engine, builder and trait-object surface for free.
+
+use ars_sketch::Estimator;
+use ars_stream::Update;
+
+use crate::api::RobustEstimator;
+use crate::rounding::EpsilonRounder;
+
+/// How the engine publishes outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundingMode {
+    /// Publish ε-rounded values that only change when the raw estimate
+    /// leaves the current window (Definition 3.7). Used by sketch
+    /// switching and computation paths.
+    #[default]
+    Windowed,
+    /// Publish the raw estimate directly. Used by the cryptographic
+    /// route, whose robustness argument does not go through rounding.
+    Raw,
+}
+
+/// The strategy-specific state driven by [`Robustify`].
+///
+/// Object-safe on purpose: the problem-specific estimator types store a
+/// `Box<dyn StrategyCore + Send>`, so one engine type serves every
+/// strategy × sketch combination without an enum per problem.
+pub trait StrategyCore: Send {
+    /// Feeds one update to the underlying static state. Must **not**
+    /// publish anything: publication decisions belong to the engine.
+    fn ingest(&mut self, update: Update);
+
+    /// Feeds a whole batch of updates, with no publication in between.
+    /// The default loops over [`StrategyCore::ingest`]; pool strategies
+    /// override it to iterate copy-major (every copy streams the whole
+    /// batch before the next copy is touched), which keeps each copy's
+    /// state cache-resident across the batch.
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        for &u in updates {
+            self.ingest(u);
+        }
+    }
+
+    /// The current raw (unrounded, unpublished) estimate.
+    fn raw_estimate(&self) -> f64;
+
+    /// Called by the engine immediately after it changes the published
+    /// value — i.e. whenever the active state's randomness has been
+    /// exposed to the adversary. Sketch switching retires/restarts the
+    /// active copy here; single-copy strategies do nothing.
+    fn on_publish(&mut self) {}
+
+    /// Memory footprint of the strategy state in bytes.
+    fn space_bytes(&self) -> usize;
+
+    /// Publication mode this strategy's robustness argument requires.
+    fn rounding_mode(&self) -> RoundingMode {
+        RoundingMode::Windowed
+    }
+
+    /// Strategy name for reports.
+    fn strategy_name(&self) -> &'static str;
+}
+
+impl StrategyCore for Box<dyn StrategyCore + Send> {
+    fn ingest(&mut self, update: Update) {
+        (**self).ingest(update);
+    }
+
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        (**self).ingest_batch(updates);
+    }
+
+    fn raw_estimate(&self) -> f64 {
+        (**self).raw_estimate()
+    }
+
+    fn on_publish(&mut self) {
+        (**self).on_publish();
+    }
+
+    fn space_bytes(&self) -> usize {
+        (**self).space_bytes()
+    }
+
+    fn rounding_mode(&self) -> RoundingMode {
+        (**self).rounding_mode()
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        (**self).strategy_name()
+    }
+}
+
+/// The parameter sheet a robust estimator was provisioned from.
+///
+/// Problem constructors ([`crate::builder::RobustBuilder`]) compute one of
+/// these once; the engine keeps it for budget accounting and reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustPlan {
+    /// User-facing approximation parameter ε (multiplicative for moments,
+    /// additive bits for entropy).
+    pub epsilon: f64,
+    /// Window / rounding parameter actually used for publication. Equal to
+    /// `epsilon` except where the tracked quantity is a transform of the
+    /// user-facing one (entropy tracks `2^H`, so its window is `2^ε − 1`).
+    pub rounding_epsilon: f64,
+    /// Overall failure probability δ.
+    pub delta: f64,
+    /// Maximum stream length `m`.
+    pub stream_length: u64,
+    /// Domain size `n`.
+    pub domain: u64,
+    /// Frequency magnitude bound `M`.
+    pub max_frequency: u64,
+    /// Flip-number budget λ (`usize::MAX` when the strategy needs none).
+    pub lambda: usize,
+    /// Bound `T` with tracked values in `[1/T, T] ∪ {0}` (drives the
+    /// computation-paths union bound).
+    pub value_range: f64,
+}
+
+impl RobustPlan {
+    /// A plan with the given ε and this crate's defaults for everything
+    /// else (δ = 10⁻³, `m = n = M = 2²⁰`, λ = explicit).
+    #[must_use]
+    pub fn new(epsilon: f64, lambda: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self {
+            epsilon,
+            rounding_epsilon: epsilon,
+            delta: 1e-3,
+            stream_length: 1 << 20,
+            domain: 1 << 20,
+            max_frequency: 1 << 20,
+            lambda: lambda.max(1),
+            value_range: 1e18,
+        }
+    }
+}
+
+/// The robustification engine: one strategy core plus the shared
+/// publication, budgeting and accounting machinery (Definition 3.7's
+/// algorithm `A'`, factored out of every per-problem construction).
+///
+/// `Robustify` is generic over the core so monomorphised hot paths are
+/// available (`Robustify<SketchSwitch<F>>`), while the problem shims use
+/// the type-erased [`DynRobust`] alias.
+pub struct Robustify<C: StrategyCore = Box<dyn StrategyCore + Send>> {
+    core: C,
+    plan: RobustPlan,
+    rounder: EpsilonRounder,
+    mode: RoundingMode,
+}
+
+/// The type-erased engine the problem-specific shims wrap.
+pub type DynRobust = Robustify<Box<dyn StrategyCore + Send>>;
+
+impl<C: StrategyCore> Robustify<C> {
+    /// Assembles an engine from a strategy core and its plan.
+    #[must_use]
+    pub fn new(core: C, plan: RobustPlan) -> Self {
+        assert!(
+            plan.rounding_epsilon > 0.0 && plan.rounding_epsilon < 1.0,
+            "rounding epsilon must be in (0,1)"
+        );
+        let mode = core.rounding_mode();
+        Self {
+            core,
+            plan,
+            rounder: EpsilonRounder::new(plan.rounding_epsilon / 2.0),
+            mode,
+        }
+    }
+
+    /// The plan this estimator was provisioned from.
+    #[must_use]
+    pub fn plan(&self) -> &RobustPlan {
+        &self.plan
+    }
+
+    /// Read access to the strategy core (used by tests and shims).
+    #[must_use]
+    pub fn core(&self) -> &C {
+        &self.core
+    }
+
+    /// The publication mode in force.
+    #[must_use]
+    pub fn rounding_mode(&self) -> RoundingMode {
+        self.mode
+    }
+
+    /// Re-derives the published output from the current raw estimate,
+    /// changing it (and notifying the core) only when the current
+    /// published value has left the `(1 ± ε/2)` window.
+    fn refresh_publication(&mut self) {
+        if self.mode == RoundingMode::Raw {
+            return;
+        }
+        let raw = self.core.raw_estimate();
+        if self.rounder.needs_update(raw) {
+            self.rounder.round(raw);
+            self.core.on_publish();
+        }
+    }
+}
+
+impl<C: StrategyCore> std::fmt::Debug for Robustify<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Robustify")
+            .field("strategy", &self.core.strategy_name())
+            .field("mode", &self.mode)
+            .field("epsilon", &self.plan.epsilon)
+            .field("lambda", &self.plan.lambda)
+            .field("output_changes", &self.rounder.changes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: StrategyCore> Estimator for Robustify<C> {
+    fn update(&mut self, update: Update) {
+        self.core.ingest(update);
+        self.refresh_publication();
+    }
+
+    fn estimate(&self) -> f64 {
+        match self.mode {
+            RoundingMode::Raw => self.core.raw_estimate(),
+            RoundingMode::Windowed => self.rounder.published().unwrap_or(0.0),
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        // Strategy state plus the engine's own bookkeeping (plan + rounder).
+        self.core.space_bytes() + std::mem::size_of::<RobustPlan>() + 32
+    }
+}
+
+impl<C: StrategyCore> RobustEstimator for Robustify<C> {
+    /// The amortized hot path: one (possibly copy-major, cache-friendly)
+    /// ingest pass over the batch, then a single publication refresh. No
+    /// output is published mid-batch, so per-update rounding/switch checks
+    /// would be observable by no one; see
+    /// [`RobustEstimator::update_batch`] for the adaptivity argument.
+    fn update_batch(&mut self, updates: &[Update]) {
+        // An empty batch must be a no-op: refreshing publication on zero
+        // data would publish 0.0 and retire a pool copy for nothing.
+        if updates.is_empty() {
+            return;
+        }
+        self.core.ingest_batch(updates);
+        self.refresh_publication();
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.plan.epsilon
+    }
+
+    fn output_changes(&self) -> usize {
+        match self.mode {
+            RoundingMode::Raw => 0,
+            RoundingMode::Windowed => self.rounder.changes(),
+        }
+    }
+
+    fn flip_budget(&self) -> usize {
+        self.plan.lambda
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        self.core.strategy_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic core tracking the number of ingested updates, used
+    /// to pin down the engine's publication/accounting contract without
+    /// any sketch noise.
+    #[derive(Debug)]
+    struct CountingCore {
+        count: u64,
+        publishes: usize,
+        mode: RoundingMode,
+    }
+
+    impl CountingCore {
+        fn windowed() -> Self {
+            Self {
+                count: 0,
+                publishes: 0,
+                mode: RoundingMode::Windowed,
+            }
+        }
+    }
+
+    impl StrategyCore for CountingCore {
+        fn ingest(&mut self, _update: Update) {
+            self.count += 1;
+        }
+
+        fn raw_estimate(&self) -> f64 {
+            self.count as f64
+        }
+
+        fn on_publish(&mut self) {
+            self.publishes += 1;
+        }
+
+        fn space_bytes(&self) -> usize {
+            16
+        }
+
+        fn rounding_mode(&self) -> RoundingMode {
+            self.mode
+        }
+
+        fn strategy_name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    fn plan(epsilon: f64) -> RobustPlan {
+        RobustPlan::new(epsilon, 1_000)
+    }
+
+    #[test]
+    fn publishes_rounded_tracking_outputs() {
+        let mut engine = Robustify::new(CountingCore::windowed(), plan(0.2));
+        for i in 1..=10_000u64 {
+            engine.update(Update::insert(i));
+            let est = engine.estimate();
+            let truth = i as f64;
+            assert!(
+                (est - truth).abs() <= 0.2 * truth + 1e-9,
+                "estimate {est} not within 20% of {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_changes_count_matches_core_publish_notifications() {
+        let mut engine = Robustify::new(CountingCore::windowed(), plan(0.3));
+        for i in 1..=5_000u64 {
+            engine.update(Update::insert(i));
+        }
+        assert_eq!(engine.output_changes(), engine.core().publishes);
+        assert!(engine.output_changes() > 0);
+        // Monotone counter: changes are logarithmic, not linear.
+        let bound = ((5_000f64).ln() / 1.15f64.ln()).ceil() as usize + 2;
+        assert!(engine.output_changes() <= bound);
+    }
+
+    #[test]
+    fn batch_path_publishes_once_per_batch() {
+        let mut per_update = Robustify::new(CountingCore::windowed(), plan(0.2));
+        let mut batched = Robustify::new(CountingCore::windowed(), plan(0.2));
+        let updates: Vec<Update> = (1..=4_096u64).map(Update::insert).collect();
+        for &u in &updates {
+            per_update.update(u);
+        }
+        batched.update_batch(&updates);
+        // The batched engine exposed its state exactly once.
+        assert_eq!(batched.core().publishes, 1);
+        assert!(per_update.core().publishes > 1);
+        // Both final estimates are within the ε window of the same truth.
+        let truth = updates.len() as f64;
+        for engine in [&per_update, &batched] {
+            let est = engine.estimate();
+            assert!(
+                (est - truth).abs() <= 0.2 * truth + 1e-9,
+                "estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let mut engine = Robustify::new(CountingCore::windowed(), plan(0.2));
+        engine.update_batch(&[]);
+        assert_eq!(engine.estimate(), 0.0);
+        assert_eq!(engine.output_changes(), 0);
+        assert_eq!(
+            engine.core().publishes,
+            0,
+            "no copy may be retired on zero data"
+        );
+    }
+
+    #[test]
+    fn raw_mode_skips_rounding_entirely() {
+        let core = CountingCore {
+            count: 0,
+            publishes: 0,
+            mode: RoundingMode::Raw,
+        };
+        let mut engine = Robustify::new(core, plan(0.2));
+        for i in 1..=100u64 {
+            engine.update(Update::insert(i));
+            assert_eq!(engine.estimate(), i as f64, "raw mode must not round");
+        }
+        assert_eq!(engine.core().publishes, 0);
+        assert_eq!(engine.output_changes(), 0);
+    }
+
+    #[test]
+    fn budget_accounting_flags_overruns() {
+        let mut engine = Robustify::new(CountingCore::windowed(), RobustPlan::new(0.2, 3));
+        for i in 1..=10_000u64 {
+            engine.update(Update::insert(i));
+        }
+        assert_eq!(engine.flip_budget(), 3);
+        assert!(engine.budget_exceeded());
+    }
+
+    #[test]
+    fn empty_engine_estimates_zero() {
+        let engine = Robustify::new(CountingCore::windowed(), plan(0.1));
+        assert_eq!(engine.estimate(), 0.0);
+        assert!(engine.space_bytes() > 0);
+        assert_eq!(RobustEstimator::epsilon(&engine), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounding epsilon must be in (0,1)")]
+    fn invalid_plan_is_rejected() {
+        let mut bad = plan(0.5);
+        bad.rounding_epsilon = 0.0;
+        let _ = Robustify::new(CountingCore::windowed(), bad);
+    }
+}

@@ -52,7 +52,13 @@ impl FlipNumberBound {
     /// Flip number of the `L_p` norm on α-bounded-deletion streams
     /// (Lemma 8.2): `O(p · α · ε^{-p} · log n)`.
     #[must_use]
-    pub fn bounded_deletion_lp(epsilon: f64, p: f64, alpha: f64, domain: u64, max_frequency: u64) -> Self {
+    pub fn bounded_deletion_lp(
+        epsilon: f64,
+        p: f64,
+        alpha: f64,
+        domain: u64,
+        max_frequency: u64,
+    ) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
         assert!(p >= 1.0);
         assert!(alpha >= 1.0);
@@ -137,7 +143,12 @@ pub fn empirical_flip_number(values: &[f64], epsilon: f64) -> usize {
 /// its base-2 logarithm so callers can derive the per-path failure
 /// probability `δ₀ = δ / |paths|` without overflowing.
 #[must_use]
-pub fn log2_computation_paths(stream_length: u64, lambda: usize, epsilon: f64, value_range: f64) -> f64 {
+pub fn log2_computation_paths(
+    stream_length: u64,
+    lambda: usize,
+    epsilon: f64,
+    value_range: f64,
+) -> f64 {
     assert!(epsilon > 0.0 && epsilon < 1.0);
     assert!(value_range > 1.0);
     let m = stream_length.max(1) as f64;

@@ -1,24 +1,69 @@
 //! The adversarially robust streaming framework of Ben-Eliezer, Jayaram,
-//! Woodruff and Yogev (PODS 2020).
+//! Woodruff and Yogev (PODS 2020), organised the way the paper states it:
+//! robustness is a **generic transformation** applied to any static sketch
+//! with a bounded flip number — not a per-problem algorithm.
 //!
 //! A streaming algorithm is *adversarially robust* if its `(1 ± ε)`
 //! tracking guarantee holds even when every stream update is chosen by an
 //! adversary that has seen all of the algorithm's previous outputs. Most
 //! classical randomized sketches are **not** robust — Section 9 of the
 //! paper (and the `ars-adversary` crate) exhibits an explicit adaptive
-//! attack on the AMS sketch — but the paper gives two generic wrappers that
-//! turn a static (oblivious-stream) algorithm into a robust one whenever
-//! the tracked function has a small *flip number*:
+//! attack on the AMS sketch.
 //!
-//! * [`sketch_switch::SketchSwitch`] — maintain `λ` independent copies,
-//!   publish ε-rounded outputs, and switch to a fresh copy each time the
-//!   published value must change (Algorithm 1, Lemma 3.6, Theorem 4.1).
-//! * [`computation_paths::ComputationPaths`] — keep one copy with a very
-//!   small failure probability and union bound over all the rounded output
-//!   sequences the adversary could ever observe (Lemma 3.8).
+//! # Architecture
 //!
-//! On top of the wrappers, this crate provides ready-made robust estimators
-//! for each problem the paper treats:
+//! * [`engine::Robustify`] — the one robustification engine. It owns the
+//!   ε-rounding of published outputs, the flip-number budget, the switch
+//!   accounting and the space accounting; everything that is shared between
+//!   the paper's constructions exists exactly once, here.
+//! * [`engine::StrategyCore`] / [`strategy::RobustStrategy`] — the seam
+//!   along which the constructions differ. Implemented by
+//!   [`sketch_switch::SketchSwitch`] (Algorithm 1 / Theorem 4.1),
+//!   [`computation_paths::ComputationPaths`] (Lemma 3.8), and the
+//!   PRF-masking [`strategy::CryptoMaskStrategy`] (Theorem 10.1). Follow-up
+//!   frameworks — the DP-aggregation wrapper of Hassidim et al. 2020, the
+//!   difference estimators of Attias et al. 2022 — are new implementations
+//!   of this trait, nothing more.
+//! * [`builder::RobustBuilder`] — the single builder. Problem-specific
+//!   constructors (`.f0()`, `.fp(p)`, `.entropy()`, …) are thin factory
+//!   selections that compute the problem's flip number and pick the static
+//!   sketch; every knob (ε, δ, m, n, M, seed, strategy) is shared.
+//! * [`api::RobustEstimator`] — the object-safe trait every estimator
+//!   implements, including the batched hot path
+//!   [`api::RobustEstimator::update_batch`] (amortized rounding/switch
+//!   checks; see the trait docs for why batching is sound against adaptive
+//!   adversaries).
+//! * [`registry`] — every problem × strategy as `Box<dyn RobustEstimator>`
+//!   plus scoring metadata, so benches, games and conformance tests drive
+//!   all of them through one generic loop.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ars_core::{RobustBuilder, RobustEstimator, Strategy};
+//! use ars_stream::Update;
+//!
+//! // One builder for every problem.
+//! let builder = RobustBuilder::new(0.2).stream_length(10_000).seed(7);
+//! let mut f0 = builder.f0();                                   // Thm 1.1
+//! let mut f2 = builder.strategy(Strategy::ComputationPaths).fp(2.0); // Thm 1.5
+//!
+//! // Per-update tracking...
+//! for i in 0..1_000u64 {
+//!     f0.insert(i % 250);
+//! }
+//! assert!((f0.estimate() - 250.0).abs() <= 0.25 * 250.0);
+//!
+//! // ...or the batched hot path, and trait-object-driven loops.
+//! let batch: Vec<Update> = (0..1_000u64).map(|i| Update::insert(i % 250)).collect();
+//! let mut boxed: Vec<Box<dyn RobustEstimator>> = vec![Box::new(f2)];
+//! for estimator in &mut boxed {
+//!     estimator.update_batch(&batch);
+//!     assert!(estimator.estimate() > 0.0);
+//! }
+//! ```
+//!
+//! # Paper map
 //!
 //! | Type | Paper result |
 //! |---|---|
@@ -31,16 +76,22 @@
 //! | [`robust_bounded_deletion::RobustBoundedDeletionFp`] | Theorem 1.11 (bounded deletions) |
 //! | [`crypto_f0::CryptoRobustF0`] | Theorem 10.1 (crypto / random oracle) |
 //!
-//! The supporting machinery — ε-rounding ([`rounding`]) and flip-number
-//! bounds ([`flip_number`]) — is public as well, so new robust estimators
-//! can be assembled from any static sketch implementing
+//! Each of those modules is now a thin shim over the engine (the pre-engine
+//! per-problem builders remain as compatibility wrappers). The supporting
+//! machinery — ε-rounding ([`rounding`]) and flip-number bounds
+//! ([`flip_number`]) — is public as well, so new robust estimators can be
+//! assembled from any static sketch implementing
 //! [`ars_sketch::EstimatorFactory`].
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod builder;
 pub mod computation_paths;
 pub mod crypto_f0;
+pub mod engine;
 pub mod flip_number;
+pub mod registry;
 pub mod robust_bounded_deletion;
 pub mod robust_entropy;
 pub mod robust_f0;
@@ -49,10 +100,15 @@ pub mod robust_heavy_hitters;
 pub mod robust_turnstile;
 pub mod rounding;
 pub mod sketch_switch;
+pub mod strategy;
 
+pub use api::RobustEstimator;
+pub use builder::{RobustBuilder, Strategy};
 pub use computation_paths::{ComputationPaths, ComputationPathsConfig};
 pub use crypto_f0::{CryptoBackend, CryptoRobustF0, CryptoRobustF0Builder};
+pub use engine::{DynRobust, RobustPlan, Robustify, RoundingMode, StrategyCore};
 pub use flip_number::{empirical_flip_number, FlipNumberBound};
+pub use registry::{standard_registry, RegistryEntry, RegistryParams};
 pub use robust_bounded_deletion::{RobustBoundedDeletionFp, RobustBoundedDeletionFpBuilder};
 pub use robust_entropy::{EntropyMethod, RobustEntropy, RobustEntropyBuilder};
 pub use robust_f0::{F0Method, RobustF0, RobustF0Builder};
@@ -61,3 +117,6 @@ pub use robust_heavy_hitters::{RobustL2HeavyHitters, RobustL2HeavyHittersBuilder
 pub use robust_turnstile::{RobustTurnstileFp, RobustTurnstileFpBuilder};
 pub use rounding::{round_to_power, EpsilonRounder};
 pub use sketch_switch::{SketchSwitch, SketchSwitchConfig, SwitchStrategy};
+pub use strategy::{
+    ComputationPathsStrategy, CryptoMaskStrategy, PoolPolicy, RobustStrategy, SketchSwitchStrategy,
+};

@@ -1,0 +1,386 @@
+//! A registry of every robust estimator the crate provides, as
+//! `Box<dyn RobustEstimator>` trait objects paired with the metadata a
+//! generic driver needs to score them.
+//!
+//! The benchmark harness (`ars-bench`), the adversarial game sweeps and
+//! the conformance test suite all iterate this registry instead of
+//! maintaining one hand-written driver per estimator type; adding a new
+//! estimator (or a new strategy behind an existing one) to the registry
+//! automatically enrolls it in all three.
+
+use ars_stream::exact::Query;
+use ars_stream::generator::{
+    BoundedDeletionGenerator, BurstyGenerator, Generator, TurnstileWaveGenerator, UniformGenerator,
+    ZipfGenerator,
+};
+use ars_stream::{StreamModel, Update};
+
+use crate::api::RobustEstimator;
+use crate::builder::{RobustBuilder, Strategy};
+use crate::flip_number::FlipNumberBound;
+use crate::robust_entropy::EntropyMethod;
+use crate::strategy::CryptoBackend;
+
+/// Shared parameters for one registry instantiation.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryParams {
+    /// Approximation parameter ε used for every entry.
+    pub epsilon: f64,
+    /// Overall failure probability δ.
+    pub delta: f64,
+    /// Maximum stream length `m`.
+    pub stream_length: u64,
+    /// Domain size `n`.
+    pub domain: u64,
+    /// Base seed; each entry derives its own.
+    pub seed: u64,
+}
+
+impl RegistryParams {
+    /// A laptop-scale default: ε = 0.25, δ = 10⁻³, m = 8000, n = 2¹².
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            epsilon: 0.25,
+            delta: 1e-3,
+            stream_length: 8_000,
+            domain: 1 << 12,
+            seed: 42,
+        }
+    }
+
+    /// The turnstile entries are provisioned for insert/delete waves of
+    /// this length (the reference workload for `StreamModel::Turnstile`).
+    #[must_use]
+    pub fn turnstile_wave_length(&self) -> u64 {
+        (self.stream_length / 6).max(500)
+    }
+
+    /// The bounded-deletion entries are provisioned for this α.
+    #[must_use]
+    pub fn bounded_deletion_alpha(&self) -> f64 {
+        2.0
+    }
+
+    fn builder(&self, seed_offset: u64) -> RobustBuilder {
+        RobustBuilder::new(self.epsilon)
+            .delta(self.delta)
+            .stream_length(self.stream_length)
+            .domain(self.domain)
+            .max_frequency(self.stream_length)
+            .seed(self.seed.wrapping_add(seed_offset))
+    }
+}
+
+/// The synthetic workload an estimator's guarantee is exercised on by
+/// generic drivers (the conformance suite, the E13 registry sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReferenceWorkload {
+    /// Uniform items over `[0, params.domain)`.
+    Uniform,
+    /// Uniform items over a small explicit domain (entropy needs each item
+    /// to recur so plug-in estimators see the distribution).
+    UniformSmall(u64),
+    /// Zipfian items with the given exponent (skewed streams for the
+    /// heavy-elements `F_p` estimator).
+    Zipf(f64),
+    /// Planted heavy hitters over background noise.
+    Bursty,
+    /// Insert/delete waves of [`RegistryParams::turnstile_wave_length`].
+    TurnstileWaves,
+    /// α-bounded-deletion stream for the given α.
+    BoundedDeletion(f64),
+}
+
+/// One registry entry: an estimator plus what a generic driver needs to
+/// stream to it and score it.
+pub struct RegistryEntry {
+    /// Stable identifier, e.g. `"f0/sketch-switching"`.
+    pub id: &'static str,
+    /// Human-readable label for report tables.
+    pub label: String,
+    /// The exact query this estimator tracks.
+    pub query: Query,
+    /// Whether scoring is additive (entropy) or multiplicative.
+    pub additive: bool,
+    /// The stream model the estimator's guarantee assumes.
+    pub model: StreamModel,
+    /// The workload generic drivers should exercise the guarantee on.
+    pub workload: ReferenceWorkload,
+    /// Relative (or additive) error budget a conformance run should hold
+    /// the estimator to on the reference workload. Wider than ε where the
+    /// laptop-scale constant substitutions documented in the module docs
+    /// apply.
+    pub error_budget: f64,
+    /// Scored only once the exact tracked value reaches this threshold
+    /// (small prefixes are noisy for every sketch and the guarantees are
+    /// asymptotic in the tracked value).
+    pub min_truth: f64,
+    /// The estimator itself, behind the object-safe trait.
+    pub estimator: Box<dyn RobustEstimator>,
+}
+
+impl RegistryEntry {
+    /// Generates this entry's reference stream.
+    #[must_use]
+    pub fn reference_stream(&self, params: &RegistryParams, seed: u64) -> Vec<Update> {
+        let m = params.stream_length as usize;
+        match self.workload {
+            ReferenceWorkload::Uniform => {
+                UniformGenerator::new(params.domain, seed).take_updates(m)
+            }
+            ReferenceWorkload::UniformSmall(domain) => {
+                UniformGenerator::new(domain, seed).take_updates(m)
+            }
+            ReferenceWorkload::Zipf(exponent) => {
+                ZipfGenerator::new(params.domain, exponent, seed).take_updates(m)
+            }
+            ReferenceWorkload::Bursty => {
+                BurstyGenerator::new(params.domain, 4, 0.4, seed).take_updates(m)
+            }
+            ReferenceWorkload::TurnstileWaves => {
+                TurnstileWaveGenerator::new(params.turnstile_wave_length()).take_updates(m)
+            }
+            ReferenceWorkload::BoundedDeletion(alpha) => {
+                BoundedDeletionGenerator::new(alpha, 500, seed).take_updates(m)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RegistryEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryEntry")
+            .field("id", &self.id)
+            .field("query", &self.query)
+            .field("model", &self.model)
+            .field("strategy", &self.estimator.strategy_name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the full standard registry: every problem × every strategy the
+/// paper gives for it.
+#[must_use]
+pub fn standard_registry(params: &RegistryParams) -> Vec<RegistryEntry> {
+    let eps = params.epsilon;
+    let mut entries = vec![RegistryEntry {
+        id: "f0/sketch-switching",
+        label: "robust F0 (sketch switching, Thm 1.1)".to_string(),
+        query: Query::F0,
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Uniform,
+        error_budget: eps * 1.3,
+        min_truth: 200.0,
+        estimator: Box::new(params.builder(1).f0()),
+    }];
+    entries.push(RegistryEntry {
+        id: "f0/computation-paths",
+        label: "robust F0 (computation paths, Thm 1.2)".to_string(),
+        query: Query::F0,
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Uniform,
+        error_budget: eps * 1.3,
+        min_truth: 200.0,
+        estimator: Box::new(params.builder(2).strategy(Strategy::ComputationPaths).f0()),
+    });
+    entries.push(RegistryEntry {
+        id: "f0/crypto-chacha",
+        label: "crypto robust F0 (ChaCha PRF, Thm 10.1)".to_string(),
+        query: Query::F0,
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Uniform,
+        error_budget: eps * 1.3,
+        min_truth: 200.0,
+        estimator: Box::new(params.builder(3).crypto_f0()),
+    });
+    entries.push(RegistryEntry {
+        id: "f0/crypto-oracle",
+        label: "crypto robust F0 (random oracle, Thm 10.1)".to_string(),
+        query: Query::F0,
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Uniform,
+        error_budget: eps * 1.3,
+        min_truth: 200.0,
+        estimator: Box::new(
+            params
+                .builder(4)
+                .strategy(Strategy::Crypto(CryptoBackend::RandomOracle))
+                .crypto_f0(),
+        ),
+    });
+
+    for (offset, p) in [(10u64, 1.0f64), (11, 2.0)] {
+        entries.push(RegistryEntry {
+            id: if p == 1.0 {
+                "fp1/sketch-switching"
+            } else {
+                "fp2/sketch-switching"
+            },
+            label: format!("robust F{p:.0} (sketch switching, Thm 1.4)"),
+            query: Query::Fp(p),
+            additive: false,
+            model: StreamModel::InsertionOnly,
+            workload: ReferenceWorkload::Uniform,
+            error_budget: eps * 1.6,
+            min_truth: 500.0,
+            estimator: Box::new(params.builder(offset).fp(p)),
+        });
+        entries.push(RegistryEntry {
+            id: if p == 1.0 {
+                "fp1/computation-paths"
+            } else {
+                "fp2/computation-paths"
+            },
+            label: format!("robust F{p:.0} (computation paths, Thm 1.5)"),
+            query: Query::Fp(p),
+            additive: false,
+            model: StreamModel::InsertionOnly,
+            workload: ReferenceWorkload::Uniform,
+            error_budget: eps * 1.6,
+            min_truth: 500.0,
+            estimator: Box::new(
+                params
+                    .builder(offset + 10)
+                    .strategy(Strategy::ComputationPaths)
+                    .fp(p),
+            ),
+        });
+    }
+
+    entries.push(RegistryEntry {
+        id: "fp3/computation-paths",
+        label: "robust F3 (computation paths, Thm 1.7)".to_string(),
+        query: Query::Fp(3.0),
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Zipf(1.4),
+        // The heavy-elements estimator at laptop scale is the coarsest
+        // static ingredient in the crate.
+        error_budget: (2.0 * eps).min(0.9),
+        min_truth: 5_000.0,
+        estimator: Box::new(params.builder(30).fp_large(3.0)),
+    });
+
+    let wave = params.turnstile_wave_length();
+    let waves = (params.stream_length / (2 * wave)).max(1) as usize + 1;
+    let lambda = 2 * waves * FlipNumberBound::monotone(eps / 20.0, wave as f64).bound;
+    entries.push(RegistryEntry {
+        id: "turnstile-f2/computation-paths",
+        label: "robust turnstile F2 (Thm 1.6)".to_string(),
+        query: Query::Fp(2.0),
+        additive: false,
+        model: StreamModel::Turnstile,
+        workload: ReferenceWorkload::TurnstileWaves,
+        error_budget: eps * 1.6,
+        min_truth: 300.0,
+        estimator: Box::new(
+            params
+                .builder(40)
+                .max_frequency(4)
+                .turnstile_fp(2.0, lambda),
+        ),
+    });
+
+    let alpha = params.bounded_deletion_alpha();
+    entries.push(RegistryEntry {
+        id: "bounded-deletion-f1/computation-paths",
+        label: format!("robust bounded-deletion F1 (alpha={alpha}, Thm 1.11)"),
+        query: Query::Fp(1.0),
+        additive: false,
+        model: StreamModel::bounded_deletion(alpha, 1.0),
+        workload: ReferenceWorkload::BoundedDeletion(alpha),
+        error_budget: eps * 1.6,
+        min_truth: 200.0,
+        estimator: Box::new(
+            params
+                .builder(50)
+                .max_frequency(4)
+                .bounded_deletion_fp(1.0, alpha),
+        ),
+    });
+
+    entries.push(RegistryEntry {
+        id: "entropy/sampled",
+        label: "robust entropy (sampled backend, Thm 1.10)".to_string(),
+        query: Query::ShannonEntropy,
+        additive: true,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::UniformSmall(64),
+        // Additive bits; the laptop-scale sampled estimator is coarser
+        // than the asymptotic bound.
+        error_budget: (3.0 * eps).min(1.0),
+        min_truth: 0.0,
+        estimator: Box::new(
+            params
+                .builder(60)
+                .entropy_method(EntropyMethod::Sampled)
+                .entropy(),
+        ),
+    });
+
+    entries.push(RegistryEntry {
+        id: "heavy-hitters/l2-norm",
+        label: "robust L2 heavy hitters (norm facet, Thm 1.9)".to_string(),
+        query: Query::Lp(2.0),
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Bursty,
+        error_budget: 0.3f64.max(eps * 1.3),
+        min_truth: 30.0,
+        estimator: Box::new(params.builder(70).heavy_hitters()),
+    });
+
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_problem_and_strategy() {
+        let entries = standard_registry(&RegistryParams::small());
+        let ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
+        for expected in [
+            "f0/sketch-switching",
+            "f0/computation-paths",
+            "f0/crypto-chacha",
+            "f0/crypto-oracle",
+            "fp1/sketch-switching",
+            "fp1/computation-paths",
+            "fp2/sketch-switching",
+            "fp2/computation-paths",
+            "fp3/computation-paths",
+            "turnstile-f2/computation-paths",
+            "bounded-deletion-f1/computation-paths",
+            "entropy/sampled",
+            "heavy-hitters/l2-norm",
+        ] {
+            assert!(ids.contains(&expected), "missing registry entry {expected}");
+        }
+        // Strategy names come through the trait objects.
+        let strategies: std::collections::HashSet<&str> = entries
+            .iter()
+            .map(|e| e.estimator.strategy_name())
+            .collect();
+        assert!(strategies.iter().any(|s| s.contains("sketch-switching")));
+        assert!(strategies.contains("computation-paths"));
+        assert!(strategies.contains("crypto-mask"));
+    }
+
+    #[test]
+    fn entries_are_usable_through_the_trait_object() {
+        for mut entry in standard_registry(&RegistryParams::small()) {
+            for i in 0..200u64 {
+                entry.estimator.insert(i % 64);
+            }
+            assert!(entry.estimator.space_bytes() > 0, "{}", entry.id);
+            assert!(entry.estimator.estimate() >= 0.0, "{}", entry.id);
+        }
+    }
+}

@@ -8,24 +8,20 @@
 //! small-δ static turnstile sketch is robust with space
 //! `O(α ε^{-(2+p)} log³ n)`.
 
-use ars_sketch::pstable::{PStableConfig, PStableFactory, PStableSketch};
-use ars_sketch::Estimator;
 use ars_stream::Update;
 
-use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
-use crate::flip_number::FlipNumberBound;
+use crate::api::{delegate_robust_estimator, RobustEstimator};
+use crate::builder::{RobustBuilder, Strategy};
+use crate::engine::DynRobust;
 
-/// Builder for [`RobustBoundedDeletionFp`].
+/// Builder for [`RobustBoundedDeletionFp`] — a thin compatibility wrapper
+/// over [`RobustBuilder`]; prefer
+/// `RobustBuilder::new(eps).bounded_deletion_fp(p, α)` in new code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustBoundedDeletionFpBuilder {
+    inner: RobustBuilder,
     p: f64,
-    epsilon: f64,
     alpha: f64,
-    stream_length: u64,
-    domain: u64,
-    max_frequency: u64,
-    seed: u64,
-    delta: f64,
 }
 
 impl RobustBoundedDeletionFpBuilder {
@@ -33,109 +29,82 @@ impl RobustBoundedDeletionFpBuilder {
     #[must_use]
     pub fn new(p: f64, epsilon: f64, alpha: f64) -> Self {
         assert!((1.0..=2.0).contains(&p), "Theorem 8.3 covers p in [1, 2]");
-        assert!(epsilon > 0.0 && epsilon < 1.0);
         assert!(alpha >= 1.0);
         Self {
+            inner: RobustBuilder::new(epsilon),
             p,
-            epsilon,
             alpha,
-            stream_length: 1 << 20,
-            domain: 1 << 20,
-            max_frequency: 1 << 20,
-            seed: 0,
-            delta: 1e-3,
         }
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(1);
+        self.inner = self.inner.stream_length(m);
         self
     }
 
     /// Domain size `n` and frequency magnitude bound `M`.
     #[must_use]
     pub fn domain(mut self, n: u64, max_frequency: u64) -> Self {
-        self.domain = n.max(2);
-        self.max_frequency = max_frequency.max(1);
+        self.inner = self.inner.domain(n).max_frequency(max_frequency);
         self
     }
 
     /// Overall failure probability δ.
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Seed for all randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// The flip-number budget of Lemma 8.2.
     #[must_use]
     pub fn flip_number(&self) -> usize {
-        FlipNumberBound::bounded_deletion_lp(
-            self.epsilon / 20.0,
-            self.p,
-            self.alpha,
-            self.domain,
-            self.max_frequency,
-        )
-        .bound
+        self.inner.bounded_deletion_flip_number(self.p, self.alpha)
     }
 
     /// Builds the robust estimator.
     #[must_use]
     pub fn build(self) -> RobustBoundedDeletionFp {
-        let lambda = self.flip_number();
-        let value_range = (self.max_frequency as f64).powf(self.p) * self.domain as f64;
-        let paths = ComputationPathsConfig::new(
-            self.epsilon,
-            lambda,
-            self.stream_length,
-            value_range.max(2.0),
-            self.delta,
-        );
-        let delta0 = paths.required_delta_clamped().max(1e-12);
-        let factory = PStableFactory {
-            config: PStableConfig::for_tracking(self.p, self.epsilon / 2.0, delta0),
-        };
-        RobustBoundedDeletionFp {
-            inner: ComputationPaths::new(&factory, paths, self.seed),
-            p: self.p,
-            alpha: self.alpha,
-            epsilon: self.epsilon,
-        }
+        self.inner
+            .strategy(Strategy::ComputationPaths)
+            .bounded_deletion_fp(self.p, self.alpha)
     }
 }
 
-/// An adversarially robust `F_p` estimator for α-bounded-deletion streams.
+/// An adversarially robust `F_p` estimator for α-bounded-deletion streams:
+/// a thin shim over the generic engine.
 #[derive(Debug)]
 pub struct RobustBoundedDeletionFp {
-    inner: ComputationPaths<PStableSketch>,
+    engine: DynRobust,
     p: f64,
     alpha: f64,
-    epsilon: f64,
 }
 
 impl RobustBoundedDeletionFp {
+    pub(crate) fn from_engine(engine: DynRobust, p: f64, alpha: f64) -> Self {
+        Self { engine, p, alpha }
+    }
+
     /// Processes one (possibly negative) stream update. The caller is
     /// responsible for the stream actually satisfying the α-bounded-deletion
     /// property (use [`ars_stream::StreamValidator`] to enforce it).
     pub fn update(&mut self, update: Update) {
-        self.inner.update(update);
+        ars_sketch::Estimator::update(&mut self.engine, update);
     }
 
     /// The current `(1 ± ε)` estimate of `F_p = ‖f‖_p^p`.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        self.inner.estimate()
+        ars_sketch::Estimator::estimate(&self.engine)
     }
 
     /// The deletion parameter α.
@@ -153,36 +122,30 @@ impl RobustBoundedDeletionFp {
     /// The approximation parameter ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Number of published-output changes so far (≤ the Lemma 8.2 budget
     /// when the stream respects the model).
     #[must_use]
     pub fn output_changes(&self) -> usize {
-        self.inner.output_changes()
+        RobustEstimator::output_changes(&self.engine)
+    }
+
+    /// The Lemma 8.2 flip budget this estimator was provisioned for.
+    #[must_use]
+    pub fn flip_budget(&self) -> usize {
+        RobustEstimator::flip_budget(&self.engine)
     }
 
     /// Memory footprint in bytes.
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        self.inner.space_bytes()
+        ars_sketch::Estimator::space_bytes(&self.engine)
     }
 }
 
-impl Estimator for RobustBoundedDeletionFp {
-    fn update(&mut self, update: Update) {
-        RobustBoundedDeletionFp::update(self, update);
-    }
-
-    fn estimate(&self) -> f64 {
-        RobustBoundedDeletionFp::estimate(self)
-    }
-
-    fn space_bytes(&self) -> usize {
-        RobustBoundedDeletionFp::space_bytes(self)
-    }
-}
+delegate_robust_estimator!(RobustBoundedDeletionFp, engine);
 
 #[cfg(test)]
 mod tests {
@@ -203,7 +166,9 @@ mod tests {
         let updates = generator.take_updates(15_000);
         // Confirm the generator respects the model it claims.
         let mut validator = StreamValidator::new(StreamModel::bounded_deletion(alpha, 1.0));
-        validator.apply_all(&updates).expect("generator stays in model");
+        validator
+            .apply_all(&updates)
+            .expect("generator stays in model");
 
         let mut truth = FrequencyVector::new();
         let mut worst: f64 = 0.0;
@@ -263,10 +228,10 @@ mod tests {
             robust.update(u);
         }
         assert!(
-            robust.output_changes() <= robust.inner.config().lambda,
+            robust.output_changes() <= robust.flip_budget(),
             "output changed {} times, budget {}",
             robust.output_changes(),
-            robust.inner.config().lambda
+            robust.flip_budget()
         );
     }
 

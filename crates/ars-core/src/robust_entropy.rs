@@ -8,17 +8,15 @@
 //! — and Proposition 7.2 bounds the flip number of `2^{H(f)}` on
 //! insertion-only streams by `poly(ε^{-1}, log n)`. So the robust algorithm
 //! is: exponentiate the static entropy estimate, sketch-switch the
-//! exponentials, and take a logarithm before answering.
+//! exponentials through the generic engine, and take a logarithm before
+//! answering.
 
-use ars_sketch::entropy::{
-    RenyiEntropyConfig, RenyiEntropyFactory, SampledEntropyConfig, SampledEntropyFactory,
-};
-use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
 use ars_sketch::{Estimator, EstimatorFactory};
 use ars_stream::Update;
 
-use crate::flip_number::FlipNumberBound;
-use crate::sketch_switch::{SketchSwitch, SketchSwitchConfig};
+use crate::api::RobustEstimator;
+use crate::builder::RobustBuilder;
+use crate::engine::DynRobust;
 
 /// Adapter exposing `2^{inner estimate}` as the tracked quantity, so the
 /// multiplicative sketch-switching wrapper can drive an additive guarantee.
@@ -85,164 +83,88 @@ pub enum EntropyMethod {
     Sampled,
 }
 
-/// Builder for [`RobustEntropy`].
+/// Builder for [`RobustEntropy`] — a thin compatibility wrapper over
+/// [`RobustBuilder`]; prefer `RobustBuilder::new(eps).entropy()` in new
+/// code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustEntropyBuilder {
-    epsilon: f64,
-    delta: f64,
-    domain: u64,
-    stream_length: u64,
-    seed: u64,
-    method: EntropyMethod,
+    inner: RobustBuilder,
 }
 
 impl RobustEntropyBuilder {
     /// Starts a builder for an ε-additive robust entropy estimator.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0);
         Self {
-            epsilon,
-            delta: 1e-3,
-            domain: 1 << 20,
-            stream_length: 1 << 20,
-            seed: 0,
-            method: EntropyMethod::default(),
+            inner: RobustBuilder::new(epsilon).domain(1 << 20),
         }
     }
 
     /// Overall failure probability δ.
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Domain size `n`.
     #[must_use]
     pub fn domain(mut self, n: u64) -> Self {
-        self.domain = n.max(4);
+        self.inner = self.inner.domain(n.max(4));
         self
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(4);
+        self.inner = self.inner.stream_length(m.max(4));
         self
     }
 
     /// Seed for all randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// Selects the static estimator backend.
     #[must_use]
     pub fn method(mut self, method: EntropyMethod) -> Self {
-        self.method = method;
+        self.inner = self.inner.entropy_method(method);
         self
     }
 
     /// The flip-number budget of `2^{H}` (Proposition 7.2).
     #[must_use]
     pub fn flip_number(&self) -> usize {
-        FlipNumberBound::entropy_exponential(self.epsilon / 20.0, self.domain, self.stream_length)
-            .bound
+        self.inner.entropy_flip_number()
     }
 
     /// Builds the robust entropy estimator.
     #[must_use]
     pub fn build(self) -> RobustEntropy {
-        // Multiplicative parameter for the exponential of the entropy: an
-        // eps-additive error in bits is a 2^{±eps} multiplicative error.
-        let mult_epsilon = (2f64.powf(self.epsilon) - 1.0).min(0.5);
-        // Entropy is not additive over stream suffixes, so the restart
-        // optimization of Theorem 4.1 does not apply: Theorem 7.3 uses the
-        // plain (exhaustible) sketch-switching wrapper of Lemma 3.6. The
-        // flip-number budget of Proposition 7.2 is polynomial in 1/ε and
-        // log n; the pool is capped at a laptop-friendly size (documented
-        // constant substitution) and the wrapper degrades gracefully — it
-        // keeps using its last copy — if a stream exhausts it.
-        let pool = self.flip_number().min(64).max(8);
-        let switch = SketchSwitchConfig::exhaustible(mult_epsilon, pool);
-        let inner = match self.method {
-            EntropyMethod::Renyi => {
-                // A practically parametrized Rényi order: the paper's
-                // α − 1 = Θ̃(ε / log² n) makes the F_α sketch astronomically
-                // large; α − 1 = ε/2 with a capped row budget preserves the
-                // qualitative behaviour (H_α ≤ H, converging as α → 1) at
-                // laptop scale (documented substitution in DESIGN.md).
-                let config = RenyiEntropyConfig::with_alpha(
-                    (1.0 + self.epsilon / 2.0).min(1.5),
-                    1025,
-                );
-                let factory = ExponentialFactory {
-                    inner: MedianTrackingFactory {
-                        inner: RenyiEntropyFactory { config },
-                        config: MedianTrackingConfig { copies: 1 },
-                    },
-                };
-                EntropyInner::Renyi(Box::new(SketchSwitch::new(factory, switch, self.seed)))
-            }
-            EntropyMethod::Sampled => {
-                let factory = ExponentialFactory {
-                    inner: MedianTrackingFactory {
-                        inner: SampledEntropyFactory {
-                            config: SampledEntropyConfig::for_accuracy(self.epsilon / 2.0),
-                        },
-                        config: MedianTrackingConfig { copies: 3 },
-                    },
-                };
-                EntropyInner::Sampled(Box::new(SketchSwitch::new(factory, switch, self.seed)))
-            }
-        };
-        RobustEntropy {
-            inner,
-            epsilon: self.epsilon,
-        }
-    }
-}
-
-type RenyiSwitch = SketchSwitch<
-    ExponentialFactory<MedianTrackingFactory<RenyiEntropyFactory>>,
->;
-type SampledSwitch = SketchSwitch<
-    ExponentialFactory<MedianTrackingFactory<SampledEntropyFactory>>,
->;
-
-enum EntropyInner {
-    Renyi(Box<RenyiSwitch>),
-    Sampled(Box<SampledSwitch>),
-}
-
-impl std::fmt::Debug for EntropyInner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Renyi(_) => write!(f, "EntropyInner::Renyi"),
-            Self::Sampled(_) => write!(f, "EntropyInner::Sampled"),
-        }
+        self.inner.entropy()
     }
 }
 
 /// An adversarially robust (additively approximate) Shannon-entropy
-/// estimator for insertion-only streams.
+/// estimator for insertion-only streams: a thin shim over the generic
+/// engine tracking `2^{H(f)}`, answering in bits.
 #[derive(Debug)]
 pub struct RobustEntropy {
-    inner: EntropyInner,
-    epsilon: f64,
+    engine: DynRobust,
+    method: EntropyMethod,
 }
 
 impl RobustEntropy {
+    pub(crate) fn from_engine(engine: DynRobust, method: EntropyMethod) -> Self {
+        Self { engine, method }
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, update: Update) {
-        match &mut self.inner {
-            EntropyInner::Renyi(s) => s.update(update),
-            EntropyInner::Sampled(s) => s.update(update),
-        }
+        Estimator::update(&mut self.engine, update);
     }
 
     /// Processes a unit insertion.
@@ -253,10 +175,7 @@ impl RobustEntropy {
     /// The current entropy estimate in bits.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        let exp = match &self.inner {
-            EntropyInner::Renyi(s) => s.estimate(),
-            EntropyInner::Sampled(s) => s.estimate(),
-        };
+        let exp = Estimator::estimate(&self.engine);
         if exp <= 0.0 {
             0.0
         } else {
@@ -264,22 +183,27 @@ impl RobustEntropy {
         }
     }
 
+    /// The static backend in use.
+    #[must_use]
+    pub fn method(&self) -> EntropyMethod {
+        self.method
+    }
+
     /// The additive approximation parameter ε (bits).
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Memory footprint in bytes.
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        match &self.inner {
-            EntropyInner::Renyi(s) => s.space_bytes(),
-            EntropyInner::Sampled(s) => s.space_bytes(),
-        }
+        Estimator::space_bytes(&self.engine)
     }
 }
 
+// Entropy answers in bits while its engine tracks 2^H, so the trait impls
+// apply the log transform by hand instead of using the delegation macro.
 impl Estimator for RobustEntropy {
     fn update(&mut self, update: Update) {
         RobustEntropy::update(self, update);
@@ -291,6 +215,28 @@ impl Estimator for RobustEntropy {
 
     fn space_bytes(&self) -> usize {
         RobustEntropy::space_bytes(self)
+    }
+}
+
+impl RobustEstimator for RobustEntropy {
+    fn update_batch(&mut self, updates: &[Update]) {
+        RobustEstimator::update_batch(&mut self.engine, updates);
+    }
+
+    fn epsilon(&self) -> f64 {
+        RobustEstimator::epsilon(&self.engine)
+    }
+
+    fn output_changes(&self) -> usize {
+        RobustEstimator::output_changes(&self.engine)
+    }
+
+    fn flip_budget(&self) -> usize {
+        RobustEstimator::flip_budget(&self.engine)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        RobustEstimator::strategy_name(&self.engine)
     }
 }
 

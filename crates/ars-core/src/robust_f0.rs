@@ -1,7 +1,9 @@
 //! Adversarially robust distinct-elements (`F₀`) estimation
 //! (Theorems 1.1, 1.2 / Section 5).
 //!
-//! Three constructions are provided, matching the paper's three routes:
+//! Three constructions are provided, matching the paper's three routes —
+//! all of them thin selections over the generic [`crate::engine::Robustify`]
+//! engine via [`crate::builder::RobustBuilder::f0`]:
 //!
 //! * [`F0Method::SketchSwitching`] — Theorem 1.1 / 5.1: the optimized
 //!   sketch-switching wrapper (restarting pool of `Θ(ε^{-1} log ε^{-1})`
@@ -11,21 +13,18 @@
 //!   small failure probability, with ε-rounded outputs. Its update time is
 //!   nearly independent of δ, which is the point of the construction.
 //! * The cryptographic construction of Section 10 lives in
-//!   [`crate::crypto_f0`].
+//!   [`crate::crypto_f0`] (or `RobustBuilder::strategy(Strategy::Crypto(..)).f0()`).
 //!
 //! All constructions provide tracking: the estimate may be read after every
 //! update and is a `(1 ± ε)` approximation of the current number of
 //! distinct elements, even against an adaptive adversary.
 
-use ars_sketch::fast_f0::{FastF0Config, FastF0Factory, FastF0Sketch};
-use ars_sketch::kmv::{KmvConfig, KmvFactory};
-use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
-use ars_sketch::Estimator;
 use ars_stream::Update;
 
-use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
-use crate::flip_number::FlipNumberBound;
-use crate::sketch_switch::{SketchSwitch, SketchSwitchConfig};
+use crate::api::{delegate_robust_estimator, RobustEstimator};
+use crate::builder::{RobustBuilder, Strategy};
+use crate::engine::DynRobust;
+use crate::strategy::CryptoBackend;
 
 /// Which robustification route [`RobustF0`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,43 +36,28 @@ pub enum F0Method {
     ComputationPaths,
 }
 
-/// Builder for [`RobustF0`].
+/// Builder for [`RobustF0`] — a thin compatibility wrapper over the unified
+/// [`RobustBuilder`]; prefer `RobustBuilder::new(eps).f0()` in new code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustF0Builder {
-    epsilon: f64,
-    delta: f64,
-    stream_length: u64,
-    domain: u64,
-    seed: u64,
+    inner: RobustBuilder,
     method: F0Method,
-    /// Practical floor for the computation-paths per-path failure
-    /// probability; the theoretical value underflows `f64` and would make
-    /// the static sketch enormous, so experiments use this floor and report
-    /// the theoretical exponent alongside (see EXPERIMENTS.md).
-    practical_delta_floor: f64,
 }
 
 impl RobustF0Builder {
     /// Starts a builder for a `(1 ± ε)` robust distinct-elements estimator.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
         Self {
-            epsilon,
-            delta: 1e-3,
-            stream_length: 1 << 20,
-            domain: 1 << 20,
-            seed: 0,
+            inner: RobustBuilder::new(epsilon),
             method: F0Method::default(),
-            practical_delta_floor: 1e-12,
         }
     }
 
     /// Overall failure probability δ (default `10⁻³`).
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
@@ -81,7 +65,7 @@ impl RobustF0Builder {
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
         assert!(m >= 1);
-        self.stream_length = m;
+        self.inner = self.inner.stream_length(m);
         self
     }
 
@@ -89,14 +73,14 @@ impl RobustF0Builder {
     #[must_use]
     pub fn domain(mut self, n: u64) -> Self {
         assert!(n >= 2);
-        self.domain = n;
+        self.inner = self.inner.domain(n);
         self
     }
 
     /// Seed for all randomness (default 0).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
@@ -108,11 +92,10 @@ impl RobustF0Builder {
     }
 
     /// Sets the practical floor on the computation-paths failure
-    /// probability (see the field documentation).
+    /// probability.
     #[must_use]
     pub fn practical_delta_floor(mut self, floor: f64) -> Self {
-        assert!(floor > 0.0 && floor < 1.0);
-        self.practical_delta_floor = floor;
+        self.inner = self.inner.practical_delta_floor(floor);
         self
     }
 
@@ -120,86 +103,36 @@ impl RobustF0Builder {
     /// (Corollary 3.5 with p = 0).
     #[must_use]
     pub fn flip_number(&self) -> usize {
-        FlipNumberBound::insertion_only_fp(self.epsilon / 20.0, 0.0, self.domain, 1).bound
+        self.inner.f0_flip_number()
     }
 
     /// Builds the robust estimator.
     #[must_use]
     pub fn build(self) -> RobustF0 {
-        let inner = match self.method {
-            F0Method::SketchSwitching => {
-                let lambda = self.flip_number();
-                // Strong tracking with per-copy failure δ / λ, as Lemma 3.6
-                // requires (floored for practicality; the copy count is
-                // logarithmic in it anyway).
-                let per_copy_delta = (self.delta / lambda as f64).max(1e-6);
-                let factory = MedianTrackingFactory {
-                    inner: KmvFactory {
-                        config: KmvConfig::for_accuracy(self.epsilon / 4.0),
-                    },
-                    config: MedianTrackingConfig::for_strong_tracking(
-                        self.epsilon / 4.0,
-                        per_copy_delta,
-                        self.stream_length,
-                    ),
-                };
-                let config = SketchSwitchConfig::restarting(self.epsilon);
-                F0Inner::Switching(Box::new(SketchSwitch::new(factory, config, self.seed)))
-            }
-            F0Method::ComputationPaths => {
-                let lambda = self.flip_number();
-                let paths = ComputationPathsConfig::new(
-                    self.epsilon,
-                    lambda,
-                    self.stream_length,
-                    (self.domain.max(2) as f64).max(2.0),
-                    self.delta,
-                );
-                let delta0 = paths
-                    .required_delta_clamped()
-                    .max(self.practical_delta_floor);
-                let factory = FastF0Factory {
-                    config: FastF0Config::for_accuracy(self.epsilon / 4.0, delta0, self.domain),
-                };
-                F0Inner::Paths(Box::new(ComputationPaths::new(&factory, paths, self.seed)))
-            }
+        let strategy = match self.method {
+            F0Method::SketchSwitching => Strategy::SketchSwitching,
+            F0Method::ComputationPaths => Strategy::ComputationPaths,
         };
-        RobustF0 {
-            inner,
-            epsilon: self.epsilon,
-        }
+        self.inner.strategy(strategy).f0()
     }
 }
 
-enum F0Inner {
-    Switching(Box<SketchSwitch<MedianTrackingFactory<KmvFactory>>>),
-    Paths(Box<ComputationPaths<FastF0Sketch>>),
-}
-
-impl std::fmt::Debug for F0Inner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Switching(_) => write!(f, "F0Inner::Switching"),
-            Self::Paths(_) => write!(f, "F0Inner::Paths"),
-        }
-    }
-}
-
-/// An adversarially robust distinct-elements estimator.
+/// An adversarially robust distinct-elements estimator: a thin shim over
+/// the generic [`crate::engine::Robustify`] engine.
 #[derive(Debug)]
 pub struct RobustF0 {
-    inner: F0Inner,
-    epsilon: f64,
+    engine: DynRobust,
 }
 
 impl RobustF0 {
+    pub(crate) fn from_engine(engine: DynRobust) -> Self {
+        Self { engine }
+    }
+
     /// Processes one stream update (only positive updates are meaningful:
     /// `F₀` estimation is analysed in the insertion-only model).
     pub fn update(&mut self, update: Update) {
-        match &mut self.inner {
-            F0Inner::Switching(s) => s.update(update),
-            F0Inner::Paths(p) => p.update(update),
-        }
+        ars_sketch::Estimator::update(&mut self.engine, update);
     }
 
     /// Processes a unit insertion.
@@ -210,49 +143,39 @@ impl RobustF0 {
     /// The current `(1 ± ε)` estimate of the number of distinct elements.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        match &self.inner {
-            F0Inner::Switching(s) => s.estimate(),
-            F0Inner::Paths(p) => p.estimate(),
-        }
+        ars_sketch::Estimator::estimate(&self.engine)
     }
 
     /// The approximation parameter this estimator was built for.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Memory footprint in bytes.
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        match &self.inner {
-            F0Inner::Switching(s) => s.space_bytes(),
-            F0Inner::Paths(p) => p.space_bytes(),
-        }
+        ars_sketch::Estimator::space_bytes(&self.engine)
     }
 
     /// Number of times the published output has changed so far.
     #[must_use]
     pub fn output_changes(&self) -> usize {
-        match &self.inner {
-            F0Inner::Switching(s) => s.switches(),
-            F0Inner::Paths(p) => p.output_changes(),
-        }
+        RobustEstimator::output_changes(&self.engine)
     }
 }
 
-impl Estimator for RobustF0 {
-    fn update(&mut self, update: Update) {
-        RobustF0::update(self, update);
-    }
+delegate_robust_estimator!(RobustF0, engine);
 
-    fn estimate(&self) -> f64 {
-        RobustF0::estimate(self)
-    }
-
-    fn space_bytes(&self) -> usize {
-        RobustF0::space_bytes(self)
-    }
+/// Constructs the crypto-strategy `F₀` estimator as a [`RobustF0`]
+/// (Theorem 10.1 expressed through the unified API; the dedicated
+/// [`crate::crypto_f0::CryptoRobustF0`] type remains available).
+#[must_use]
+pub fn crypto_f0_as_robust_f0(epsilon: f64, backend: CryptoBackend, seed: u64) -> RobustF0 {
+    RobustBuilder::new(epsilon)
+        .strategy(Strategy::Crypto(backend))
+        .seed(seed)
+        .f0()
 }
 
 #[cfg(test)]
@@ -324,12 +247,24 @@ mod tests {
 
     #[test]
     fn estimator_trait_is_implemented() {
+        use ars_sketch::Estimator;
         let mut robust = RobustF0Builder::new(0.3).seed(11).build();
         for i in 0..500u64 {
             Estimator::update(&mut robust, Update::insert(i));
         }
         let est = Estimator::estimate(&robust);
         assert!((est - 500.0).abs() <= 0.35 * 500.0);
+    }
+
+    #[test]
+    fn crypto_strategy_is_reachable_through_the_unified_type() {
+        let mut robust = crypto_f0_as_robust_f0(0.15, CryptoBackend::ChaChaPrf, 3);
+        for i in 0..3_000u64 {
+            robust.insert(i % 1_000);
+        }
+        let est = robust.estimate();
+        assert!((est - 1_000.0).abs() <= 0.2 * 1_000.0, "estimate {est}");
+        assert_eq!(RobustEstimator::strategy_name(&robust), "crypto-mask");
     }
 
     #[test]

@@ -8,15 +8,16 @@
 //! available. For `p > 2` the computation-paths route over the
 //! heavy-elements estimator is used (Theorem 4.4), since that estimator's
 //! space grows only logarithmically in `1/δ`.
+//!
+//! Both types are thin shims over the generic [`crate::engine::Robustify`]
+//! engine; the corresponding unified constructors are
+//! [`RobustBuilder::fp`] and [`RobustBuilder::fp_large`].
 
-use ars_sketch::fp_large::{FpLargeConfig, FpLargeFactory, FpLargeSketch};
-use ars_sketch::pstable::{PStableConfig, PStableFactory, PStableSketch};
-use ars_sketch::Estimator;
 use ars_stream::Update;
 
-use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
-use crate::flip_number::FlipNumberBound;
-use crate::sketch_switch::{SketchSwitch, SketchSwitchConfig};
+use crate::api::{delegate_robust_estimator, RobustEstimator};
+use crate::builder::{RobustBuilder, Strategy};
+use crate::engine::DynRobust;
 
 /// Which robustification route [`RobustFp`] uses for `0 < p ≤ 2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,16 +30,13 @@ pub enum FpMethod {
     ComputationPaths,
 }
 
-/// Builder for [`RobustFp`] (moment order `0 < p ≤ 2`).
+/// Builder for [`RobustFp`] (moment order `0 < p ≤ 2`) — a thin
+/// compatibility wrapper over [`RobustBuilder`]; prefer
+/// `RobustBuilder::new(eps).fp(p)` in new code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustFpBuilder {
+    inner: RobustBuilder,
     p: f64,
-    epsilon: f64,
-    delta: f64,
-    stream_length: u64,
-    domain: u64,
-    max_frequency: u64,
-    seed: u64,
     method: FpMethod,
 }
 
@@ -46,16 +44,13 @@ impl RobustFpBuilder {
     /// Starts a builder for a `(1 ± ε)` robust `F_p` estimator, `0 < p ≤ 2`.
     #[must_use]
     pub fn new(p: f64, epsilon: f64) -> Self {
-        assert!(p > 0.0 && p <= 2.0, "p must lie in (0, 2]; use RobustFpLarge for p > 2");
-        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(
+            p > 0.0 && p <= 2.0,
+            "p must lie in (0, 2]; use RobustFpLarge for p > 2"
+        );
         Self {
+            inner: RobustBuilder::new(epsilon),
             p,
-            epsilon,
-            delta: 1e-3,
-            stream_length: 1 << 20,
-            domain: 1 << 20,
-            max_frequency: 1 << 20,
-            seed: 0,
             method: FpMethod::default(),
         }
     }
@@ -63,30 +58,28 @@ impl RobustFpBuilder {
     /// Overall failure probability δ.
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(1);
+        self.inner = self.inner.stream_length(m);
         self
     }
 
     /// Domain size `n` and frequency bound `M` (both default to `2²⁰`).
     #[must_use]
     pub fn domain(mut self, n: u64, max_frequency: u64) -> Self {
-        self.domain = n.max(2);
-        self.max_frequency = max_frequency.max(1);
+        self.inner = self.inner.domain(n).max_frequency(max_frequency);
         self
     }
 
     /// Seed for all randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
@@ -100,107 +93,39 @@ impl RobustFpBuilder {
     /// The flip-number budget (Corollary 3.5).
     #[must_use]
     pub fn flip_number(&self) -> usize {
-        FlipNumberBound::insertion_only_fp(
-            self.epsilon / 20.0,
-            self.p,
-            self.domain,
-            self.max_frequency,
-        )
-        .bound
+        self.inner.fp_flip_number(self.p)
     }
 
     /// Builds the robust estimator.
     #[must_use]
     pub fn build(self) -> RobustFp {
-        let lambda = self.flip_number();
-        let value_range = (self.max_frequency as f64).powf(self.p.max(1.0))
-            * self.domain as f64;
-        let inner = match self.method {
-            FpMethod::SketchSwitching => {
-                // Strong tracking of each copy with failure δ/λ: the
-                // p-stable median-of-rows estimator concentrates
-                // exponentially in its row count, so the boost is folded
-                // directly into the rows rather than a median-of-copies
-                // layer (same asymptotics, far cheaper constants).
-                let per_copy_delta = (self.delta / lambda as f64).max(1e-4);
-                let factory = PStableFactory {
-                    config: PStableConfig::for_tracking(
-                        self.p,
-                        self.epsilon / 2.0,
-                        per_copy_delta,
-                    ),
-                };
-                // The restart argument of Theorem 4.1 needs the *norm* to
-                // grow by a Θ(1/ε) factor between reuses of a copy; since
-                // this wrapper tracks the moment F_p = ‖f‖_p^p, the pool
-                // must be larger by a factor of p so that the moment grows
-                // by (Θ(1/ε))^p over one rotation.
-                let growth = 8.0 * self.p.max(1.0) / self.epsilon;
-                let copies = ((self.p.max(1.0) * growth.ln())
-                    / (1.0 + self.epsilon / 2.0).ln())
-                .ceil() as usize;
-                let config = SketchSwitchConfig {
-                    epsilon: self.epsilon,
-                    copies: copies.max(4),
-                    strategy: crate::sketch_switch::SwitchStrategy::Restart,
-                };
-                FpInner::Switching(Box::new(SketchSwitch::new(factory, config, self.seed)))
-            }
-            FpMethod::ComputationPaths => {
-                let paths = ComputationPathsConfig::new(
-                    self.epsilon,
-                    lambda,
-                    self.stream_length,
-                    value_range.max(2.0),
-                    self.delta,
-                );
-                let delta0 = paths.required_delta_clamped().max(1e-12);
-                let factory = PStableFactory {
-                    config: PStableConfig::for_tracking(self.p, self.epsilon / 2.0, delta0),
-                };
-                FpInner::Paths(Box::new(ComputationPaths::new(&factory, paths, self.seed)))
-            }
+        let strategy = match self.method {
+            FpMethod::SketchSwitching => Strategy::SketchSwitching,
+            FpMethod::ComputationPaths => Strategy::ComputationPaths,
         };
-        RobustFp {
-            inner,
-            p: self.p,
-            epsilon: self.epsilon,
-        }
+        self.inner.strategy(strategy).fp(self.p)
     }
 }
 
-enum FpInner {
-    Switching(Box<SketchSwitch<PStableFactory>>),
-    Paths(Box<ComputationPaths<PStableSketch>>),
-}
-
-impl std::fmt::Debug for FpInner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Switching(_) => write!(f, "FpInner::Switching"),
-            Self::Paths(_) => write!(f, "FpInner::Paths"),
-        }
-    }
-}
-
-/// An adversarially robust `F_p` moment estimator for `0 < p ≤ 2`.
+/// An adversarially robust `F_p` moment estimator for `0 < p ≤ 2`: a thin
+/// shim over the generic engine.
 ///
 /// The estimate is of the *moment* `F_p = ‖f‖_p^p`; callers that want the
 /// norm can take the `1/p`-th power.
 #[derive(Debug)]
 pub struct RobustFp {
-    inner: FpInner,
+    engine: DynRobust,
     p: f64,
-    epsilon: f64,
 }
 
 impl RobustFp {
+    pub(crate) fn from_engine(engine: DynRobust, p: f64) -> Self {
+        Self { engine, p }
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, update: Update) {
-        match &mut self.inner {
-            FpInner::Switching(s) => s.update(update),
-            FpInner::Paths(c) => c.update(update),
-        }
+        ars_sketch::Estimator::update(&mut self.engine, update);
     }
 
     /// Processes a unit insertion.
@@ -211,10 +136,7 @@ impl RobustFp {
     /// The current `(1 ± ε)` estimate of `F_p`.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        match &self.inner {
-            FpInner::Switching(s) => s.estimate(),
-            FpInner::Paths(c) => c.estimate(),
-        }
+        ars_sketch::Estimator::estimate(&self.engine)
     }
 
     /// The current estimate of the norm `‖f‖_p`.
@@ -232,43 +154,31 @@ impl RobustFp {
     /// The approximation parameter ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Memory footprint in bytes.
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        match &self.inner {
-            FpInner::Switching(s) => s.space_bytes(),
-            FpInner::Paths(c) => c.space_bytes(),
-        }
+        ars_sketch::Estimator::space_bytes(&self.engine)
+    }
+
+    /// Number of times the published output has changed so far.
+    #[must_use]
+    pub fn output_changes(&self) -> usize {
+        RobustEstimator::output_changes(&self.engine)
     }
 }
 
-impl Estimator for RobustFp {
-    fn update(&mut self, update: Update) {
-        RobustFp::update(self, update);
-    }
+delegate_robust_estimator!(RobustFp, engine);
 
-    fn estimate(&self) -> f64 {
-        RobustFp::estimate(self)
-    }
-
-    fn space_bytes(&self) -> usize {
-        RobustFp::space_bytes(self)
-    }
-}
-
-/// Builder for [`RobustFpLarge`] (moment order `p > 2`, Theorem 4.4).
+/// Builder for [`RobustFpLarge`] (moment order `p > 2`, Theorem 4.4) — a
+/// thin compatibility wrapper over [`RobustBuilder`]; prefer
+/// `RobustBuilder::new(eps).fp_large(p)` in new code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustFpLargeBuilder {
+    inner: RobustBuilder,
     p: f64,
-    epsilon: f64,
-    delta: f64,
-    stream_length: u64,
-    domain: u64,
-    max_frequency: u64,
-    seed: u64,
 }
 
 impl RobustFpLargeBuilder {
@@ -276,44 +186,37 @@ impl RobustFpLargeBuilder {
     #[must_use]
     pub fn new(p: f64, epsilon: f64) -> Self {
         assert!(p > 2.0, "use RobustFp for p <= 2");
-        assert!(epsilon > 0.0 && epsilon < 1.0);
         Self {
+            inner: RobustBuilder::new(epsilon).domain(1 << 16),
             p,
-            epsilon,
-            delta: 1e-3,
-            stream_length: 1 << 20,
-            domain: 1 << 16,
-            max_frequency: 1 << 20,
-            seed: 0,
         }
     }
 
     /// Overall failure probability δ.
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(1);
+        self.inner = self.inner.stream_length(m);
         self
     }
 
     /// Domain size `n` (drives the `n^{1−2/p}` space term).
     #[must_use]
     pub fn domain(mut self, n: u64) -> Self {
-        self.domain = n.max(16);
+        self.inner = self.inner.domain(n.max(16));
         self
     }
 
     /// Seed for all randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
@@ -321,51 +224,32 @@ impl RobustFpLargeBuilder {
     /// `p > 2`).
     #[must_use]
     pub fn flip_number(&self) -> usize {
-        FlipNumberBound::insertion_only_fp(
-            self.epsilon / 20.0,
-            self.p,
-            self.domain,
-            self.max_frequency,
-        )
-        .bound
+        self.inner.fp_flip_number(self.p)
     }
 
     /// Builds the robust estimator.
     #[must_use]
     pub fn build(self) -> RobustFpLarge {
-        let lambda = self.flip_number();
-        let value_range =
-            (self.max_frequency as f64).powf(self.p) * self.domain as f64;
-        let paths = ComputationPathsConfig::new(
-            self.epsilon,
-            lambda,
-            self.stream_length,
-            value_range.max(2.0),
-            self.delta,
-        );
-        let factory = FpLargeFactory {
-            config: FpLargeConfig::for_accuracy(self.p, self.epsilon / 4.0, self.domain),
-        };
-        RobustFpLarge {
-            inner: ComputationPaths::new(&factory, paths, self.seed),
-            p: self.p,
-            epsilon: self.epsilon,
-        }
+        self.inner.fp_large(self.p)
     }
 }
 
-/// An adversarially robust `F_p` estimator for `p > 2`.
+/// An adversarially robust `F_p` estimator for `p > 2`: a thin shim over
+/// the generic engine.
 #[derive(Debug)]
 pub struct RobustFpLarge {
-    inner: ComputationPaths<FpLargeSketch>,
+    engine: DynRobust,
     p: f64,
-    epsilon: f64,
 }
 
 impl RobustFpLarge {
+    pub(crate) fn from_engine(engine: DynRobust, p: f64) -> Self {
+        Self { engine, p }
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, update: Update) {
-        self.inner.update(update);
+        ars_sketch::Estimator::update(&mut self.engine, update);
     }
 
     /// Processes a unit insertion.
@@ -376,7 +260,7 @@ impl RobustFpLarge {
     /// The current `(1 ± ε)` estimate of `F_p`.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        self.inner.estimate()
+        ars_sketch::Estimator::estimate(&self.engine)
     }
 
     /// The moment order `p`.
@@ -388,29 +272,17 @@ impl RobustFpLarge {
     /// The approximation parameter ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Memory footprint in bytes.
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        self.inner.space_bytes()
+        ars_sketch::Estimator::space_bytes(&self.engine)
     }
 }
 
-impl Estimator for RobustFpLarge {
-    fn update(&mut self, update: Update) {
-        RobustFpLarge::update(self, update);
-    }
-
-    fn estimate(&self) -> f64 {
-        RobustFpLarge::estimate(self)
-    }
-
-    fn space_bytes(&self) -> usize {
-        RobustFpLarge::space_bytes(self)
-    }
-}
+delegate_robust_estimator!(RobustFpLarge, engine);
 
 #[cfg(test)]
 mod tests {

@@ -3,10 +3,10 @@
 //!
 //! The construction combines two robust ingredients:
 //!
-//! 1. a robust `F₂` estimator (sketch switching over a strong-tracking
-//!    ensemble) whose ε/2-rounded output defines the *switch times*
-//!    `t_1 < t_2 < …` — the steps at which `‖f‖₂` has grown by a `(1 + ε)`
-//!    factor since the last switch; and
+//! 1. a robust `F₂` estimator (the engine's sketch-switching strategy over
+//!    a strong-tracking ensemble) whose ε/2-rounded output defines the
+//!    *switch times* `t_1 < t_2 < …` — the steps at which `‖f‖₂` has grown
+//!    by a `(1 + ε)` factor since the last switch; and
 //! 2. a rotating pool of `Θ(ε^{-1} log ε^{-1})` CountSketch copies. At each
 //!    switch time the least-recently-restarted copy is queried once, its
 //!    answer vector is *frozen* and used for all point queries until the
@@ -17,22 +17,29 @@
 //! each CountSketch copy's randomness is exposed only once (at its switch
 //! time), the adversary can never adapt against the copy currently
 //! collecting updates.
+//!
+//! Unlike the scalar estimators this structure answers *vector* queries
+//! (point queries and a heavy-hitters set), so it is not a shim over the
+//! scalar engine; it still implements [`crate::api::RobustEstimator`]
+//! (the scalar estimate is the robust `‖f‖₂`) so registries, benches and
+//! the adversarial game can drive it through the same trait-object loop.
 
 use ars_sketch::countsketch::{CountSketch, CountSketchConfig};
 use ars_sketch::{Estimator, PointQueryEstimator};
 use ars_stream::Update;
 
-use crate::robust_fp::{FpMethod, RobustFp, RobustFpBuilder};
+use crate::api::RobustEstimator;
+use crate::builder::{RobustBuilder, Strategy};
+use crate::flip_number::FlipNumberBound;
+use crate::robust_fp::RobustFp;
 use crate::rounding::EpsilonRounder;
 
-/// Builder for [`RobustL2HeavyHitters`].
+/// Builder for [`RobustL2HeavyHitters`] — a thin compatibility wrapper over
+/// [`RobustBuilder`]; prefer `RobustBuilder::new(eps).heavy_hitters()` in
+/// new code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustL2HeavyHittersBuilder {
-    epsilon: f64,
-    delta: f64,
-    domain: u64,
-    stream_length: u64,
-    seed: u64,
+    inner: RobustBuilder,
 }
 
 impl RobustL2HeavyHittersBuilder {
@@ -40,82 +47,43 @@ impl RobustL2HeavyHittersBuilder {
     /// point-query problem.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0);
         Self {
-            epsilon,
-            delta: 1e-3,
-            domain: 1 << 20,
-            stream_length: 1 << 20,
-            seed: 0,
+            inner: RobustBuilder::new(epsilon),
         }
     }
 
     /// Overall failure probability δ.
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Domain size `n`.
     #[must_use]
     pub fn domain(mut self, n: u64) -> Self {
-        self.domain = n.max(2);
+        self.inner = self.inner.domain(n);
         self
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(1);
+        self.inner = self.inner.stream_length(m);
         self
     }
 
     /// Seed for all randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// Builds the robust heavy-hitters structure.
     #[must_use]
     pub fn build(self) -> RobustL2HeavyHitters {
-        // Pool of Θ(ε^{-1} log ε^{-1}) point-query sketches, as in the
-        // optimized construction inside Theorem 6.5.
-        let pool_size = (((1.0 / self.epsilon) * (1.0 / self.epsilon).ln().max(1.0)).ceil()
-            as usize)
-            .max(4);
-        let cs_config =
-            CountSketchConfig::for_accuracy(self.epsilon / 4.0, self.delta, self.domain);
-        let point_sketches = (0..pool_size)
-            .map(|i| CountSketch::new(cs_config, self.seed.wrapping_add(1_000 + i as u64)))
-            .collect();
-        // The norm estimator only gates switch times and the reporting
-        // threshold, so a constant-factor accuracy floor keeps its pool ×
-        // rows cost bounded without affecting the point-query error, which
-        // is governed by the CountSketch width (documented constant
-        // substitution in DESIGN.md).
-        let norm_epsilon = self.epsilon.max(0.2);
-        let norm_estimator = RobustFpBuilder::new(2.0, norm_epsilon)
-            .delta(self.delta / 2.0)
-            .stream_length(self.stream_length)
-            .domain(self.domain, self.stream_length)
-            .method(FpMethod::SketchSwitching)
-            .seed(self.seed)
-            .build();
-        RobustL2HeavyHitters {
-            epsilon: self.epsilon,
-            cs_config,
-            norm_estimator,
-            point_sketches,
-            active: 0,
-            frozen: None,
-            rounder: EpsilonRounder::new(self.epsilon / 2.0),
-            switches: 0,
-            next_seed: self.seed.wrapping_add(7_777),
-        }
+        self.inner.heavy_hitters()
     }
 }
 
@@ -135,10 +103,53 @@ pub struct RobustL2HeavyHitters {
     /// ε/2-rounder of the robust L₂ estimate, defining switch times.
     rounder: EpsilonRounder,
     switches: usize,
+    /// Flip budget of the switch-time sequence (`‖f‖₂` is monotone on the
+    /// insertion-only streams Theorem 6.5 covers).
+    flip_budget: usize,
     next_seed: u64,
 }
 
 impl RobustL2HeavyHitters {
+    pub(crate) fn from_builder(builder: &RobustBuilder) -> Self {
+        let epsilon = builder.epsilon();
+        // Pool of Θ(ε^{-1} log ε^{-1}) point-query sketches, as in the
+        // optimized construction inside Theorem 6.5.
+        let pool_size = (((1.0 / epsilon) * (1.0 / epsilon).ln().max(1.0)).ceil() as usize).max(4);
+        let (delta, domain, stream_length, seed) = builder.raw_parameters();
+        let cs_config = CountSketchConfig::for_accuracy(epsilon / 4.0, delta, domain);
+        let point_sketches = (0..pool_size)
+            .map(|i| CountSketch::new(cs_config, seed.wrapping_add(1_000 + i as u64)))
+            .collect();
+        // The norm estimator only gates switch times and the reporting
+        // threshold, so a constant-factor accuracy floor keeps its pool ×
+        // rows cost bounded without affecting the point-query error, which
+        // is governed by the CountSketch width (documented constant
+        // substitution in DESIGN.md).
+        let norm_epsilon = epsilon.max(0.2);
+        let norm_estimator = RobustBuilder::new(norm_epsilon)
+            .delta(delta / 2.0)
+            .stream_length(stream_length)
+            .domain(domain)
+            .max_frequency(stream_length)
+            .strategy(Strategy::SketchSwitching)
+            .seed(seed)
+            .fp(2.0);
+        let flip_budget =
+            FlipNumberBound::monotone(epsilon / 2.0, (stream_length.max(4)) as f64).bound;
+        RobustL2HeavyHitters {
+            epsilon,
+            cs_config,
+            norm_estimator,
+            point_sketches,
+            active: 0,
+            frozen: None,
+            rounder: EpsilonRounder::new(epsilon / 2.0),
+            switches: 0,
+            flip_budget,
+            next_seed: seed.wrapping_add(7_777),
+        }
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, update: Update) {
         self.norm_estimator.update(update);
@@ -214,6 +225,39 @@ impl RobustL2HeavyHitters {
         let points: usize = self.point_sketches.iter().map(Estimator::space_bytes).sum();
         let frozen = self.frozen.as_ref().map_or(0, Estimator::space_bytes);
         points + frozen + self.norm_estimator.space_bytes()
+    }
+}
+
+impl Estimator for RobustL2HeavyHitters {
+    fn update(&mut self, update: Update) {
+        RobustL2HeavyHitters::update(self, update);
+    }
+
+    /// The scalar facet of the structure: the robust `‖f‖₂` estimate.
+    fn estimate(&self) -> f64 {
+        self.norm_estimate()
+    }
+
+    fn space_bytes(&self) -> usize {
+        RobustL2HeavyHitters::space_bytes(self)
+    }
+}
+
+impl RobustEstimator for RobustL2HeavyHitters {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn output_changes(&self) -> usize {
+        self.switches
+    }
+
+    fn flip_budget(&self) -> usize {
+        self.flip_budget
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "sketch-switching (frozen point-query pool)"
     }
 }
 
@@ -315,6 +359,7 @@ mod tests {
             "switches {} exceed bound {bound}",
             hh.switches()
         );
+        assert_eq!(RobustEstimator::output_changes(&hh), hh.switches());
     }
 
     #[test]

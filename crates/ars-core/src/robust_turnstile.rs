@@ -9,28 +9,25 @@
 //! wrapper over a small-δ static turnstile sketch is robust for that class,
 //! with space `O(ε^{-2} λ log² n)`.
 //!
-//! The wrapper cannot verify the promise; [`RobustTurnstileFp`] therefore
-//! tracks how often its own published output changes and exposes
+//! The wrapper cannot verify the promise; the engine therefore tracks how
+//! often its own published output changes and exposes
 //! [`RobustTurnstileFp::budget_exceeded`] so callers (and the adversarial
 //! game harness) can detect streams that left the promised class.
 
-use ars_sketch::pstable::{PStableConfig, PStableFactory, PStableSketch};
-use ars_sketch::Estimator;
 use ars_stream::Update;
 
-use crate::computation_paths::{ComputationPaths, ComputationPathsConfig};
+use crate::api::{delegate_robust_estimator, RobustEstimator};
+use crate::builder::{RobustBuilder, Strategy};
+use crate::engine::DynRobust;
 
-/// Builder for [`RobustTurnstileFp`].
+/// Builder for [`RobustTurnstileFp`] — a thin compatibility wrapper over
+/// [`RobustBuilder`]; prefer `RobustBuilder::new(eps).turnstile_fp(p, λ)`
+/// in new code.
 #[derive(Debug, Clone, Copy)]
 pub struct RobustTurnstileFpBuilder {
+    inner: RobustBuilder,
     p: f64,
-    epsilon: f64,
     lambda: usize,
-    stream_length: u64,
-    domain: u64,
-    max_frequency: u64,
-    seed: u64,
-    delta: f64,
 }
 
 impl RobustTurnstileFpBuilder {
@@ -39,32 +36,25 @@ impl RobustTurnstileFpBuilder {
     #[must_use]
     pub fn new(p: f64, epsilon: f64, lambda: usize) -> Self {
         assert!(p > 0.0 && p <= 2.0);
-        assert!(epsilon > 0.0 && epsilon < 1.0);
         assert!(lambda >= 1);
         Self {
+            inner: RobustBuilder::new(epsilon),
             p,
-            epsilon,
             lambda,
-            stream_length: 1 << 20,
-            domain: 1 << 20,
-            max_frequency: 1 << 20,
-            seed: 0,
-            delta: 1e-3,
         }
     }
 
     /// Maximum stream length `m`.
     #[must_use]
     pub fn stream_length(mut self, m: u64) -> Self {
-        self.stream_length = m.max(1);
+        self.inner = self.inner.stream_length(m);
         self
     }
 
     /// Domain size `n` and frequency magnitude bound `M`.
     #[must_use]
     pub fn domain(mut self, n: u64, max_frequency: u64) -> Self {
-        self.domain = n.max(2);
-        self.max_frequency = max_frequency.max(1);
+        self.inner = self.inner.domain(n).max_frequency(max_frequency);
         self
     }
 
@@ -72,69 +62,54 @@ impl RobustTurnstileFpBuilder {
     /// experiments use a configurable practical value).
     #[must_use]
     pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0);
-        self.delta = delta;
+        self.inner = self.inner.delta(delta);
         self
     }
 
     /// Seed for all randomness.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// Builds the robust estimator.
     #[must_use]
     pub fn build(self) -> RobustTurnstileFp {
-        let value_range =
-            (self.max_frequency as f64).powf(self.p.max(1.0)) * self.domain as f64;
-        let paths = ComputationPathsConfig::new(
-            self.epsilon,
-            self.lambda,
-            self.stream_length,
-            value_range.max(2.0),
-            self.delta,
-        );
-        let delta0 = paths.required_delta_clamped().max(1e-12);
-        let factory = PStableFactory {
-            config: PStableConfig::for_tracking(self.p, self.epsilon / 2.0, delta0),
-        };
-        RobustTurnstileFp {
-            inner: ComputationPaths::new(&factory, paths, self.seed),
-            lambda: self.lambda,
-            p: self.p,
-            epsilon: self.epsilon,
-        }
+        self.inner
+            .strategy(Strategy::ComputationPaths)
+            .turnstile_fp(self.p, self.lambda)
     }
 }
 
 /// An adversarially robust `F_p` estimator for λ-flip-number turnstile
-/// streams.
+/// streams: a thin shim over the generic engine.
 #[derive(Debug)]
 pub struct RobustTurnstileFp {
-    inner: ComputationPaths<PStableSketch>,
-    lambda: usize,
+    engine: DynRobust,
     p: f64,
-    epsilon: f64,
 }
 
 impl RobustTurnstileFp {
+    pub(crate) fn from_engine(engine: DynRobust, p: f64) -> Self {
+        Self { engine, p }
+    }
+
     /// Processes one (possibly negative) stream update.
     pub fn update(&mut self, update: Update) {
-        self.inner.update(update);
+        ars_sketch::Estimator::update(&mut self.engine, update);
     }
 
     /// The current `(1 ± ε)` estimate of `F_p`.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        self.inner.estimate()
+        ars_sketch::Estimator::estimate(&self.engine)
     }
 
     /// The promised flip-number budget λ.
     #[must_use]
     pub fn lambda(&self) -> usize {
-        self.lambda
+        RobustEstimator::flip_budget(&self.engine)
     }
 
     /// Whether the published output has already changed more than λ times —
@@ -142,7 +117,7 @@ impl RobustTurnstileFp {
     /// inner estimator failed).
     #[must_use]
     pub fn budget_exceeded(&self) -> bool {
-        self.inner.output_changes() > self.lambda
+        RobustEstimator::budget_exceeded(&self.engine)
     }
 
     /// The moment order `p`.
@@ -154,29 +129,17 @@ impl RobustTurnstileFp {
     /// The approximation parameter ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        RobustEstimator::epsilon(&self.engine)
     }
 
     /// Memory footprint in bytes.
     #[must_use]
     pub fn space_bytes(&self) -> usize {
-        self.inner.space_bytes()
+        ars_sketch::Estimator::space_bytes(&self.engine)
     }
 }
 
-impl Estimator for RobustTurnstileFp {
-    fn update(&mut self, update: Update) {
-        RobustTurnstileFp::update(self, update);
-    }
-
-    fn estimate(&self) -> f64 {
-        RobustTurnstileFp::estimate(self)
-    }
-
-    fn space_bytes(&self) -> usize {
-        RobustTurnstileFp::space_bytes(self)
-    }
-}
+delegate_robust_estimator!(RobustTurnstileFp, engine);
 
 #[cfg(test)]
 mod tests {
@@ -239,10 +202,7 @@ mod tests {
         }
         let t = truth.f2();
         let est = robust.estimate();
-        assert!(
-            ((est - t) / t).abs() <= 0.35,
-            "estimate {est} vs truth {t}"
-        );
+        assert!(((est - t) / t).abs() <= 0.35, "estimate {est} vs truth {t}");
     }
 
     #[test]

@@ -1,17 +1,19 @@
-//! The sketch-switching robustification wrapper (Algorithm 1, Lemma 3.6,
-//! and the optimized restart variant of Theorem 4.1).
+//! The sketch-switching pool (Algorithm 1, Lemma 3.6, and the optimized
+//! restart variant of Theorem 4.1).
 //!
 //! Sketch switching maintains a pool of independent copies of a static
 //! strong-tracking estimator. At every step the update is fed to all
-//! copies, but only the *active* copy's estimate is consulted. The wrapper
-//! publishes an ε/2-rounded value and keeps publishing it unchanged as long
-//! as it stays within a `(1 ± ε/2)` window of the active copy's current
-//! estimate. The moment it drifts outside the window the wrapper:
+//! copies, but only the *active* copy's estimate is consulted. The
+//! [`crate::engine::Robustify`] engine publishes an ε/2-rounded value and
+//! keeps publishing it unchanged as long as it stays within a `(1 ± ε/2)`
+//! window of the active copy's current estimate; the moment the engine
+//! publishes a new value it calls [`StrategyCore::on_publish`], and this
+//! pool:
 //!
-//! 1. re-publishes the ε/2-rounding of the active copy's current estimate,
-//! 2. retires the active copy (its randomness has now been exposed through
+//! 1. retires the active copy (its randomness has now been exposed through
 //!    the published value), and
-//! 3. activates the next copy in the pool.
+//! 2. activates the next copy in the pool — restarting the retired copy
+//!    with fresh randomness under [`SwitchStrategy::Restart`].
 //!
 //! Because the adversary only ever sees rounded values that change at most
 //! `λ_{ε/20,m}(g)` times (Lemma 3.3), a pool of `λ` copies suffices
@@ -21,11 +23,15 @@
 //! a copy is reused the tracked quantity has grown by a `(1+ε)^{pool}`
 //! factor, so the prefix the restarted copy missed contributes only an
 //! `O(ε)` fraction of the mass.
+//!
+//! This module used to publish (and round) outputs itself; publication now
+//! lives exactly once in the engine, and `SketchSwitch` is purely the pool
+//! state machine behind the [`StrategyCore`] seam.
 
 use ars_sketch::{Estimator, EstimatorFactory};
 use ars_stream::Update;
 
-use crate::rounding::{round_to_power, within_window};
+use crate::engine::StrategyCore;
 
 /// Which pool-management strategy the wrapper uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +49,8 @@ pub enum SwitchStrategy {
 /// Configuration for [`SketchSwitch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SketchSwitchConfig {
-    /// Target approximation parameter ε of the robust output.
+    /// Target approximation parameter ε (used only to size restarting
+    /// pools; the publication window itself belongs to the engine).
     pub epsilon: f64,
     /// Pool size: `λ_{ε/20,m}(g)` for [`SwitchStrategy::Exhaustible`],
     /// `Θ(ε^{-1} log ε^{-1})` for [`SwitchStrategy::Restart`].
@@ -83,9 +90,28 @@ impl SketchSwitchConfig {
             strategy: SwitchStrategy::Restart,
         }
     }
+
+    /// Restarting pool sized for tracking the *moment* `F_p = ‖f‖_p^p`
+    /// (Theorem 4.1 for `F_p`): the restart argument needs the norm to grow
+    /// by a `Θ(1/ε)` factor between reuses of a copy, so the pool is larger
+    /// by a factor of `max(p, 1)` so the moment grows by `(Θ(1/ε))^p` over
+    /// one rotation.
+    #[must_use]
+    pub fn restarting_for_moment(epsilon: f64, p: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(p > 0.0);
+        let growth = 8.0 * p.max(1.0) / epsilon;
+        let copies = ((p.max(1.0) * growth.ln()) / (1.0 + epsilon / 2.0).ln()).ceil() as usize;
+        Self {
+            epsilon,
+            copies: copies.max(4),
+            strategy: SwitchStrategy::Restart,
+        }
+    }
 }
 
-/// The sketch-switching wrapper (Algorithm 1).
+/// The sketch-switching pool (Algorithm 1), driven through
+/// [`StrategyCore`] by the [`crate::engine::Robustify`] engine.
 #[derive(Debug, Clone)]
 pub struct SketchSwitch<F: EstimatorFactory> {
     factory: F,
@@ -93,8 +119,6 @@ pub struct SketchSwitch<F: EstimatorFactory> {
     copies: Vec<F::Output>,
     /// Index ρ of the active copy.
     active: usize,
-    /// The currently published (rounded) output g̃.
-    published: Option<f64>,
     /// Number of switches performed so far.
     switches: usize,
     /// Whether an exhaustible pool ran out of fresh copies.
@@ -104,7 +128,7 @@ pub struct SketchSwitch<F: EstimatorFactory> {
 }
 
 impl<F: EstimatorFactory> SketchSwitch<F> {
-    /// Builds the wrapper, instantiating `config.copies` independent copies
+    /// Builds the pool, instantiating `config.copies` independent copies
     /// with seeds derived from `seed`.
     #[must_use]
     pub fn new(factory: F, config: SketchSwitchConfig, seed: u64) -> Self {
@@ -117,7 +141,6 @@ impl<F: EstimatorFactory> SketchSwitch<F> {
             config,
             copies,
             active: 0,
-            published: None,
             switches: 0,
             exhausted: false,
             next_seed: derive_seed(seed, config.copies as u64),
@@ -150,8 +173,49 @@ impl<F: EstimatorFactory> SketchSwitch<F> {
     pub fn pool_size(&self) -> usize {
         self.copies.len()
     }
+}
 
-    fn advance(&mut self) {
+fn derive_seed(seed: u64, index: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index)
+        .rotate_left(17)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+impl<F> StrategyCore for SketchSwitch<F>
+where
+    F: EstimatorFactory + Send,
+    F::Output: Send,
+{
+    fn ingest(&mut self, update: Update) {
+        // Feed the update to every copy in the pool (line 6 of Algorithm 1).
+        for copy in &mut self.copies {
+            copy.update(update);
+        }
+    }
+
+    /// Copy-major batch ingestion: each copy streams the whole batch
+    /// before the next copy is touched. The copies are independent, so the
+    /// final pool state is identical to update-major order, but each
+    /// copy's counters stay cache-resident across the batch instead of the
+    /// whole pool being re-fetched per update.
+    fn ingest_batch(&mut self, updates: &[Update]) {
+        for copy in &mut self.copies {
+            for &u in updates {
+                copy.update(u);
+            }
+        }
+    }
+
+    /// Consults only the active copy.
+    fn raw_estimate(&self) -> f64 {
+        self.copies[self.active].estimate()
+    }
+
+    /// The engine published a new value: the active copy's randomness is
+    /// exposed, so retire it and move to the next copy in the pool.
+    fn on_publish(&mut self) {
+        self.switches += 1;
         match self.config.strategy {
             SwitchStrategy::Exhaustible => {
                 if self.active + 1 < self.copies.len() {
@@ -170,48 +234,28 @@ impl<F: EstimatorFactory> SketchSwitch<F> {
             }
         }
     }
-}
-
-fn derive_seed(seed: u64, index: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(index)
-        .rotate_left(17)
-        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-}
-
-impl<F: EstimatorFactory> Estimator for SketchSwitch<F> {
-    fn update(&mut self, update: Update) {
-        // Feed the update to every copy in the pool (line 6 of Algorithm 1).
-        for copy in &mut self.copies {
-            copy.update(update);
-        }
-        // Consult only the active copy.
-        let y = self.copies[self.active].estimate();
-        let needs_switch = match self.published {
-            None => true,
-            Some(current) => !within_window(current, y, self.config.epsilon / 2.0),
-        };
-        if needs_switch {
-            self.published = Some(round_to_power(y, self.config.epsilon / 2.0));
-            self.switches += 1;
-            self.advance();
-        }
-    }
-
-    /// The currently published output `g̃` (the estimate of `g(f^{(0)}) = 0`
-    /// before any update).
-    fn estimate(&self) -> f64 {
-        self.published.unwrap_or(0.0)
-    }
 
     fn space_bytes(&self) -> usize {
-        self.copies.iter().map(Estimator::space_bytes).sum::<usize>() + 64
+        self.copies
+            .iter()
+            .map(Estimator::space_bytes)
+            .sum::<usize>()
+            + 64
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        match self.config.strategy {
+            SwitchStrategy::Exhaustible => "sketch-switching",
+            SwitchStrategy::Restart => "sketch-switching (restarting)",
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::RobustEstimator;
+    use crate::engine::{RobustPlan, Robustify};
     use ars_sketch::kmv::{KmvConfig, KmvFactory};
     use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
     use ars_stream::generator::{Generator, UniformGenerator};
@@ -226,6 +270,16 @@ mod tests {
         }
     }
 
+    fn engine(
+        config: SketchSwitchConfig,
+        seed: u64,
+    ) -> Robustify<SketchSwitch<MedianTrackingFactory<KmvFactory>>> {
+        let factory = tracked_kmv_factory(config.epsilon);
+        let mut plan = RobustPlan::new(config.epsilon, 10_000);
+        plan.domain = 1 << 20;
+        Robustify::new(SketchSwitch::new(factory, config, seed), plan)
+    }
+
     #[test]
     fn config_constructors_validate_and_size() {
         let plain = SketchSwitchConfig::exhaustible(0.1, 200);
@@ -234,14 +288,14 @@ mod tests {
         let opt = SketchSwitchConfig::restarting(0.1);
         assert_eq!(opt.strategy, SwitchStrategy::Restart);
         assert!(opt.copies >= 20, "pool of {} too small", opt.copies);
+        let moment = SketchSwitchConfig::restarting_for_moment(0.1, 2.0);
+        assert!(moment.copies > opt.copies, "moment pool must be larger");
     }
 
     #[test]
     fn published_output_tracks_f0_at_every_step() {
         let epsilon = 0.2;
-        let factory = tracked_kmv_factory(epsilon);
-        let config = SketchSwitchConfig::restarting(epsilon);
-        let mut robust = SketchSwitch::new(factory, config, 7);
+        let mut robust = engine(SketchSwitchConfig::restarting(epsilon), 7);
 
         let updates = UniformGenerator::new(50_000, 3).take_updates(40_000);
         let mut truth = FrequencyVector::new();
@@ -263,9 +317,7 @@ mod tests {
     #[test]
     fn switches_are_bounded_by_the_flip_number() {
         let epsilon = 0.2;
-        let factory = tracked_kmv_factory(epsilon);
-        let config = SketchSwitchConfig::restarting(epsilon);
-        let mut robust = SketchSwitch::new(factory, config, 11);
+        let mut robust = engine(SketchSwitchConfig::restarting(epsilon), 11);
 
         let m = 30_000usize;
         let updates = UniformGenerator::new(1 << 20, 5).take_updates(m);
@@ -276,38 +328,34 @@ mod tests {
         // changes is at most ~log_{1+eps/2}(m) plus slack.
         let bound = ((m as f64).ln() / (1.0 + epsilon / 2.0).ln()).ceil() as usize + 5;
         assert!(
-            robust.switches() <= bound,
+            robust.core().switches() <= bound,
             "switches {} exceed flip bound {bound}",
-            robust.switches()
+            robust.core().switches()
         );
+        assert_eq!(robust.core().switches(), robust.output_changes());
     }
 
     #[test]
     fn exhaustible_pool_reports_exhaustion() {
         let epsilon = 0.2;
-        let factory = tracked_kmv_factory(epsilon);
         // Deliberately undersized pool: F0 doubles far more than twice.
-        let config = SketchSwitchConfig::exhaustible(epsilon, 2);
-        let mut robust = SketchSwitch::new(factory, config, 13);
+        let mut robust = engine(SketchSwitchConfig::exhaustible(epsilon, 2), 13);
         for i in 0..10_000u64 {
             robust.insert(i);
         }
-        assert!(robust.is_exhausted());
+        assert!(robust.core().is_exhausted());
         // A generously sized pool is not exhausted.
-        let factory = tracked_kmv_factory(epsilon);
-        let config = SketchSwitchConfig::exhaustible(epsilon, 200);
-        let mut robust = SketchSwitch::new(factory, config, 13);
+        let mut robust = engine(SketchSwitchConfig::exhaustible(epsilon, 200), 13);
         for i in 0..10_000u64 {
             robust.insert(i);
         }
-        assert!(!robust.is_exhausted());
+        assert!(!robust.core().is_exhausted());
     }
 
     #[test]
     fn output_changes_only_at_switches() {
         let epsilon = 0.3;
-        let factory = tracked_kmv_factory(epsilon);
-        let mut robust = SketchSwitch::new(factory, SketchSwitchConfig::restarting(epsilon), 17);
+        let mut robust = engine(SketchSwitchConfig::restarting(epsilon), 17);
         let mut outputs = Vec::new();
         for i in 0..5_000u64 {
             robust.insert(i);
@@ -324,34 +372,34 @@ mod tests {
         };
         assert_eq!(
             distinct_outputs,
-            robust.switches(),
-            "published value must change exactly when the wrapper switches"
+            robust.core().switches(),
+            "published value must change exactly when the pool switches"
         );
     }
 
     #[test]
     fn restart_strategy_cycles_through_the_pool() {
         let epsilon = 0.25;
-        let factory = tracked_kmv_factory(epsilon);
         let config = SketchSwitchConfig {
             epsilon,
             copies: 3,
             strategy: SwitchStrategy::Restart,
         };
-        let mut robust = SketchSwitch::new(factory, config, 19);
+        let mut robust = engine(config, 19);
         for i in 0..20_000u64 {
             robust.insert(i);
         }
-        assert!(robust.switches() > 3, "should have wrapped around the pool");
-        assert!(!robust.is_exhausted());
-        assert!(robust.active_index() < 3);
+        assert!(
+            robust.core().switches() > 3,
+            "should have wrapped around the pool"
+        );
+        assert!(!robust.core().is_exhausted());
+        assert!(robust.core().active_index() < 3);
     }
 
     #[test]
     fn space_scales_with_pool_size() {
-        let factory = tracked_kmv_factory(0.2);
-        let small = SketchSwitch::new(
-            factory,
+        let small = engine(
             SketchSwitchConfig {
                 epsilon: 0.2,
                 copies: 2,
@@ -359,9 +407,7 @@ mod tests {
             },
             0,
         );
-        let factory = tracked_kmv_factory(0.2);
-        let large = SketchSwitch::new(
-            factory,
+        let large = engine(
             SketchSwitchConfig {
                 epsilon: 0.2,
                 copies: 20,
@@ -374,8 +420,7 @@ mod tests {
 
     #[test]
     fn estimate_before_any_update_is_zero() {
-        let factory = tracked_kmv_factory(0.2);
-        let robust = SketchSwitch::new(factory, SketchSwitchConfig::restarting(0.2), 1);
+        let robust = engine(SketchSwitchConfig::restarting(0.2), 1);
         assert_eq!(robust.estimate(), 0.0);
     }
 }

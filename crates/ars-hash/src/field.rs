@@ -80,7 +80,10 @@ pub fn pow(mut base: u64, mut exp: u64) -> u64 {
 /// Panics if `a == 0`, which has no inverse.
 #[must_use]
 pub fn inv(a: u64) -> u64 {
-    assert!(a % MERSENNE_P != 0, "zero has no multiplicative inverse");
+    assert!(
+        !a.is_multiple_of(MERSENNE_P),
+        "zero has no multiplicative inverse"
+    );
     pow(a, MERSENNE_P - 2)
 }
 
@@ -107,7 +110,10 @@ mod tests {
         assert_eq!(reduce(u128::from(MERSENNE_P)), 0);
         assert_eq!(reduce(u128::from(MERSENNE_P) + 1), 1);
         assert_eq!(reduce(u128::from(MERSENNE_P) * 2), 0);
-        assert_eq!(reduce(u128::MAX % u128::from(MERSENNE_P)), (u128::MAX % u128::from(MERSENNE_P)) as u64);
+        assert_eq!(
+            reduce(u128::MAX % u128::from(MERSENNE_P)),
+            (u128::MAX % u128::from(MERSENNE_P)) as u64
+        );
     }
 
     #[test]
@@ -153,7 +159,10 @@ mod tests {
         // p(x) = 3 + 2x + x^2.
         let coeffs = [3u64, 2, 1];
         for x in [0u64, 1, 2, 10, MERSENNE_P - 1] {
-            let naive = add(add(3, mul(2, x % MERSENNE_P)), mul(x % MERSENNE_P, x % MERSENNE_P));
+            let naive = add(
+                add(3, mul(2, x % MERSENNE_P)),
+                mul(x % MERSENNE_P, x % MERSENNE_P),
+            );
             assert_eq!(poly_eval(&coeffs, x), naive);
         }
     }

@@ -31,7 +31,7 @@ impl MultiplyShiftHash {
     /// Draws a fresh hash from an existing RNG.
     #[must_use]
     pub fn from_rng<R: Rng + ?Sized>(output_bits: u32, rng: &mut R) -> Self {
-        assert!(output_bits >= 1 && output_bits <= 64);
+        assert!((1..=64).contains(&output_bits));
         Self {
             multiplier: rng.gen::<u64>() | 1,
             addend: rng.gen::<u64>(),
@@ -49,10 +49,7 @@ impl MultiplyShiftHash {
     #[must_use]
     #[inline]
     pub fn hash(&self, item: u64) -> u64 {
-        let v = self
-            .multiplier
-            .wrapping_mul(item)
-            .wrapping_add(self.addend);
+        let v = self.multiplier.wrapping_mul(item).wrapping_add(self.addend);
         if self.output_bits == 64 {
             v
         } else {

@@ -124,7 +124,9 @@ mod tests {
     fn chacha_prf_is_key_sensitive() {
         let mut f = ChaChaPrf::new(1);
         let mut g = ChaChaPrf::new(2);
-        let disagreements = (0..64u64).filter(|&i| f.evaluate(i) != g.evaluate(i)).count();
+        let disagreements = (0..64u64)
+            .filter(|&i| f.evaluate(i) != g.evaluate(i))
+            .count();
         assert!(disagreements > 60);
     }
 

@@ -149,7 +149,9 @@ mod tests {
 
     fn random_stream(n: u64, m: usize, seed: u64) -> Vec<Update> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..m).map(|_| Update::insert(rng.gen_range(0..n))).collect()
+        (0..m)
+            .map(|_| Update::insert(rng.gen_range(0..n)))
+            .collect()
     }
 
     #[test]
@@ -173,10 +175,7 @@ mod tests {
             sketch.update(u);
         }
         let est = sketch.estimate();
-        assert!(
-            (est - f2).abs() <= 0.1 * f2,
-            "estimate {est} vs truth {f2}"
-        );
+        assert!((est - f2).abs() <= 0.1 * f2, "estimate {est} vs truth {f2}");
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl Estimator for CountMinSketch {
     }
 
     fn space_bytes(&self) -> usize {
-        self.counters.len() * 8
-            + self.config.depth * 16
-            + self.config.candidate_capacity * 16
+        self.counters.len() * 8 + self.config.depth * 16 + self.config.candidate_capacity * 16
     }
 }
 
@@ -204,7 +202,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 2, "{violations} items overestimated beyond eps*L1");
+        assert!(
+            violations <= 2,
+            "{violations} items overestimated beyond eps*L1"
+        );
     }
 
     #[test]

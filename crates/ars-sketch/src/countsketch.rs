@@ -89,7 +89,8 @@ impl CountSketch {
 
     #[inline]
     fn counter_index(&self, row: usize, item: u64) -> usize {
-        row * self.config.width + self.bucket_hashes[row].bucket(item, self.config.width as u64) as usize
+        row * self.config.width
+            + self.bucket_hashes[row].bucket(item, self.config.width as u64) as usize
     }
 
     /// Median-over-rows point estimate of `f_item`.

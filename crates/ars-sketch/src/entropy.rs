@@ -111,8 +111,7 @@ impl RenyiEntropyEstimator {
             return 0.0;
         }
         let f_alpha = self.f_alpha.estimate().max(f64::MIN_POSITIVE);
-        let raw =
-            (f_alpha.log2() - self.config.alpha * self.f1.log2()) / (1.0 - self.config.alpha);
+        let raw = (f_alpha.log2() - self.config.alpha * self.f1.log2()) / (1.0 - self.config.alpha);
         raw.clamp(0.0, self.f1.max(1.0).log2())
     }
 }

@@ -119,11 +119,7 @@ impl PointQueryEstimator for MisraGries {
     }
 
     fn candidates(&self) -> Vec<(u64, f64)> {
-        let mut out: Vec<(u64, f64)> = self
-            .counters
-            .iter()
-            .map(|(&i, &c)| (i, c as f64))
-            .collect();
+        let mut out: Vec<(u64, f64)> = self.counters.iter().map(|(&i, &c)| (i, c as f64)).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite counts"));
         out
     }
@@ -197,7 +193,11 @@ mod tests {
         // the undercount bound must hold for both; check the guarantee.
         let total: i64 = stream.iter().map(|&(_, w)| w).sum();
         for &(item, _) in &stream {
-            let exact: i64 = stream.iter().filter(|&&(i, _)| i == item).map(|&(_, w)| w).sum();
+            let exact: i64 = stream
+                .iter()
+                .filter(|&&(i, _)| i == item)
+                .map(|&(_, w)| w)
+                .sum();
             for mg in [&weighted, &units] {
                 let est = mg.query(item) as i64;
                 assert!(est <= exact);

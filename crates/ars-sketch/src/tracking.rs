@@ -53,7 +53,9 @@ impl MedianTrackingConfig {
     #[must_use]
     pub fn for_strong_tracking(epsilon: f64, delta: f64, stream_length: u64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
-        let scales = ((stream_length.max(2) as f64).ln() / epsilon).ceil().max(1.0);
+        let scales = ((stream_length.max(2) as f64).ln() / epsilon)
+            .ceil()
+            .max(1.0);
         Self::for_failure_probability(delta / scales)
     }
 }
@@ -164,8 +166,7 @@ mod tests {
         let factory = AmsFactory {
             config: AmsConfig::single_mean(200),
         };
-        let mut ensemble =
-            MedianTracking::new(&factory, MedianTrackingConfig { copies: 9 }, 7);
+        let mut ensemble = MedianTracking::new(&factory, MedianTrackingConfig { copies: 9 }, 7);
         for &u in &updates {
             ensemble.update(u);
         }
@@ -183,8 +184,7 @@ mod tests {
         let factory = KmvFactory {
             config: KmvConfig::for_accuracy(0.1),
         };
-        let mut ensemble =
-            MedianTracking::new(&factory, MedianTrackingConfig { copies: 7 }, 11);
+        let mut ensemble = MedianTracking::new(&factory, MedianTrackingConfig { copies: 7 }, 11);
         let mut truth = FrequencyVector::new();
         let mut worst: f64 = 0.0;
         for &u in &updates {

@@ -141,7 +141,10 @@ impl BurstyGenerator {
     /// `num_heavy` planted items `{0, …, num_heavy − 1}`.
     #[must_use]
     pub fn new(domain: u64, num_heavy: u64, heavy_fraction: f64, seed: u64) -> Self {
-        assert!(domain > num_heavy, "domain must exceed the number of heavy items");
+        assert!(
+            domain > num_heavy,
+            "domain must exceed the number of heavy items"
+        );
         assert!((0.0..=1.0).contains(&heavy_fraction));
         Self {
             domain,
@@ -335,9 +338,9 @@ impl Generator for TurnstileWaveGenerator {
     }
 }
 
-/// A declarative description of a benchmark workload, serializable so the
-/// bench harness can record exactly which stream each measured row used.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, PartialEq)]
+/// A declarative description of a benchmark workload, recorded by the
+/// bench harness so reports state exactly which stream each row used.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
     /// Uniform items over `[0, domain)`.
     Uniform {
@@ -385,14 +388,17 @@ impl WorkloadSpec {
     pub fn build(&self, seed: u64) -> Box<dyn Generator> {
         match *self {
             Self::Uniform { domain } => Box::new(UniformGenerator::new(domain, seed)),
-            Self::Zipf { domain, exponent } => {
-                Box::new(ZipfGenerator::new(domain, exponent, seed))
-            }
+            Self::Zipf { domain, exponent } => Box::new(ZipfGenerator::new(domain, exponent, seed)),
             Self::Bursty {
                 domain,
                 num_heavy,
                 heavy_fraction,
-            } => Box::new(BurstyGenerator::new(domain, num_heavy, heavy_fraction, seed)),
+            } => Box::new(BurstyGenerator::new(
+                domain,
+                num_heavy,
+                heavy_fraction,
+                seed,
+            )),
             Self::SlidingDistinct { fresh_items } => {
                 Box::new(SlidingDistinctGenerator::new(fresh_items, seed))
             }
@@ -475,7 +481,10 @@ mod tests {
         let f: FrequencyVector = updates.into_iter().collect();
         let hh = f.l2_heavy_hitters(0.05);
         for item in g.heavy_items() {
-            assert!(hh.contains(&item), "planted item {item} should be an L2 heavy hitter");
+            assert!(
+                hh.contains(&item),
+                "planted item {item} should be an L2 heavy hitter"
+            );
         }
     }
 
@@ -498,7 +507,10 @@ mod tests {
         let mut v = StreamValidator::new(StreamModel::bounded_deletion(alpha, 1.0));
         v.apply_all(&updates)
             .expect("generator must stay within the bounded-deletion model");
-        assert!(updates.iter().any(Update::is_deletion), "should actually delete");
+        assert!(
+            updates.iter().any(Update::is_deletion),
+            "should actually delete"
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@
 //! * [`exact::ExactOracle`] — an exact tracking oracle used to score the
 //!   approximation error of every estimator at every point in the stream.
 //!
-//! The crate is deliberately dependency-light (only `rand` for the
-//! generators and `serde` for benchmark result serialization) and contains
-//! no approximation algorithms: those live in `ars-sketch` (static sketches)
-//! and `ars-core` (robust wrappers).
+//! The crate is deliberately dependency-light (only the in-tree `rand`
+//! stub for the generators) and contains no approximation algorithms:
+//! those live in `ars-sketch` (static sketches) and `ars-core` (robust
+//! wrappers).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

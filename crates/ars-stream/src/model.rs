@@ -85,7 +85,10 @@ impl fmt::Display for StreamError {
                 fp_absolute / alpha
             ),
             Self::LengthExceeded { max_length } => {
-                write!(f, "stream exceeded its declared maximum length {max_length}")
+                write!(
+                    f,
+                    "stream exceeded its declared maximum length {max_length}"
+                )
             }
         }
     }
@@ -300,8 +303,7 @@ mod tests {
 
     #[test]
     fn magnitude_bound_is_enforced() {
-        let mut v =
-            StreamValidator::new(StreamModel::Turnstile).with_magnitude_bound(3);
+        let mut v = StreamValidator::new(StreamModel::Turnstile).with_magnitude_bound(3);
         assert!(v.apply(Update::new(9, 3)).is_ok());
         assert!(matches!(
             v.apply(Update::new(9, 1)),

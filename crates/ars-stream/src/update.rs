@@ -4,8 +4,6 @@
 //! `(a_1, Δ_1), …, (a_m, Δ_m)` where `a_t ∈ [n]` is an item identifier and
 //! `Δ_t ∈ ℤ` is an increment (or decrement) to that item's frequency.
 
-use serde::{Deserialize, Serialize};
-
 /// Item identifiers: an index into the domain `[n]`.
 ///
 /// The paper indexes items by `i ∈ [n]`; we use `u64` so synthetic workloads
@@ -22,7 +20,7 @@ pub type Delta = i64;
 /// `Δ_t` may be negative; the *α-bounded-deletion* model allows negative
 /// updates as long as the stream never deletes more than a `1 − 1/α`
 /// fraction of the mass it inserted (see [`crate::StreamModel`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Update {
     /// The item `a_t` being updated.
     pub item: Item,

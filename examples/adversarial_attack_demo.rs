@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example adversarial_attack_demo`
 
 use adversarial_robust_streaming::adversary::{Adversary, AmsAttackAdversary};
-use adversarial_robust_streaming::robust::{FpMethod, RobustFpBuilder};
+use adversarial_robust_streaming::robust::RobustBuilder;
 use adversarial_robust_streaming::sketch::ams::{AmsConfig, AmsSketch};
 use adversarial_robust_streaming::sketch::Estimator;
 use adversarial_robust_streaming::stream::FrequencyVector;
@@ -36,7 +36,10 @@ fn main() {
     println!("AMS sketch with t = {rows} rows under Algorithm 3:");
     println!("  true F2 after {rounds} updates:   {:>12.0}", truth.f2());
     println!("  AMS estimate:                  {:>12.0}", last);
-    println!("  estimate / truth:              {:>12.3}", last / truth.f2());
+    println!(
+        "  estimate / truth:              {:>12.3}",
+        last / truth.f2()
+    );
     match first_fooled {
         Some(round) => println!(
             "  fell below 1/2 of the truth at update {round} (= {:.1} t), as Theorem 9.1 predicts",
@@ -47,11 +50,10 @@ fn main() {
 
     // --- the same adversary against the robust estimator -----------------
     let epsilon = 0.5;
-    let mut robust = RobustFpBuilder::new(2.0, epsilon)
-        .method(FpMethod::SketchSwitching)
+    let mut robust = RobustBuilder::new(epsilon)
         .stream_length(rounds as u64)
         .seed(11)
-        .build();
+        .fp(2.0);
     let mut adversary = AmsAttackAdversary::new(rows, 13);
     let mut truth = FrequencyVector::new();
     let mut last = 0.0;
@@ -69,6 +71,9 @@ fn main() {
     println!("Robust F2 estimator (sketch switching) under the same adversary:");
     println!("  true F2 after {rounds} updates:   {:>12.0}", truth.f2());
     println!("  robust estimate:               {:>12.0}", last);
-    println!("  worst relative error observed: {:>12.3} (guarantee: {epsilon})", worst);
+    println!(
+        "  worst relative error observed: {:>12.3} (guarantee: {epsilon})",
+        worst
+    );
     println!("  memory: {} KiB", robust.space_bytes() / 1024);
 }

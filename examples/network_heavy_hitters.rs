@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example network_heavy_hitters`
 
-use adversarial_robust_streaming::robust::RobustL2HeavyHittersBuilder;
+use adversarial_robust_streaming::robust::RobustBuilder;
 use adversarial_robust_streaming::stream::{FrequencyVector, Update};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,11 +20,11 @@ fn main() {
     let domain: u64 = 1 << 16; // flow identifiers
     let rounds = 30_000usize;
 
-    let mut hh = RobustL2HeavyHittersBuilder::new(epsilon)
+    let mut hh = RobustBuilder::new(epsilon)
         .domain(domain)
         .stream_length(rounds as u64)
         .seed(3)
-        .build();
+        .heavy_hitters();
 
     let mut rng = StdRng::seed_from_u64(17);
     let mut exact = FrequencyVector::new();
@@ -66,9 +66,16 @@ fn main() {
     println!("flows reported as L2 heavy hitters: {}", reported.len());
     println!("true eps-heavy flows:               {}", truth.len());
     println!("recall of true heavy flows:         {:.2}", recall);
-    println!("robust L2 norm estimate:            {:.0} (true {:.0})", hh.norm_estimate(), exact.l2());
+    println!(
+        "robust L2 norm estimate:            {:.0} (true {:.0})",
+        hh.norm_estimate(),
+        exact.l2()
+    );
     println!("switch times used so far:           {}", hh.switches());
-    println!("memory:                             {} KiB", hh.space_bytes() / 1024);
+    println!(
+        "memory:                             {} KiB",
+        hh.space_bytes() / 1024
+    );
     println!();
     for flow in reported.iter().take(10) {
         println!(

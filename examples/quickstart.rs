@@ -1,24 +1,26 @@
-//! Quickstart: build a robust distinct-elements estimator, feed it a
-//! stream, and read the tracking estimate at any point.
+//! Quickstart: build a robust distinct-elements estimator through the
+//! unified `RobustBuilder`, feed it a stream — per update and in batches —
+//! and read the tracking estimate at any point.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use adversarial_robust_streaming::robust::{F0Method, RobustF0Builder};
+use adversarial_robust_streaming::robust::{RobustBuilder, RobustEstimator};
 use adversarial_robust_streaming::stream::generator::{Generator, UniformGenerator};
 use adversarial_robust_streaming::stream::FrequencyVector;
 
 fn main() {
     // A (1 ± 0.1) adversarially robust distinct-elements estimator
     // (Theorem 1.1: optimized sketch switching over a strong-tracking KMV
-    // ensemble). `estimate()` may be read after every single update — the
-    // guarantee is a tracking guarantee, and it holds even if future
-    // updates are chosen based on the estimates you read.
-    let mut robust = RobustF0Builder::new(0.1)
-        .method(F0Method::SketchSwitching)
+    // ensemble). The same builder constructs every other robust estimator
+    // in the crate: `.fp(p)`, `.entropy()`, `.heavy_hitters()`, ...
+    // `estimate()` may be read after every single update — the guarantee is
+    // a tracking guarantee, and it holds even if future updates are chosen
+    // based on the estimates you read.
+    let mut robust = RobustBuilder::new(0.1)
         .stream_length(50_000)
         .domain(1 << 20)
         .seed(7)
-        .build();
+        .f0();
 
     // Any stream source works; here, 50k uniformly random 20-bit items.
     let mut generator = UniformGenerator::new(1 << 20, 42);
@@ -51,5 +53,23 @@ fn main() {
     println!(
         "published output changed {} times (bounded by the F0 flip number)",
         robust.output_changes()
+    );
+
+    // Throughput-oriented callers hand the engine whole batches instead:
+    // the ε-rounding / switching check is amortized to one per batch, and
+    // the estimate read between batches carries the same guarantee.
+    let mut batched = RobustBuilder::new(0.1)
+        .stream_length(50_000)
+        .domain(1 << 20)
+        .seed(7)
+        .f0();
+    let updates = UniformGenerator::new(1 << 20, 42).take_updates(50_000);
+    for chunk in updates.chunks(512) {
+        batched.update_batch(chunk);
+    }
+    println!(
+        "batched run (512-update chunks) agrees: estimate {:.0} vs {:.0}",
+        batched.estimate(),
+        robust.estimate()
     );
 }

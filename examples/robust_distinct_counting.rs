@@ -16,9 +16,7 @@
 //!
 //! Run with: `cargo run --release --example robust_distinct_counting`
 
-use adversarial_robust_streaming::robust::{
-    CryptoBackend, CryptoRobustF0Builder, F0Method, RobustF0Builder,
-};
+use adversarial_robust_streaming::robust::{CryptoBackend, RobustBuilder, Strategy};
 use adversarial_robust_streaming::sketch::kmv::{KmvConfig, KmvSketch};
 use adversarial_robust_streaming::sketch::Estimator;
 use rand::rngs::StdRng;
@@ -64,7 +62,7 @@ impl FeedbackWorkload {
     }
 }
 
-fn run<E: Estimator>(label: &str, estimator: &mut E, rounds: usize, seed: u64) {
+fn run(label: &str, estimator: &mut dyn Estimator, rounds: usize, seed: u64) {
     let mut workload = FeedbackWorkload::new(seed);
     let mut worst_error: f64 = 0.0;
     let mut last_estimate = 0.0;
@@ -90,23 +88,33 @@ fn main() {
     let rounds = 40_000;
     println!("Query-optimizer cardinality estimation with workload feedback ({rounds} inserts)\n");
 
-    let mut static_sketch = KmvSketch::new(KmvConfig::for_accuracy(0.05), 3);
-    run("static KMV sketch (non-robust)", &mut static_sketch, rounds, 1);
-
-    let mut robust = RobustF0Builder::new(0.1)
-        .method(F0Method::SketchSwitching)
+    // One builder, every robust route; all contenders run through the same
+    // trait-object loop.
+    let builder = RobustBuilder::new(0.1)
         .stream_length(rounds as u64)
-        .domain(1 << 22)
-        .seed(5)
-        .build();
-    run("robust F0 (sketch switching, Thm 1.1)", &mut robust, rounds, 1);
-
-    let mut crypto = CryptoRobustF0Builder::new(0.1)
-        .backend(CryptoBackend::ChaChaPrf)
-        .stream_length(rounds as u64)
-        .seed(9)
-        .build();
-    run("robust F0 (ChaCha PRF, Thm 10.1)", &mut crypto, rounds, 1);
+        .domain(1 << 22);
+    let mut contenders: Vec<(&str, Box<dyn Estimator>)> = vec![
+        (
+            "static KMV sketch (non-robust)",
+            Box::new(KmvSketch::new(KmvConfig::for_accuracy(0.05), 3)),
+        ),
+        (
+            "robust F0 (sketch switching, Thm 1.1)",
+            Box::new(builder.seed(5).f0()),
+        ),
+        (
+            "robust F0 (ChaCha PRF, Thm 10.1)",
+            Box::new(
+                builder
+                    .seed(9)
+                    .strategy(Strategy::Crypto(CryptoBackend::ChaChaPrf))
+                    .crypto_f0(),
+            ),
+        ),
+    ];
+    for (label, estimator) in &mut contenders {
+        run(label, estimator.as_mut(), rounds, 1);
+    }
 
     println!();
     println!("The static sketch's error can drift once the workload correlates with its");

@@ -11,28 +11,43 @@
 //! * [`sketch`] — static (non-robust) sketches: AMS, CountSketch, KMV,
 //!   p-stable Fp, entropy, Misra–Gries, and strong-tracking wrappers
 //!   ([`ars_sketch`]).
-//! * [`robust`] — the paper's contribution: ε-rounding, flip numbers, sketch
-//!   switching, computation paths and problem-specific robust estimators
-//!   ([`ars_core`]).
+//! * [`robust`] — the paper's contribution as a *generic transformation*:
+//!   the [`robust::Robustify`] engine, the strategy seam
+//!   ([`robust::RobustStrategy`]: sketch switching, computation paths,
+//!   crypto masking), the single [`robust::RobustBuilder`], and the
+//!   object-safe [`robust::RobustEstimator`] trait with a batched update
+//!   path ([`ars_core`]).
 //! * [`adversary`] — the two-player adversarial game harness and the AMS
 //!   attack of Section 9 ([`ars_adversary`]).
 //!
 //! # Quickstart
 //!
+//! One builder constructs every robust estimator; every estimator is
+//! drivable through the object-safe [`robust::RobustEstimator`] trait:
+//!
 //! ```
-//! use adversarial_robust_streaming::robust::robust_f0::RobustF0Builder;
+//! use adversarial_robust_streaming::robust::{RobustBuilder, RobustEstimator, Strategy};
 //! use adversarial_robust_streaming::stream::Update;
 //!
-//! let mut estimator = RobustF0Builder::new(0.1)
-//!     .stream_length(10_000)
-//!     .seed(7)
-//!     .build();
+//! let builder = RobustBuilder::new(0.1).stream_length(10_000).seed(7);
+//! let mut estimator = builder.f0(); // Theorem 1.1; .fp(p), .entropy(), ... likewise
 //! for i in 0..1_000u64 {
 //!     estimator.insert(i % 250);
 //! }
-//! let est = estimator.estimate();
-//! assert!((est - 250.0).abs() <= 0.2 * 250.0);
-//! # let _ = Update::insert(1);
+//! assert!((estimator.estimate() - 250.0).abs() <= 0.2 * 250.0);
+//!
+//! // Heterogeneous fleets run through one trait-object loop, using the
+//! // batched hot path to amortize the robustness bookkeeping:
+//! let batch: Vec<Update> = (0..1_000u64).map(|i| Update::insert(i % 250)).collect();
+//! let mut fleet: Vec<Box<dyn RobustEstimator>> = vec![
+//!     Box::new(builder.f0()),
+//!     Box::new(builder.strategy(Strategy::ComputationPaths).f0()),
+//!     Box::new(builder.fp(2.0)),
+//! ];
+//! for robust in &mut fleet {
+//!     robust.update_batch(&batch);
+//!     assert!(robust.estimate() > 0.0);
+//! }
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

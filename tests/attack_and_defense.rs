@@ -3,7 +3,7 @@
 //! robust wrapper, under the *same* adversary implementation.
 
 use adversarial_robust_streaming::adversary::{AmsAttackAdversary, GameConfig, GameRunner};
-use adversarial_robust_streaming::robust::{FpMethod, RobustFpBuilder};
+use adversarial_robust_streaming::robust::{RobustBuilder, RobustEstimator};
 use adversarial_robust_streaming::sketch::ams::{AmsConfig, AmsSketch};
 use adversarial_robust_streaming::stream::exact::Query;
 
@@ -21,20 +21,25 @@ fn ams_is_fooled_but_the_robust_wrapper_is_not() {
         let mut ams = AmsSketch::new(AmsConfig::single_mean(ROWS), 100 + trial);
         let mut adversary = AmsAttackAdversary::new(ROWS, 200 + trial);
         let config = GameConfig::relative(Query::Fp(2.0), 0.5, ROUNDS).with_warmup(1);
-        if GameRunner::new(config).run(&mut ams, &mut adversary).adversary_won() {
+        if GameRunner::new(config)
+            .run(&mut ams, &mut adversary)
+            .adversary_won()
+        {
             ams_fooled += 1;
         }
 
-        // Robust wrapper under the identical adversary construction.
-        let mut robust = RobustFpBuilder::new(2.0, 0.5)
-            .method(FpMethod::SketchSwitching)
-            .stream_length(ROUNDS as u64)
-            .seed(300 + trial)
-            .build();
+        // Robust wrapper under the identical adversary construction,
+        // driven through the object-safe trait like every other consumer.
+        let mut robust: Box<dyn RobustEstimator> = Box::new(
+            RobustBuilder::new(0.5)
+                .stream_length(ROUNDS as u64)
+                .seed(300 + trial)
+                .fp(2.0),
+        );
         let mut adversary = AmsAttackAdversary::new(ROWS, 400 + trial);
         let config = GameConfig::relative(Query::Fp(2.0), 0.5, ROUNDS).with_warmup(1);
         if GameRunner::new(config)
-            .run(&mut robust, &mut adversary)
+            .run(robust.as_mut(), &mut adversary)
             .adversary_won()
         {
             robust_fooled += 1;

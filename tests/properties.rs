@@ -1,143 +1,186 @@
-//! Property-based tests (proptest) for the core invariants of the
-//! framework: ε-rounding, flip numbers, the stream model validator, the
+//! Property-based tests for the core invariants of the framework:
+//! ε-rounding, flip numbers, the stream model validator, the
 //! frequency-vector oracle, and linearity of the sketches.
+//!
+//! The build environment vendors no proptest, so each property is checked
+//! over a deterministic, seeded family of random cases (64 cases per
+//! property, matching the proptest configuration this file used to run).
 
 use adversarial_robust_streaming::hash::field::{add, inv, mul, sub, MERSENNE_P};
-use adversarial_robust_streaming::robust::rounding::{round_sequence, round_to_power, EpsilonRounder};
+use adversarial_robust_streaming::robust::rounding::{
+    round_sequence, round_to_power, EpsilonRounder,
+};
 use adversarial_robust_streaming::robust::{empirical_flip_number, FlipNumberBound};
 use adversarial_robust_streaming::sketch::ams::{AmsConfig, AmsSketch};
 use adversarial_robust_streaming::sketch::kmv::{KmvConfig, KmvSketch};
 use adversarial_robust_streaming::sketch::Estimator;
 use adversarial_robust_streaming::stream::{FrequencyVector, StreamModel, StreamValidator, Update};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// `[x]_ε` is always a `(1 + ε/2)`-multiplicative approximation of `x`
-    /// (the property Section 3 relies on).
-    #[test]
-    fn rounding_is_multiplicative_approximation(
-        x in prop::num::f64::POSITIVE.prop_filter("finite, moderate", |v| v.is_finite() && *v > 1e-9 && *v < 1e12),
-        eps in 0.01f64..0.9,
-    ) {
+fn rng_for(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(property * 10_007 + case)
+}
+
+/// `[x]_ε` is always a `(1 + ε/2)`-multiplicative approximation of `x`
+/// (the property Section 3 relies on).
+#[test]
+fn rounding_is_multiplicative_approximation() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        // Log-uniform x in (1e-9, 1e12), eps in [0.01, 0.9).
+        let x = 10f64.powf(rng.gen_range(-9.0..12.0));
+        let eps = rng.gen_range(0.01..0.9);
         let r = round_to_power(x, eps);
         let ratio = if r > x { r / x } else { x / r };
-        prop_assert!(ratio <= 1.0 + eps / 2.0 + 1e-9);
+        assert!(
+            ratio <= 1.0 + eps / 2.0 + 1e-9,
+            "[{x}]_{eps} = {r} is not a (1+eps/2) approximation"
+        );
     }
+}
 
-    /// The streamed ε-rounding of any positive sequence stays within
-    /// `(1 ± ε)` of the raw values (Definition 3.1's accuracy guarantee).
-    #[test]
-    fn rounded_sequence_tracks_raw_values(
-        values in prop::collection::vec(1.0f64..1e9, 1..200),
-        eps in 0.05f64..0.5,
-    ) {
+/// The streamed ε-rounding of any positive sequence stays within `(1 ± ε)`
+/// of the raw values (Definition 3.1's accuracy guarantee).
+#[test]
+fn rounded_sequence_tracks_raw_values() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let len = rng.gen_range(1usize..200);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(1.0..1e9)).collect();
+        let eps = rng.gen_range(0.05..0.5);
         let rounded = round_sequence(&values, eps);
         for (raw, r) in values.iter().zip(&rounded) {
-            prop_assert!((r - raw).abs() <= eps * raw + 1e-9,
-                "rounded {r} not within (1±{eps}) of {raw}");
+            assert!(
+                (r - raw).abs() <= eps * raw + 1e-9,
+                "rounded {r} not within (1±{eps}) of {raw}"
+            );
         }
     }
+}
 
-    /// The number of output changes of the rounder never exceeds the
-    /// empirical flip number of the raw sequence at ε/10 plus one
-    /// (Lemma 3.3's conclusion, with slack for the initial publication).
-    #[test]
-    fn rounder_changes_bounded_by_flip_number(
-        values in prop::collection::vec(1.0f64..1e6, 1..300),
-        eps in 0.1f64..0.5,
-    ) {
+/// The number of output changes of the rounder never exceeds the empirical
+/// flip number of the raw sequence at ε/10 plus one (Lemma 3.3's
+/// conclusion, with slack for the initial publication).
+#[test]
+fn rounder_changes_bounded_by_flip_number() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let len = rng.gen_range(1usize..300);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(1.0..1e6)).collect();
+        let eps = rng.gen_range(0.1..0.5);
         let mut rounder = EpsilonRounder::new(eps);
         for &v in &values {
             rounder.round(v);
         }
         let flips = empirical_flip_number(&values, eps / 10.0);
-        prop_assert!(rounder.changes() <= flips + 1,
-            "rounder changed {} times, flip number {}", rounder.changes(), flips);
+        assert!(
+            rounder.changes() <= flips + 1,
+            "rounder changed {} times, flip number {flips}",
+            rounder.changes()
+        );
     }
+}
 
-    /// Monotone non-decreasing sequences respect the Proposition 3.4 bound.
-    #[test]
-    fn monotone_flip_number_bound(
-        mut increments in prop::collection::vec(0u64..50, 1..500),
-        eps in 0.1f64..0.5,
-    ) {
-        // Build a non-decreasing positive sequence.
+/// Monotone non-decreasing sequences respect the Proposition 3.4 bound.
+#[test]
+fn monotone_flip_number_bound() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let len = rng.gen_range(1usize..500);
         let mut acc = 1u64;
-        let values: Vec<f64> = increments
-            .drain(..)
-            .map(|d| {
-                acc += d;
+        let values: Vec<f64> = (0..len)
+            .map(|_| {
+                acc += rng.gen_range(0u64..50);
                 acc as f64
             })
             .collect();
+        let eps = rng.gen_range(0.1..0.5);
         let measured = empirical_flip_number(&values, eps);
-        let bound = FlipNumberBound::monotone(eps, *values.last().unwrap() * 2.0).bound;
-        prop_assert!(measured <= bound, "measured {measured}, bound {bound}");
+        let bound = FlipNumberBound::monotone(eps, values.last().unwrap() * 2.0).bound;
+        assert!(measured <= bound, "measured {measured}, bound {bound}");
     }
+}
 
-    /// The Mersenne-field arithmetic satisfies the field axioms on random
-    /// elements (needed for the k-wise independence argument to make sense).
-    #[test]
-    fn field_axioms_hold(a in 0u64..MERSENNE_P, b in 0u64..MERSENNE_P) {
-        prop_assert_eq!(add(a, b), add(b, a));
-        prop_assert_eq!(mul(a, b), mul(b, a));
-        prop_assert_eq!(sub(add(a, b), b), a);
+/// The Mersenne-field arithmetic satisfies the field axioms on random
+/// elements (needed for the k-wise independence argument to make sense).
+#[test]
+fn field_axioms_hold() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let a = rng.gen_range(0..MERSENNE_P);
+        let b = rng.gen_range(0..MERSENNE_P);
+        assert_eq!(add(a, b), add(b, a));
+        assert_eq!(mul(a, b), mul(b, a));
+        assert_eq!(sub(add(a, b), b), a);
         if a != 0 {
-            prop_assert_eq!(mul(a, inv(a)), 1);
+            assert_eq!(mul(a, inv(a)), 1);
         }
     }
+}
 
-    /// The exact frequency vector agrees with a naive reference
-    /// implementation on arbitrary signed update sequences.
-    #[test]
-    fn frequency_vector_matches_reference(
-        updates in prop::collection::vec((0u64..32, -5i64..5), 0..300),
-    ) {
+/// The exact frequency vector agrees with a naive reference implementation
+/// on arbitrary signed update sequences.
+#[test]
+fn frequency_vector_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let len = rng.gen_range(0usize..300);
         let mut reference = std::collections::HashMap::<u64, i64>::new();
         let mut vector = FrequencyVector::new();
-        for &(item, delta) in &updates {
+        for _ in 0..len {
+            let item = rng.gen_range(0u64..32);
+            let delta = rng.gen_range(-5i64..5);
             vector.apply(Update::new(item, delta));
             *reference.entry(item).or_insert(0) += delta;
         }
         reference.retain(|_, v| *v != 0);
-        prop_assert_eq!(vector.f0() as usize, reference.len());
+        assert_eq!(vector.f0() as usize, reference.len());
         for (&item, &count) in &reference {
-            prop_assert_eq!(vector.get(item), count);
+            assert_eq!(vector.get(item), count);
         }
         let f2: f64 = reference.values().map(|&c| (c * c) as f64).sum();
-        prop_assert!((vector.f2() - f2).abs() < 1e-6);
+        assert!((vector.f2() - f2).abs() < 1e-6);
     }
+}
 
-    /// The insertion-only validator accepts exactly the streams with all
-    /// positive deltas.
-    #[test]
-    fn insertion_only_validator_accepts_iff_positive(
-        updates in prop::collection::vec((0u64..16, -3i64..4), 1..100),
-    ) {
+/// The insertion-only validator accepts exactly the streams with all
+/// positive deltas.
+#[test]
+fn insertion_only_validator_accepts_iff_positive() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let len = rng.gen_range(1usize..100);
+        let updates: Vec<(u64, i64)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..16), rng.gen_range(-3i64..4)))
+            .collect();
         let mut validator = StreamValidator::new(StreamModel::InsertionOnly);
         let mut all_positive_so_far = true;
         for &(item, delta) in &updates {
             let result = validator.apply(Update::new(item, delta));
             if delta <= 0 {
-                prop_assert!(result.is_err());
+                assert!(result.is_err());
                 all_positive_so_far = false;
                 break;
             }
-            prop_assert!(result.is_ok());
+            assert!(result.is_ok());
         }
         if all_positive_so_far {
-            prop_assert_eq!(validator.len() as usize, updates.len());
+            assert_eq!(validator.len() as usize, updates.len());
         }
     }
+}
 
-    /// The AMS sketch is linear: feeding a stream and then its negation
-    /// returns the sketch to (numerically) zero.
-    #[test]
-    fn ams_sketch_is_linear(
-        items in prop::collection::vec(0u64..1000, 1..200),
-    ) {
+/// The AMS sketch is linear: feeding a stream and then its negation
+/// returns the sketch to (numerically) zero.
+#[test]
+fn ams_sketch_is_linear() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let len = rng.gen_range(1usize..200);
+        let items: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..1000)).collect();
         let mut sketch = AmsSketch::new(AmsConfig::single_mean(32), 7);
         for &i in &items {
             sketch.update(Update::insert(i));
@@ -145,26 +188,29 @@ proptest! {
         for &i in &items {
             sketch.update(Update::delete(i));
         }
-        prop_assert!(sketch.estimate().abs() < 1e-6);
+        assert!(sketch.estimate().abs() < 1e-6);
     }
+}
 
-    /// KMV never overcounts small cardinalities and is invariant under
-    /// duplicate insertions.
-    #[test]
-    fn kmv_exactness_and_duplicate_invariance(
-        items in prop::collection::vec(0u64..500, 1..300),
-    ) {
+/// KMV never overcounts small cardinalities and is invariant under
+/// duplicate insertions.
+#[test]
+fn kmv_exactness_and_duplicate_invariance() {
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let len = rng.gen_range(1usize..300);
+        let items: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..500)).collect();
         let mut sketch = KmvSketch::new(KmvConfig { k: 1024 }, 3);
         let mut seen = std::collections::HashSet::new();
         for &i in &items {
             sketch.insert(i);
             seen.insert(i);
         }
-        prop_assert_eq!(sketch.estimate() as usize, seen.len());
+        assert_eq!(sketch.estimate() as usize, seen.len());
         let before = sketch.estimate();
         for &i in &items {
             sketch.insert(i);
         }
-        prop_assert_eq!(sketch.estimate(), before);
+        assert_eq!(sketch.estimate(), before);
     }
 }

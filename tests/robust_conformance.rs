@@ -1,0 +1,178 @@
+//! Generic conformance suite for the unified robust-estimator API: every
+//! entry of `ars_core::registry::standard_registry` is driven through the
+//! same `Box<dyn RobustEstimator>` loop and held to the same contract —
+//! accuracy on its reference stream, positive space accounting, batched
+//! updates consistent with per-update streaming, and builder validation.
+
+use adversarial_robust_streaming::robust::registry::RegistryEntry;
+use adversarial_robust_streaming::robust::{
+    standard_registry, RegistryParams, RobustBuilder, RobustEstimator,
+};
+use adversarial_robust_streaming::stream::generator::Generator;
+
+fn params() -> RegistryParams {
+    RegistryParams {
+        epsilon: 0.25,
+        delta: 1e-3,
+        stream_length: 6_000,
+        domain: 1 << 12,
+        seed: 424_242,
+    }
+}
+
+/// Scores one entry on its reference stream through the shared loop in
+/// `ars_bench::score_registry_entry`; `None` exercises the per-update
+/// path, `Some(n)` the batched path.
+fn score_entry(entry: &mut RegistryEntry, chunk_size: Option<usize>) -> f64 {
+    let p = params();
+    let updates = entry.reference_stream(&p, p.seed ^ 0xC0FFEE);
+    ars_bench::score_registry_entry(entry, &updates, chunk_size.unwrap_or(1))
+}
+
+#[test]
+fn every_registry_entry_tracks_within_its_error_budget() {
+    for mut entry in standard_registry(&params()) {
+        let worst = score_entry(&mut entry, None);
+        assert!(
+            worst <= entry.error_budget,
+            "{}: worst error {worst} exceeds budget {}",
+            entry.id,
+            entry.error_budget
+        );
+    }
+}
+
+#[test]
+fn every_registry_entry_reports_positive_space_and_metadata() {
+    for mut entry in standard_registry(&params()) {
+        entry.estimator.insert(1);
+        assert!(entry.estimator.space_bytes() > 0, "{}", entry.id);
+        assert!(entry.estimator.epsilon() > 0.0, "{}", entry.id);
+        assert!(entry.estimator.flip_budget() >= 1, "{}", entry.id);
+        assert!(!entry.estimator.strategy_name().is_empty(), "{}", entry.id);
+    }
+}
+
+#[test]
+fn batched_updates_match_per_update_streaming() {
+    // Two identically-seeded copies of each entry stream the same workload,
+    // one per update and one in batches of 64. The published values may
+    // legally differ — the batched engine exposes its state only at batch
+    // boundaries, and a sketch-switching pool that switches mid-batch in
+    // the per-update run ends on a different copy — but both must satisfy
+    // the same tracking contract, so both final estimates sit inside the
+    // entry's error budget of the same truth (hence within twice the
+    // budget of each other).
+    let per_update = standard_registry(&params());
+    let batched = standard_registry(&params());
+    for (mut a, mut b) in per_update.into_iter().zip(batched) {
+        assert_eq!(a.id, b.id);
+        let worst_a = score_entry(&mut a, None);
+        let worst_b = score_entry(&mut b, Some(64));
+        assert!(
+            worst_a <= a.error_budget,
+            "{} per-update error {worst_a} exceeds budget {}",
+            a.id,
+            a.error_budget
+        );
+        assert!(
+            worst_b <= b.error_budget,
+            "{} batched error {worst_b} exceeds budget {}",
+            b.id,
+            b.error_budget
+        );
+        let (ea, eb) = (a.estimator.estimate(), b.estimator.estimate());
+        if a.additive {
+            assert!(
+                (ea - eb).abs() <= 2.0 * a.error_budget,
+                "{}: batched estimate {eb} far from per-update {ea}",
+                a.id
+            );
+        } else if ea > 0.0 {
+            assert!(
+                (ea - eb).abs() <= 2.0 * a.error_budget * ea.max(eb),
+                "{}: batched estimate {eb} far from per-update {ea}",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn raw_mode_batching_is_bitwise_identical() {
+    // The crypto route publishes raw estimates with no rounding state, so
+    // its batched path must agree exactly with per-update streaming.
+    let p = params();
+    let mut per_update = RobustBuilder::new(p.epsilon)
+        .stream_length(p.stream_length)
+        .domain(p.domain)
+        .seed(9)
+        .crypto_f0();
+    let mut batched = RobustBuilder::new(p.epsilon)
+        .stream_length(p.stream_length)
+        .domain(p.domain)
+        .seed(9)
+        .crypto_f0();
+    let updates =
+        adversarial_robust_streaming::stream::generator::UniformGenerator::new(p.domain, 7)
+            .take_updates(p.stream_length as usize);
+    for chunk in updates.chunks(97) {
+        for &u in chunk {
+            per_update.update(u);
+        }
+        RobustEstimator::update_batch(&mut batched, chunk);
+        assert_eq!(per_update.estimate(), batched.estimate());
+    }
+}
+
+#[test]
+fn single_update_batches_are_bitwise_identical_for_every_entry() {
+    // With batch size 1 the amortized path degenerates to the per-update
+    // path exactly, for every strategy.
+    let per_update = standard_registry(&params());
+    let batched = standard_registry(&params());
+    let p = params();
+    for (mut a, mut b) in per_update.into_iter().zip(batched) {
+        let updates = a.reference_stream(&p, p.seed ^ 0xBEEF);
+        for &u in updates.iter().take(1_500) {
+            a.estimator.update(u);
+            b.estimator.update_batch(std::slice::from_ref(&u));
+            assert_eq!(
+                a.estimator.estimate(),
+                b.estimator.estimate(),
+                "{} diverged on single-update batches",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn builder_validation_rejects_bad_parameters() {
+    for bad in [
+        std::panic::catch_unwind(|| RobustBuilder::new(0.0)),
+        std::panic::catch_unwind(|| RobustBuilder::new(1.0)),
+        std::panic::catch_unwind(|| RobustBuilder::new(-0.1)),
+    ] {
+        assert!(bad.is_err(), "builder accepted an invalid epsilon");
+    }
+    for bad in [
+        std::panic::catch_unwind(|| {
+            let _ = RobustBuilder::new(0.1).delta(0.0);
+        }),
+        std::panic::catch_unwind(|| {
+            let _ = RobustBuilder::new(0.1).delta(1.0);
+        }),
+        std::panic::catch_unwind(|| {
+            let _ = RobustBuilder::new(0.1).practical_delta_floor(0.0);
+        }),
+        std::panic::catch_unwind(|| drop(RobustBuilder::new(0.1).fp(0.0))),
+        std::panic::catch_unwind(|| drop(RobustBuilder::new(0.1).fp(2.5))),
+        std::panic::catch_unwind(|| drop(RobustBuilder::new(0.1).fp_large(2.0))),
+        std::panic::catch_unwind(|| drop(RobustBuilder::new(0.1).turnstile_fp(2.0, 0))),
+        std::panic::catch_unwind(|| drop(RobustBuilder::new(0.1).bounded_deletion_fp(1.0, 0.5))),
+        std::panic::catch_unwind(|| drop(RobustBuilder::new(0.1).bounded_deletion_fp(0.5, 2.0))),
+    ] {
+        assert!(bad.is_err(), "builder accepted an invalid configuration");
+    }
+}

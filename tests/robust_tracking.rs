@@ -1,73 +1,72 @@
 //! Cross-crate integration tests: the robust estimators deliver their
 //! tracking guarantee end-to-end, scored by the exact oracle while playing
 //! the adversarial game of Section 1 against adaptive adversaries.
+//!
+//! Every estimator is constructed through the unified `RobustBuilder` and
+//! driven through the game harness as a `Box<dyn RobustEstimator>` — the
+//! same generic trait-object loop the benchmark harness uses.
 
-use adversarial_robust_streaming::adversary::{
-    DistinctDuplicateAdversary, GameConfig, GameRunner, SurgeAdversary,
-};
 use adversarial_robust_streaming::adversary::game::ReplayAdversary;
-use adversarial_robust_streaming::robust::{
-    CryptoBackend, CryptoRobustF0Builder, F0Method, FpMethod, RobustBoundedDeletionFpBuilder,
-    RobustF0Builder, RobustFpBuilder, RobustL2HeavyHittersBuilder,
+use adversarial_robust_streaming::adversary::{
+    Adversary, DistinctDuplicateAdversary, GameConfig, GameRunner, SurgeAdversary,
 };
+use adversarial_robust_streaming::robust::{RobustBuilder, RobustEstimator, Strategy};
 use adversarial_robust_streaming::stream::exact::Query;
 use adversarial_robust_streaming::stream::generator::{
     BoundedDeletionGenerator, BurstyGenerator, Generator, UniformGenerator,
 };
 use adversarial_robust_streaming::stream::{FrequencyVector, StreamModel, StreamValidator};
 
-#[test]
-fn robust_f0_survives_the_dip_hunting_adversary() {
-    let epsilon = 0.15;
-    let rounds = 20_000;
-    let mut robust = RobustF0Builder::new(epsilon)
-        .method(F0Method::SketchSwitching)
-        .stream_length(rounds as u64)
-        .domain(1 << 20)
-        .seed(3)
-        .build();
-    let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(300);
-    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(300);
-    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
-    assert!(
-        !outcome.adversary_won(),
-        "adaptive adversary fooled the robust F0 estimator at round {:?} (max error {})",
-        outcome.first_violation,
-        outcome.max_error
-    );
+/// The generic game loop: any robust estimator (as a trait object) against
+/// any adversary.
+fn play(
+    estimator: &mut dyn RobustEstimator,
+    adversary: &mut dyn Adversary,
+    config: GameConfig,
+) -> adversarial_robust_streaming::adversary::GameOutcome {
+    GameRunner::new(config).run(estimator, adversary)
 }
 
 #[test]
-fn crypto_f0_survives_the_dip_hunting_adversary() {
+fn adaptive_adversaries_fool_no_robust_f0_route() {
+    // The three F0 routes (Thm 1.1, 1.2, 10.1), one generic loop.
     let epsilon = 0.15;
     let rounds = 20_000;
-    let mut robust = CryptoRobustF0Builder::new(epsilon)
-        .backend(CryptoBackend::ChaChaPrf)
+    let builder = RobustBuilder::new(epsilon)
         .stream_length(rounds as u64)
-        .seed(5)
-        .build();
-    let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(300);
-    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(300);
-    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
-    assert!(
-        !outcome.adversary_won(),
-        "adaptive adversary fooled the crypto F0 estimator at round {:?}",
-        outcome.first_violation
-    );
+        .domain(1 << 20);
+    let contenders: Vec<(&str, Box<dyn RobustEstimator>)> = vec![
+        ("sketch switching", Box::new(builder.seed(3).f0())),
+        (
+            "computation paths",
+            Box::new(builder.seed(4).strategy(Strategy::ComputationPaths).f0()),
+        ),
+        ("crypto PRF", Box::new(builder.seed(5).crypto_f0())),
+    ];
+    for (label, mut robust) in contenders {
+        let mut adversary = DistinctDuplicateAdversary::new(epsilon).with_min_count(300);
+        let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(300);
+        let outcome = play(robust.as_mut(), &mut adversary, config);
+        assert!(
+            !outcome.adversary_won(),
+            "adaptive adversary fooled the {label} F0 estimator at round {:?} (max error {})",
+            outcome.first_violation,
+            outcome.max_error
+        );
+    }
 }
 
 #[test]
 fn robust_f2_survives_the_surge_adversary() {
     let epsilon = 0.3;
     let rounds = 8_000;
-    let mut robust = RobustFpBuilder::new(2.0, epsilon)
-        .method(FpMethod::SketchSwitching)
+    let mut robust = RobustBuilder::new(epsilon)
         .stream_length(rounds as u64)
         .seed(7)
-        .build();
+        .fp(2.0);
     let mut adversary = SurgeAdversary::new(2.0, 11);
     let config = GameConfig::relative(Query::Fp(2.0), epsilon * 1.3, rounds).with_warmup(500);
-    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+    let outcome = play(&mut robust, &mut adversary, config);
     assert!(
         !outcome.adversary_won(),
         "surge adversary fooled the robust F2 estimator at round {:?} (max error {})",
@@ -85,15 +84,46 @@ fn robust_f0_matches_the_exact_oracle_on_oblivious_streams() {
     let rounds = 20_000;
     let updates = UniformGenerator::new(1 << 18, 13).take_updates(rounds);
     let mut adversary = ReplayAdversary::new(updates);
-    let mut robust = RobustF0Builder::new(epsilon)
+    let mut robust = RobustBuilder::new(epsilon)
         .stream_length(rounds as u64)
         .domain(1 << 18)
         .seed(17)
-        .build();
+        .f0();
     let config = GameConfig::relative(Query::F0, epsilon * 1.2, rounds).with_warmup(200);
-    let outcome = GameRunner::new(config).run(&mut robust, &mut adversary);
+    let outcome = play(&mut robust, &mut adversary, config);
     assert!(!outcome.adversary_won());
     assert!(outcome.max_error <= epsilon * 1.2);
+}
+
+#[test]
+fn batched_updates_preserve_the_tracking_guarantee() {
+    // The amortized hot path: stream the same workload in chunks through
+    // update_batch and check the estimate at every batch boundary (the only
+    // points at which an adversary could observe it).
+    let epsilon = 0.15;
+    let rounds = 20_000usize;
+    let updates = UniformGenerator::new(1 << 18, 23).take_updates(rounds);
+    let mut robust = RobustBuilder::new(epsilon)
+        .stream_length(rounds as u64)
+        .domain(1 << 18)
+        .seed(29)
+        .f0();
+    let mut truth = FrequencyVector::new();
+    let mut worst: f64 = 0.0;
+    for chunk in updates.chunks(128) {
+        for &u in chunk {
+            truth.apply(u);
+        }
+        robust.update_batch(chunk);
+        let t = truth.f0() as f64;
+        if t >= 300.0 {
+            worst = worst.max(((robust.estimate() - t) / t).abs());
+        }
+    }
+    assert!(
+        worst <= epsilon * 1.5,
+        "batched tracking error {worst} exceeds budget"
+    );
 }
 
 #[test]
@@ -104,11 +134,11 @@ fn robust_heavy_hitters_recall_under_adaptive_elephant_migration() {
     let epsilon = 0.12;
     let domain = 1u64 << 13;
     let rounds = 12_000usize;
-    let mut hh = RobustL2HeavyHittersBuilder::new(epsilon)
+    let mut hh = RobustBuilder::new(epsilon)
         .domain(domain)
         .stream_length(rounds as u64)
         .seed(19)
-        .build();
+        .heavy_hitters();
     let mut generator = BurstyGenerator::new(domain, 3, 0.5, 23);
     let mut exact = FrequencyVector::new();
     for step in 0..rounds {
@@ -143,11 +173,12 @@ fn robust_bounded_deletion_fp_inside_validated_model() {
         .apply_all(&updates)
         .expect("generator must respect its own model");
 
-    let mut robust = RobustBoundedDeletionFpBuilder::new(1.0, epsilon, alpha)
+    let mut robust = RobustBuilder::new(epsilon)
         .stream_length(rounds as u64)
-        .domain(1 << 14, 4)
+        .domain(1 << 14)
+        .max_frequency(4)
         .seed(31)
-        .build();
+        .bounded_deletion_fp(1.0, alpha);
     let mut exact = FrequencyVector::new();
     let mut worst: f64 = 0.0;
     for &u in &updates {
@@ -167,15 +198,19 @@ fn space_accounting_is_consistent_across_the_stack() {
     // their ingredients and must not change their reported space when fed
     // data (the paper's algorithms are fixed-space once configured), except
     // for structures that legitimately store identities.
-    let robust = RobustFpBuilder::new(2.0, 0.3).stream_length(1_000).build();
+    let robust = RobustBuilder::new(0.3).stream_length(1_000).fp(2.0);
     let before = robust.space_bytes();
     let mut robust = robust;
     for i in 0..1_000u64 {
         robust.insert(i);
     }
-    assert_eq!(robust.space_bytes(), before, "linear-sketch space is data-independent");
+    assert_eq!(
+        robust.space_bytes(),
+        before,
+        "linear-sketch space is data-independent"
+    );
 
-    let mut f0 = RobustF0Builder::new(0.2).stream_length(1_000).build();
+    let mut f0 = RobustBuilder::new(0.2).stream_length(1_000).f0();
     let f0_before = f0.space_bytes();
     for i in 0..1_000u64 {
         f0.insert(i);
