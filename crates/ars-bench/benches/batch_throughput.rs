@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use ars_core::{RobustBuilder, RobustEstimator};
+use ars_core::{RobustBuilder, RobustEstimator, Strategy};
 use ars_stream::generator::{Generator, UniformGenerator, ZipfGenerator};
 use ars_stream::Update;
 
@@ -56,6 +56,32 @@ fn bench_batching(c: &mut Criterion) {
     group.bench_function("robust_f0/update_batch", |b| {
         b.iter_batched(
             || builder().f0(),
+            |mut robust| {
+                for chunk in f0_stream.chunks(BATCH) {
+                    robust.update_batch(chunk);
+                }
+                robust
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("robust_f0_dp/per_update", |b| {
+        b.iter_batched(
+            || builder().strategy(Strategy::DpAggregation).f0(),
+            |mut robust| {
+                for &u in &f0_stream {
+                    robust.update(u);
+                }
+                robust
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("robust_f0_dp/update_batch", |b| {
+        b.iter_batched(
+            || builder().strategy(Strategy::DpAggregation).f0(),
             |mut robust| {
                 for chunk in f0_stream.chunks(BATCH) {
                     robust.update_batch(chunk);
@@ -131,6 +157,7 @@ fn bench_batching(c: &mut Criterion) {
     json.push_str("],\"speedup\":{");
     for (i, pair) in [
         ("robust_f0", "robust_update_path/robust_f0"),
+        ("robust_f0_dp", "robust_update_path/robust_f0_dp"),
         ("robust_fp2", "robust_update_path/robust_fp2"),
     ]
     .iter()

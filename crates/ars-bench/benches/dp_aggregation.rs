@@ -1,0 +1,17 @@
+//! `cargo bench --bench dp_aggregation` regenerates experiment E14:
+//! DP aggregation (Hassidim et al. 2020) vs the paper's wrappers —
+//! copies, space and accuracy at equal flip budget, plus the adaptive
+//! dip-hunter game.
+
+use ars_bench::{run_experiment, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::var("ARS_BENCH_FULL").is_ok() {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::quick()
+    };
+    let report = run_experiment("E14", scale, 42).expect("experiment E14 exists");
+    println!("{}", report.to_markdown());
+    eprintln!("{}", report.to_json());
+}

@@ -45,6 +45,15 @@ pub trait RobustEstimator: Estimator {
     /// cryptographic route) report `usize::MAX`.
     fn flip_budget(&self) -> usize;
 
+    /// Number of independent static-sketch copies behind this estimator —
+    /// the copy axis of the paper's space bounds (λ for plain sketch
+    /// switching, `√λ` for DP aggregation, 1 for single-copy strategies).
+    /// Drivers report it next to [`ars_sketch::Estimator::space_bytes`] so
+    /// strategies can be compared at equal flip budget.
+    fn copies(&self) -> usize {
+        1
+    }
+
     /// Whether the published output has changed more often than the
     /// flip-number budget — evidence that the stream left the promised
     /// class (e.g. the λ-flip turnstile promise) or that an inner
@@ -94,6 +103,10 @@ macro_rules! delegate_robust_estimator {
 
             fn flip_budget(&self) -> usize {
                 $crate::api::RobustEstimator::flip_budget(&self.$field)
+            }
+
+            fn copies(&self) -> usize {
+                $crate::api::RobustEstimator::copies(&self.$field)
             }
 
             fn strategy_name(&self) -> &'static str {

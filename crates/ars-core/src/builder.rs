@@ -35,6 +35,7 @@ use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
 use ars_sketch::EstimatorFactory;
 
 use crate::crypto_f0::CryptoRobustF0;
+use crate::dp_aggregation::{DpAggregationConfig, DpAggregationStrategy};
 use crate::engine::{DynRobust, RobustPlan};
 use crate::flip_number::FlipNumberBound;
 use crate::robust_bounded_deletion::RobustBoundedDeletionFp;
@@ -64,6 +65,10 @@ pub enum Strategy {
     /// The cryptographic transformation (Theorem 10.1); only sound for
     /// duplicate-invariant sketches (the `F₀` family).
     Crypto(CryptoBackend),
+    /// Differential-privacy aggregation (Hassidim et al., NeurIPS 2020):
+    /// an `O(√λ)` copy pool answering through a DP median — the cheapest
+    /// route in copies when λ is large.
+    DpAggregation,
 }
 
 /// The single builder for every robust estimator.
@@ -85,6 +90,17 @@ pub struct RobustBuilder {
 }
 
 impl RobustBuilder {
+    /// The Theorem 10.1 preset: a builder with δ pinned to 1/4 (the
+    /// theorem states success probability 3/4), matching the sketch the
+    /// pre-engine `CryptoRobustF0Builder` produced. Without this preset,
+    /// `RobustBuilder::new(eps).crypto_f0()` silently uses the shared
+    /// default δ = 10⁻³ and provisions a noticeably larger tracking
+    /// ensemble than the theorem asks for.
+    #[must_use]
+    pub fn theorem_10_1(epsilon: f64) -> Self {
+        Self::new(epsilon).delta(0.25)
+    }
+
     /// Starts a builder for `(1 ± ε)` robust estimators.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
@@ -230,16 +246,7 @@ impl RobustBuilder {
                 // requires (floored for practicality; the copy count is
                 // logarithmic in it anyway).
                 let per_copy_delta = (self.delta / lambda as f64).max(1e-6);
-                let factory = MedianTrackingFactory {
-                    inner: KmvFactory {
-                        config: KmvConfig::for_accuracy(self.epsilon / 4.0),
-                    },
-                    config: MedianTrackingConfig::for_strong_tracking(
-                        self.epsilon / 4.0,
-                        per_copy_delta,
-                        self.stream_length,
-                    ),
-                };
+                let factory = self.f0_tracking_factory(per_copy_delta);
                 let strategy = SketchSwitchStrategy {
                     pool: PoolPolicy::Explicit(SketchSwitchConfig::restarting(self.epsilon)),
                 };
@@ -256,6 +263,15 @@ impl RobustBuilder {
             Strategy::Crypto(backend) => {
                 let factory = self.crypto_f0_factory();
                 CryptoMaskStrategy { backend }.wrap(factory, &plan, self.seed)
+            }
+            Strategy::DpAggregation => {
+                // The √λ pool: each copy is the same strong-tracking KMV
+                // ensemble sketch switching uses, with the failure budget
+                // split over the (much smaller) pool.
+                let copies = DpAggregationConfig::copies_for_flip_budget(lambda);
+                let per_copy_delta = (self.delta / copies as f64).max(1e-6);
+                let factory = self.f0_tracking_factory(per_copy_delta);
+                DpAggregationStrategy::default().wrap(factory, &plan, self.seed)
             }
         };
         RobustF0::from_engine(engine)
@@ -304,6 +320,14 @@ impl RobustBuilder {
                 "the cryptographic transformation (Theorem 10.1) applies only to \
                  duplicate-invariant sketches; there is no crypto route for Fp"
             ),
+            Strategy::DpAggregation => {
+                let copies = DpAggregationConfig::copies_for_flip_budget(lambda);
+                let per_copy_delta = (self.delta / copies as f64).max(1e-4);
+                let factory = PStableFactory {
+                    config: PStableConfig::for_tracking(p, self.epsilon / 2.0, per_copy_delta),
+                };
+                DpAggregationStrategy::default().wrap(factory, &plan, self.seed)
+            }
         };
         RobustFp::from_engine(engine, p)
     }
@@ -446,6 +470,13 @@ impl RobustBuilder {
     /// Robust `L₂` heavy hitters / point queries (Theorem 1.9 / 6.5).
     #[must_use]
     pub fn heavy_hitters(&self) -> RobustL2HeavyHitters {
+        if let Some(strategy) = self.strategy {
+            assert!(
+                matches!(strategy, Strategy::SketchSwitching),
+                "L2 heavy hitters (Theorem 6.5) robustifies via sketch switching only: \
+                 the structure freezes point-query snapshots per published norm change"
+            );
+        }
         RobustL2HeavyHitters::from_builder(self)
     }
 
@@ -457,7 +488,9 @@ impl RobustBuilder {
         let backend = match self.strategy {
             None => CryptoBackend::default(),
             Some(Strategy::Crypto(backend)) => backend,
-            Some(Strategy::SketchSwitching) | Some(Strategy::ComputationPaths) => panic!(
+            Some(Strategy::SketchSwitching)
+            | Some(Strategy::ComputationPaths)
+            | Some(Strategy::DpAggregation) => panic!(
                 "crypto_f0 is the Theorem 10.1 construction; select the backend with \
                  Strategy::Crypto(..) or leave the strategy unset"
             ),
@@ -466,6 +499,26 @@ impl RobustBuilder {
         let factory = self.crypto_f0_factory();
         let engine = CryptoMaskStrategy { backend }.wrap(factory, &plan, self.seed);
         CryptoRobustF0::from_engine(engine, backend)
+    }
+
+    /// The strong-tracking KMV ensemble behind the pool-based `F₀` routes
+    /// (Theorem 1.1's static ingredient): a median ensemble of KMV
+    /// sketches at accuracy ε/4, provisioned for the given per-copy
+    /// failure probability. Exposed so external drivers (the E14
+    /// experiment, custom pools over [`RobustBuilder::custom`]) build on
+    /// the exact same ingredient instead of hand-copying the recipe.
+    #[must_use]
+    pub fn f0_tracking_factory(&self, per_copy_delta: f64) -> MedianTrackingFactory<KmvFactory> {
+        MedianTrackingFactory {
+            inner: KmvFactory {
+                config: KmvConfig::for_accuracy(self.epsilon / 4.0),
+            },
+            config: MedianTrackingConfig::for_strong_tracking(
+                self.epsilon / 4.0,
+                per_copy_delta,
+                self.stream_length,
+            ),
+        }
     }
 
     fn crypto_f0_factory(&self) -> MedianTrackingFactory<KmvFactory> {
@@ -506,6 +559,8 @@ mod tests {
         let estimators: Vec<Box<dyn RobustEstimator>> = vec![
             Box::new(builder.f0()),
             Box::new(builder.strategy(Strategy::ComputationPaths).f0()),
+            Box::new(builder.strategy(Strategy::DpAggregation).f0()),
+            Box::new(builder.strategy(Strategy::DpAggregation).fp(2.0)),
             Box::new(builder.fp(1.0)),
             Box::new(builder.fp(2.0)),
             Box::new(builder.fp_large(3.0)),
@@ -546,6 +601,63 @@ mod tests {
                 .strategy_name(),
             "crypto-mask"
         );
+        assert_eq!(
+            builder
+                .strategy(Strategy::DpAggregation)
+                .f0()
+                .strategy_name(),
+            "dp-aggregation"
+        );
+    }
+
+    #[test]
+    fn dp_aggregation_pools_are_sublinear_in_the_flip_budget() {
+        let builder = RobustBuilder::new(0.25)
+            .stream_length(2_000)
+            .domain(1 << 12);
+        let lambda = builder.f0_flip_number();
+        let dp = builder.strategy(Strategy::DpAggregation).f0();
+        let copies = RobustEstimator::copies(&dp);
+        assert_eq!(copies, DpAggregationConfig::copies_for_flip_budget(lambda));
+        assert!(
+            copies < lambda / 4,
+            "{copies} copies for flip budget {lambda}"
+        );
+    }
+
+    #[test]
+    fn theorem_10_1_preset_pins_the_paper_delta() {
+        // The preset must reproduce the legacy CryptoRobustF0Builder sketch
+        // exactly: same delta = 1/4, hence the same tracking ensemble and
+        // identical estimates under the same seed.
+        let preset = RobustBuilder::theorem_10_1(0.1).seed(3).crypto_f0();
+        let legacy = crate::crypto_f0::CryptoRobustF0Builder::new(0.1)
+            .seed(3)
+            .build();
+        assert_eq!(preset.space_bytes(), legacy.space_bytes());
+        // The preset pins delta = 1/4, against the shared default of 1e-3
+        // — the footgun the preset exists to avoid. (At some parameter
+        // points the tracking-ensemble clamp makes the two deltas produce
+        // the same sketch size, so the assertion is on the parameter, not
+        // on space.)
+        assert_eq!(RobustBuilder::theorem_10_1(0.1).raw_parameters().0, 0.25);
+        assert_eq!(RobustBuilder::new(0.1).raw_parameters().0, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch switching only")]
+    fn rejects_dp_aggregation_for_heavy_hitters() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::DpAggregation)
+            .heavy_hitters();
+    }
+
+    #[test]
+    #[should_panic(expected = "computation paths only")]
+    fn rejects_dp_aggregation_for_fp_large() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::DpAggregation)
+            .fp_large(3.0);
     }
 
     #[test]

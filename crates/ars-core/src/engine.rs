@@ -31,6 +31,17 @@ use ars_stream::Update;
 use crate::api::RobustEstimator;
 use crate::rounding::EpsilonRounder;
 
+/// Derives the seed for copy `index` of a pool strategy from the pool's
+/// base seed (SplitMix64-style mixing). Shared by every strategy that
+/// instantiates multiple copies so their seed streams stay in one place.
+#[must_use]
+pub(crate) fn derive_seed(seed: u64, index: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index)
+        .rotate_left(17)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
 /// How the engine publishes outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RoundingMode {
@@ -77,6 +88,14 @@ pub trait StrategyCore: Send {
     /// Memory footprint of the strategy state in bytes.
     fn space_bytes(&self) -> usize;
 
+    /// Number of independent static-sketch copies the strategy maintains —
+    /// the quantity the paper's space bounds count (`O(λ)` for exhaustible
+    /// sketch switching, `O(ε⁻¹ log ε⁻¹)` restarting, 1 for computation
+    /// paths and the crypto route, `O(√λ)` for DP aggregation).
+    fn copies(&self) -> usize {
+        1
+    }
+
     /// Publication mode this strategy's robustness argument requires.
     fn rounding_mode(&self) -> RoundingMode {
         RoundingMode::Windowed
@@ -105,6 +124,10 @@ impl StrategyCore for Box<dyn StrategyCore + Send> {
 
     fn space_bytes(&self) -> usize {
         (**self).space_bytes()
+    }
+
+    fn copies(&self) -> usize {
+        (**self).copies()
     }
 
     fn rounding_mode(&self) -> RoundingMode {
@@ -290,6 +313,10 @@ impl<C: StrategyCore> RobustEstimator for Robustify<C> {
 
     fn flip_budget(&self) -> usize {
         self.plan.lambda
+    }
+
+    fn copies(&self) -> usize {
+        self.core.copies()
     }
 
     fn strategy_name(&self) -> &'static str {

@@ -19,9 +19,11 @@
 //! * [`engine::StrategyCore`] / [`strategy::RobustStrategy`] — the seam
 //!   along which the constructions differ. Implemented by
 //!   [`sketch_switch::SketchSwitch`] (Algorithm 1 / Theorem 4.1),
-//!   [`computation_paths::ComputationPaths`] (Lemma 3.8), and the
-//!   PRF-masking [`strategy::CryptoMaskStrategy`] (Theorem 10.1). Follow-up
-//!   frameworks — the DP-aggregation wrapper of Hassidim et al. 2020, the
+//!   [`computation_paths::ComputationPaths`] (Lemma 3.8), the PRF-masking
+//!   [`strategy::CryptoMaskStrategy`] (Theorem 10.1), and the
+//!   DP-aggregation wrapper [`dp_aggregation::DpAggregation`] of Hassidim
+//!   et al. 2020 (`O(√λ)` copies answering through a private median, built
+//!   on the `ars-dp` mechanism crate). Further follow-up frameworks — the
 //!   difference estimators of Attias et al. 2022 — are new implementations
 //!   of this trait, nothing more.
 //! * [`builder::RobustBuilder`] — the single builder. Problem-specific
@@ -89,6 +91,7 @@ pub mod api;
 pub mod builder;
 pub mod computation_paths;
 pub mod crypto_f0;
+pub mod dp_aggregation;
 pub mod engine;
 pub mod flip_number;
 pub mod registry;
@@ -106,6 +109,7 @@ pub use api::RobustEstimator;
 pub use builder::{RobustBuilder, Strategy};
 pub use computation_paths::{ComputationPaths, ComputationPathsConfig};
 pub use crypto_f0::{CryptoBackend, CryptoRobustF0, CryptoRobustF0Builder};
+pub use dp_aggregation::{DpAggregation, DpAggregationConfig, DpAggregationStrategy};
 pub use engine::{DynRobust, RobustPlan, Robustify, RoundingMode, StrategyCore};
 pub use flip_number::{empirical_flip_number, FlipNumberBound};
 pub use registry::{standard_registry, RegistryEntry, RegistryParams};

@@ -121,6 +121,22 @@ pub struct RegistryEntry {
 }
 
 impl RegistryEntry {
+    /// Number of independent static-sketch copies behind the estimator —
+    /// the copy axis of the paper's space bounds. Drivers report it next
+    /// to [`RegistryEntry::space_bytes`] so strategies can be compared at
+    /// equal flip budget (λ for exhaustible switching vs `√λ` for DP
+    /// aggregation).
+    #[must_use]
+    pub fn copies(&self) -> usize {
+        self.estimator.copies()
+    }
+
+    /// Current memory footprint of the estimator, in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        self.estimator.space_bytes()
+    }
+
     /// Generates this entry's reference stream.
     #[must_use]
     pub fn reference_stream(&self, params: &RegistryParams, seed: u64) -> Vec<Update> {
@@ -214,6 +230,21 @@ pub fn standard_registry(params: &RegistryParams) -> Vec<RegistryEntry> {
         ),
     });
 
+    entries.push(RegistryEntry {
+        id: "f0/dp-aggregation",
+        label: "robust F0 (DP aggregation, HKMMS20)".to_string(),
+        query: Query::F0,
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Uniform,
+        // The DP route stacks the copy accuracy, the answer grid and the
+        // drift-gated republication lag on top of ε, so its conformance
+        // budget is wider than the switching routes'.
+        error_budget: eps * 2.0,
+        min_truth: 300.0,
+        estimator: Box::new(params.builder(5).strategy(Strategy::DpAggregation).f0()),
+    });
+
     for (offset, p) in [(10u64, 1.0f64), (11, 2.0)] {
         entries.push(RegistryEntry {
             id: if p == 1.0 {
@@ -247,6 +278,26 @@ pub fn standard_registry(params: &RegistryParams) -> Vec<RegistryEntry> {
                 params
                     .builder(offset + 10)
                     .strategy(Strategy::ComputationPaths)
+                    .fp(p),
+            ),
+        });
+        entries.push(RegistryEntry {
+            id: if p == 1.0 {
+                "fp1/dp-aggregation"
+            } else {
+                "fp2/dp-aggregation"
+            },
+            label: format!("robust F{p:.0} (DP aggregation, HKMMS20)"),
+            query: Query::Fp(p),
+            additive: false,
+            model: StreamModel::InsertionOnly,
+            workload: ReferenceWorkload::Uniform,
+            error_budget: eps * 2.0,
+            min_truth: 500.0,
+            estimator: Box::new(
+                params
+                    .builder(offset + 70)
+                    .strategy(Strategy::DpAggregation)
                     .fp(p),
             ),
         });
@@ -351,10 +402,13 @@ mod tests {
             "f0/computation-paths",
             "f0/crypto-chacha",
             "f0/crypto-oracle",
+            "f0/dp-aggregation",
             "fp1/sketch-switching",
             "fp1/computation-paths",
+            "fp1/dp-aggregation",
             "fp2/sketch-switching",
             "fp2/computation-paths",
+            "fp2/dp-aggregation",
             "fp3/computation-paths",
             "turnstile-f2/computation-paths",
             "bounded-deletion-f1/computation-paths",
@@ -371,6 +425,19 @@ mod tests {
         assert!(strategies.iter().any(|s| s.contains("sketch-switching")));
         assert!(strategies.contains("computation-paths"));
         assert!(strategies.contains("crypto-mask"));
+        assert!(strategies.contains("dp-aggregation"));
+        // Copy metadata comes through as well: the DP pool is sub-linear
+        // in the flip budget, single-copy strategies report 1.
+        for entry in &entries {
+            match entry.estimator.strategy_name() {
+                "dp-aggregation" => assert!(entry.copies() > 1, "{}", entry.id),
+                "computation-paths" | "crypto-mask" => {
+                    assert_eq!(entry.copies(), 1, "{}", entry.id);
+                }
+                _ => assert!(entry.copies() >= 1, "{}", entry.id),
+            }
+            assert!(entry.space_bytes() > 0, "{}", entry.id);
+        }
     }
 
     #[test]

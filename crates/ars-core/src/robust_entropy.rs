@@ -235,6 +235,10 @@ impl RobustEstimator for RobustEntropy {
         RobustEstimator::flip_budget(&self.engine)
     }
 
+    fn copies(&self) -> usize {
+        RobustEstimator::copies(&self.engine)
+    }
+
     fn strategy_name(&self) -> &'static str {
         RobustEstimator::strategy_name(&self.engine)
     }

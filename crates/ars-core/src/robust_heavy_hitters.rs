@@ -256,6 +256,14 @@ impl RobustEstimator for RobustL2HeavyHitters {
         self.flip_budget
     }
 
+    /// The rotating point-query pool, the frozen snapshot (if any), and
+    /// the copies behind the robust norm estimator.
+    fn copies(&self) -> usize {
+        self.point_sketches.len()
+            + usize::from(self.frozen.is_some())
+            + RobustEstimator::copies(&self.norm_estimator)
+    }
+
     fn strategy_name(&self) -> &'static str {
         "sketch-switching (frozen point-query pool)"
     }

@@ -31,7 +31,7 @@
 use ars_sketch::{Estimator, EstimatorFactory};
 use ars_stream::Update;
 
-use crate::engine::StrategyCore;
+use crate::engine::{derive_seed, StrategyCore};
 
 /// Which pool-management strategy the wrapper uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,13 +175,6 @@ impl<F: EstimatorFactory> SketchSwitch<F> {
     }
 }
 
-fn derive_seed(seed: u64, index: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(index)
-        .rotate_left(17)
-        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-}
-
 impl<F> StrategyCore for SketchSwitch<F>
 where
     F: EstimatorFactory + Send,
@@ -241,6 +234,10 @@ where
             .map(Estimator::space_bytes)
             .sum::<usize>()
             + 64
+    }
+
+    fn copies(&self) -> usize {
+        self.copies.len()
     }
 
     fn strategy_name(&self) -> &'static str {

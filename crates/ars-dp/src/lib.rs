@@ -1,0 +1,46 @@
+//! Differential-privacy primitives for adversarially robust streaming.
+//!
+//! Hassidim, Kaplan, Mansour, Matias and Stemmer (NeurIPS 2020,
+//! arXiv:2004.05975) observed that an adaptive adversary can only exploit a
+//! randomized sketch by *learning its internal randomness through the
+//! published outputs* — so protecting that randomness with differential
+//! privacy bounds what any adaptive strategy can extract, via the
+//! generalization property of DP. Concretely: run `O(√λ)` independent
+//! copies of the static sketch (one copy = one protected "record"), answer
+//! with an ε-DP aggregate of their estimates, and the `O(λ)` copy blow-up
+//! of sketch switching drops to `O(√λ)`. Attias, Cohen, Shechner and
+//! Stemmer (arXiv:2107.14527) build their improved framework on the same
+//! DP-aggregation core.
+//!
+//! This crate provides the reusable mechanism layer, with no dependency on
+//! the streaming machinery (the `ars-core::dp_aggregation` strategy is the
+//! consumer):
+//!
+//! * [`Laplace`] — calibrated additive noise (`laplace`);
+//! * [`PrivacyAccountant`] — an (ε, δ) ledger with basic composition, plus
+//!   the advanced-composition sizing helper
+//!   ([`advanced_composition_epsilon`]) expressing the `√λ` budget
+//!   arithmetic (`accountant`);
+//! * [`SparseVector`] — AboveThreshold, so drift can be *checked* on every
+//!   update but *charged* only per published change (`svt`);
+//! * [`private_median`] — an exponential-mechanism median over the
+//!   ε-rounded estimate grid ([`estimate_grid`]), rank-calibrated so one
+//!   sketch copy is one unit of sensitivity (`median`).
+//!
+//! All randomness flows through the workspace's in-tree `rand` stub and is
+//! fully deterministic under a fixed seed, which the conformance suite
+//! relies on. The mechanisms here are research-grade reproductions for the
+//! robustness application — *not* a hardened DP release library: floating-
+//! point side channels (Mironov 2012) are out of scope.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod laplace;
+pub mod median;
+pub mod svt;
+
+pub use accountant::{advanced_composition_epsilon, PrivacyAccountant};
+pub use laplace::Laplace;
+pub use median::{estimate_grid, private_median, rank_error};
+pub use svt::SparseVector;

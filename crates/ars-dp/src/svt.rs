@@ -1,0 +1,163 @@
+//! The sparse-vector technique (AboveThreshold, Dwork–Roth Algorithm 1).
+//!
+//! AboveThreshold answers a *stream* of sensitivity-1 queries against a
+//! fixed threshold for a single ε charge: the threshold is perturbed once
+//! with `Lap(2/ε)`, every query is perturbed with fresh `Lap(4/ε)`, and the
+//! mechanism halts the first time a noisy query clears the noisy threshold.
+//! Only the halt position leaks — the (arbitrarily many) "below" answers
+//! are free. This is what lets the DP-aggregation strategy check "has the
+//! aggregate drifted?" after **every** update while only paying privacy
+//! per *published change*: each republication re-arms the mechanism with a
+//! fresh charge, so the ledger grows with the flip number, not the stream
+//! length.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::laplace::Laplace;
+
+/// One armed AboveThreshold instance.
+#[derive(Debug, Clone)]
+pub struct SparseVector {
+    epsilon: f64,
+    threshold: f64,
+    noisy_threshold: f64,
+    halted: bool,
+    queries: usize,
+    arms: usize,
+    rng: StdRng,
+}
+
+impl SparseVector {
+    /// Arms AboveThreshold at `threshold` with privacy parameter `epsilon`
+    /// (the full ε cost of one armed round, split internally between the
+    /// threshold and query perturbations).
+    #[must_use]
+    pub fn new(epsilon: f64, threshold: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(threshold.is_finite());
+        let mut svt = Self {
+            epsilon,
+            threshold,
+            noisy_threshold: threshold,
+            halted: false,
+            queries: 0,
+            arms: 0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        svt.rearm(threshold);
+        svt
+    }
+
+    /// Feeds one sensitivity-1 query value; returns `true` (and halts) the
+    /// first time the noisy value clears the noisy threshold. A halted
+    /// instance answers `false` until re-armed.
+    pub fn query(&mut self, value: f64) -> bool {
+        if self.halted {
+            return false;
+        }
+        self.queries += 1;
+        let noisy = value + Laplace::for_sensitivity(4.0, self.epsilon).sample(&mut self.rng);
+        if noisy >= self.noisy_threshold {
+            self.halted = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-arms the mechanism at a (possibly new) threshold with a fresh
+    /// `Lap(2/ε)` perturbation. Each armed round is one ε charge — the
+    /// caller records it with its [`crate::PrivacyAccountant`].
+    pub fn rearm(&mut self, threshold: f64) {
+        assert!(threshold.is_finite());
+        self.threshold = threshold;
+        self.noisy_threshold =
+            threshold + Laplace::for_sensitivity(2.0, self.epsilon).sample(&mut self.rng);
+        self.halted = false;
+        self.arms += 1;
+    }
+
+    /// Whether the current round has fired.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Queries answered since construction (across all arms).
+    #[must_use]
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Number of armed rounds so far (each is one ε charge).
+    #[must_use]
+    pub fn arms(&self) -> usize {
+        self.arms
+    }
+
+    /// The per-armed-round privacy parameter.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_clearly_above_and_ignores_clearly_below() {
+        // Threshold 50, epsilon 2.0 (noise scales 1 and 2): queries at 0
+        // essentially never fire, a query at 100 fires immediately.
+        let mut svt = SparseVector::new(2.0, 50.0, 7);
+        for _ in 0..2_000 {
+            assert!(!svt.query(0.0), "query far below threshold fired");
+        }
+        assert!(svt.query(100.0), "query far above threshold did not fire");
+        assert!(svt.is_halted());
+    }
+
+    #[test]
+    fn halts_after_first_fire_until_rearmed() {
+        let mut svt = SparseVector::new(2.0, 10.0, 11);
+        assert!(svt.query(100.0));
+        // Halted: even enormous queries answer false.
+        for _ in 0..100 {
+            assert!(!svt.query(1_000.0));
+        }
+        svt.rearm(10.0);
+        assert!(!svt.is_halted());
+        assert!(svt.query(100.0), "re-armed instance must fire again");
+        assert_eq!(svt.arms(), 2);
+    }
+
+    #[test]
+    fn near_threshold_queries_fire_with_intermediate_probability() {
+        // At the threshold exactly, the fire probability per query is ~1/2;
+        // over many independent arms it should be neither 0 nor 1.
+        let mut fires = 0;
+        for seed in 0..200 {
+            let mut svt = SparseVector::new(1.0, 20.0, seed);
+            if svt.query(20.0) {
+                fires += 1;
+            }
+        }
+        assert!((40..160).contains(&fires), "{fires}/200 at-threshold fires");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut a = SparseVector::new(1.0, 30.0, 5);
+        let mut b = SparseVector::new(1.0, 30.0, 5);
+        for q in 0..50 {
+            assert_eq!(a.query(q as f64), b.query(q as f64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_non_positive_epsilon() {
+        let _ = SparseVector::new(0.0, 1.0, 0);
+    }
+}

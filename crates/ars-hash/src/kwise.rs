@@ -9,7 +9,7 @@
 //! * 4-wise independence for the AMS / CountSketch sign functions,
 //! * `Θ(log log n + log δ⁻¹)`-wise independence for the fast `F_0`
 //!   algorithm of Section 5.1, which needs Chernoff-style tail bounds with
-//!   limited independence (the paper cites [35]).
+//!   limited independence (the paper cites \[35\]).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

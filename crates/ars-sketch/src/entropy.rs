@@ -10,12 +10,12 @@
 //!   p-stable sketch, combine with the exact `F₁` counter, and report
 //!   `H_α = (log₂ F_α − α log₂ F₁)/(1 − α)`, which upper-bounds and
 //!   converges to the Shannon entropy as `α → 1`. This mirrors the
-//!   Clifford–Cosma / [11] style sketch the paper cites for the general
+//!   Clifford–Cosma / \[11\] style sketch the paper cites for the general
 //!   insertion-only model.
 //! * [`SampledEntropyEstimator`] — a reservoir-sampling plug-in estimator:
 //!   sample `k` stream tokens uniformly, report the entropy of the
 //!   empirical distribution of the sample. This is the light-weight
-//!   random-oracle-model stand-in for the [23] estimator (the sample is the
+//!   random-oracle-model stand-in for the \[23\] estimator (the sample is the
 //!   only state, `O(k log n)` bits).
 
 use ars_stream::Update;

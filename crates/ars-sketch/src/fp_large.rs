@@ -13,7 +13,7 @@
 //!
 //! This "heavy-elements" estimator has the same `n^{1−2/p} · poly(1/ε,
 //! log n)` space shape as the Ganguly–Woodruff sketch the paper cites
-//! ([14]); the full recursive subsampling machinery of [14] is orthogonal
+//! (\[14\]); the full recursive subsampling machinery of \[14\] is orthogonal
 //! to the robustification overhead measured by the benchmarks, so it is
 //! omitted (documented substitution in DESIGN.md).
 

@@ -7,9 +7,9 @@
 //! median wrapper in [`crate::tracking`]).
 //!
 //! This is the repository's stand-in for the space-optimal static `F₀`
-//! tracking algorithm of Błasiok [6] that Theorem 1.1 invokes: it has the
+//! tracking algorithm of Błasiok \[6\] that Theorem 1.1 invokes: it has the
 //! same `poly(1/ε) + O(log n)`-bits shape (the constant-factor
-//! optimizations of [6] are orthogonal to the robustification overhead the
+//! optimizations of \[6\] are orthogonal to the robustification overhead the
 //! experiments measure). It also has the "ignores repeated items" property
 //! required by the cryptographic transformation of Section 10: an item
 //! whose hash is already present in the bottom-k set leaves the state

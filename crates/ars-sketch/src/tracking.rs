@@ -3,7 +3,7 @@
 //! The robustification wrappers of the paper consume *strong-tracking*
 //! static algorithms: ones whose estimate is `(1 ± ε)`-correct at **every**
 //! step of a fixed stream with probability `1 − δ` (Definition 2.1). The
-//! optimal strong-tracking algorithms cited in the paper ([6], [7]) obtain
+//! optimal strong-tracking algorithms cited in the paper (\[6\], \[7\]) obtain
 //! this with delicate chaining arguments; the standard generic route — the
 //! one footnote 1 of the paper describes — is to drive the per-query
 //! failure probability low enough to union bound over the `O(ε^{-1} log n)`

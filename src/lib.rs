@@ -11,12 +11,15 @@
 //! * [`sketch`] — static (non-robust) sketches: AMS, CountSketch, KMV,
 //!   p-stable Fp, entropy, Misra–Gries, and strong-tracking wrappers
 //!   ([`ars_sketch`]).
+//! * [`dp`] — differential-privacy primitives: Laplace noise, an (ε, δ)
+//!   accountant, the sparse-vector mechanism and an exponential-mechanism
+//!   private median ([`ars_dp`]).
 //! * [`robust`] — the paper's contribution as a *generic transformation*:
 //!   the [`robust::Robustify`] engine, the strategy seam
 //!   ([`robust::RobustStrategy`]: sketch switching, computation paths,
-//!   crypto masking), the single [`robust::RobustBuilder`], and the
-//!   object-safe [`robust::RobustEstimator`] trait with a batched update
-//!   path ([`ars_core`]).
+//!   crypto masking, DP aggregation), the single [`robust::RobustBuilder`],
+//!   and the object-safe [`robust::RobustEstimator`] trait with a batched
+//!   update path ([`ars_core`]).
 //! * [`adversary`] — the two-player adversarial game harness and the AMS
 //!   attack of Section 9 ([`ars_adversary`]).
 //!
@@ -54,6 +57,7 @@
 
 pub use ars_adversary as adversary;
 pub use ars_core as robust;
+pub use ars_dp as dp;
 pub use ars_hash as hash;
 pub use ars_sketch as sketch;
 pub use ars_stream as stream;

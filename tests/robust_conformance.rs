@@ -6,7 +6,8 @@
 
 use adversarial_robust_streaming::robust::registry::RegistryEntry;
 use adversarial_robust_streaming::robust::{
-    standard_registry, RegistryParams, RobustBuilder, RobustEstimator,
+    standard_registry, DpAggregationConfig, RegistryParams, RobustBuilder, RobustEstimator,
+    SketchSwitchConfig, Strategy,
 };
 use adversarial_robust_streaming::stream::generator::Generator;
 
@@ -144,6 +145,65 @@ fn single_update_batches_are_bitwise_identical_for_every_entry() {
                 a.id
             );
         }
+    }
+}
+
+#[test]
+fn dp_aggregation_copy_count_grows_as_sqrt_lambda_not_lambda() {
+    // Config level: over a 16x range of flip budgets, the DP pool grows by
+    // the square root (4x) while the exhaustible switching pool of
+    // Lemma 3.6 grows linearly (16x). (Below lambda = 144 the pool sits on
+    // its practical clamp floor of 12, which keeps the sparse-vector fire
+    // threshold strictly below the pool size.)
+    assert_eq!(DpAggregationConfig::copies_for_flip_budget(64), 12);
+    for (lambda, sqrt) in [(256usize, 16usize), (1024, 32), (4096, 64)] {
+        assert_eq!(DpAggregationConfig::copies_for_flip_budget(lambda), sqrt);
+        assert_eq!(SketchSwitchConfig::exhaustible(0.25, lambda).copies, lambda);
+    }
+
+    // Estimator level: a built DP estimator reports the sqrt-sized pool
+    // through the copies() metadata, far below its own flip budget.
+    let p = params();
+    let builder = RobustBuilder::new(p.epsilon)
+        .stream_length(p.stream_length)
+        .domain(p.domain)
+        .seed(p.seed);
+    let lambda = builder.f0_flip_number();
+    let dp = builder.strategy(Strategy::DpAggregation).f0();
+    assert_eq!(
+        RobustEstimator::copies(&dp),
+        DpAggregationConfig::copies_for_flip_budget(lambda)
+    );
+    assert!(
+        RobustEstimator::copies(&dp) < lambda / 4,
+        "DP pool {} not sublinear in flip budget {lambda}",
+        RobustEstimator::copies(&dp)
+    );
+    assert_eq!(RobustEstimator::flip_budget(&dp), lambda);
+}
+
+#[test]
+fn theorem_10_1_preset_reproduces_the_legacy_crypto_sketch() {
+    // Identical seed and parameters: the preset must produce bitwise the
+    // same sketch (space and estimates) as the legacy builder that pinned
+    // delta = 1/4 — the footgun recorded in the PR 1 migration table.
+    let p = params();
+    let mut legacy = adversarial_robust_streaming::robust::CryptoRobustF0Builder::new(p.epsilon)
+        .stream_length(p.stream_length)
+        .seed(9)
+        .build();
+    let mut preset = RobustBuilder::theorem_10_1(p.epsilon)
+        .stream_length(p.stream_length)
+        .seed(9)
+        .crypto_f0();
+    assert_eq!(legacy.space_bytes(), preset.space_bytes());
+    let updates =
+        adversarial_robust_streaming::stream::generator::UniformGenerator::new(p.domain, 3)
+            .take_updates(2_000);
+    for &u in &updates {
+        legacy.update(u);
+        preset.update(u);
+        assert_eq!(legacy.estimate(), preset.estimate());
     }
 }
 
