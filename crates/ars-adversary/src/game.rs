@@ -7,6 +7,7 @@
 //! outcome records whether — and when — the adversary forced an incorrect
 //! response.
 
+use ars_core::{Estimate, StreamSession};
 use ars_sketch::Estimator;
 use ars_stream::exact::Query;
 use ars_stream::{StreamModel, StreamValidator, TrackingOracle, Update};
@@ -105,6 +106,11 @@ pub struct GameOutcome {
     /// Set when the adversary proposed an update outside the stream model;
     /// the game stops at that point and the update is not applied.
     pub model_violation: Option<String>,
+    /// The estimator's typed reading at the end of a session-driven game
+    /// ([`GameRunner::run_session`]): guarantee interval, flips spent, and
+    /// the health verdict. `None` for bare-estimator games, which have no
+    /// typed read surface.
+    pub final_reading: Option<Estimate>,
 }
 
 impl GameOutcome {
@@ -153,6 +159,26 @@ impl GameRunner {
         A: Adversary + ?Sized,
     {
         let mut validator = StreamValidator::new(self.config.model);
+        self.play(adversary, |update| {
+            validator.apply(update).map_err(|err| err.to_string())?;
+            estimator.update(update);
+            Ok(estimator.estimate())
+        })
+    }
+
+    /// The one scoring loop behind both game flavours: each round, the
+    /// adversary picks an update, `ingest` validates + applies it and
+    /// returns the published response (or a model-violation message, which
+    /// stops the game with the update unapplied and unscored), and the
+    /// exact oracle scores the response against the configured ε.
+    fn play<A>(
+        &self,
+        adversary: &mut A,
+        mut ingest: impl FnMut(Update) -> Result<f64, String>,
+    ) -> GameOutcome
+    where
+        A: Adversary + ?Sized,
+    {
         let mut oracle = TrackingOracle::new(self.config.query);
         let mut responses = Vec::with_capacity(self.config.rounds);
         let mut first_violation = None;
@@ -163,13 +189,14 @@ impl GameRunner {
 
         for round in 1..=self.config.rounds {
             let update = adversary.next_update(last_response);
-            if let Err(err) = validator.apply(update) {
-                model_violation = Some(err.to_string());
-                break;
-            }
+            let response = match ingest(update) {
+                Ok(response) => response,
+                Err(err) => {
+                    model_violation = Some(err);
+                    break;
+                }
+            };
             let truth = oracle.update(update);
-            estimator.update(update);
-            let response = estimator.estimate();
             responses.push(response);
             last_response = response;
 
@@ -202,7 +229,31 @@ impl GameRunner {
             responses,
             truth: oracle.history().to_vec(),
             model_violation,
+            final_reading: None,
         }
+    }
+
+    /// Plays the game against a [`StreamSession`]: the *session's* declared
+    /// model is enforced at ingestion (the config's `model` field is not
+    /// consulted — the session owns its promise), responses are read as
+    /// typed [`Estimate`]s, and the outcome carries the final reading so
+    /// drivers can report guarantee intervals, flips spent and the health
+    /// verdict instead of bare floats.
+    ///
+    /// An adversary that steps outside the session's model has its update
+    /// refused — the sketch never sees it — and the game stops there with
+    /// [`GameOutcome::model_violation`] set, exactly as in
+    /// [`GameRunner::run`].
+    pub fn run_session<A>(&self, session: &mut StreamSession, adversary: &mut A) -> GameOutcome
+    where
+        A: Adversary + ?Sized,
+    {
+        let mut outcome = self.play(adversary, |update| {
+            session.update(update).map_err(|err| err.to_string())?;
+            Ok(session.query().value)
+        });
+        outcome.final_reading = Some(session.query());
+        outcome
     }
 }
 
@@ -312,6 +363,60 @@ mod tests {
         let outcome = GameRunner::new(config).run(&mut estimator, &mut DeletingAdversary);
         assert_eq!(outcome.rounds_played, 0);
         assert!(outcome.model_violation.is_some());
+    }
+
+    #[test]
+    fn session_games_carry_typed_readings() {
+        use ars_core::{Health, RobustBuilder};
+        let mut session = StreamSession::new(
+            StreamModel::InsertionOnly,
+            Box::new(
+                RobustBuilder::new(0.3)
+                    .stream_length(4_000)
+                    .domain(1 << 10)
+                    .seed(3)
+                    .f0(),
+            ),
+        );
+        let updates = UniformGenerator::new(1 << 10, 5).take_updates(3_000);
+        let mut adversary = ReplayAdversary::new(updates);
+        let config = GameConfig::relative(Query::F0, 0.45, 3_000).with_warmup(300);
+        let outcome = GameRunner::new(config).run_session(&mut session, &mut adversary);
+        assert!(
+            !outcome.adversary_won(),
+            "replay stream fooled the robust estimator: max error {}",
+            outcome.max_error
+        );
+        let reading = outcome
+            .final_reading
+            .expect("session games carry a reading");
+        assert_eq!(reading.health, Health::WithinGuarantee);
+        assert!(reading.flips_used > 0, "a growing F0 must publish changes");
+        assert_eq!(reading.value, session.estimate());
+    }
+
+    #[test]
+    fn session_games_stop_and_flag_model_violations() {
+        use ars_core::{Health, RobustBuilder};
+        struct DeletingAdversary;
+        impl Adversary for DeletingAdversary {
+            fn next_update(&mut self, _last: f64) -> Update {
+                Update::delete(1)
+            }
+        }
+        let mut session = StreamSession::new(
+            StreamModel::InsertionOnly,
+            Box::new(RobustBuilder::new(0.3).stream_length(100).f0()),
+        );
+        let config = GameConfig::relative(Query::F0, 0.1, 100);
+        let outcome = GameRunner::new(config).run_session(&mut session, &mut DeletingAdversary);
+        assert_eq!(outcome.rounds_played, 0);
+        assert!(outcome.model_violation.is_some());
+        // The reading records that the promise was violated — the refused
+        // update never reached the sketch, but the guarantee's premise is
+        // void and the session says so.
+        let reading = outcome.final_reading.unwrap();
+        assert_eq!(reading.health, Health::PromiseViolated);
     }
 
     #[test]

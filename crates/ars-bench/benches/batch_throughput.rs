@@ -66,6 +66,29 @@ fn bench_batching(c: &mut Criterion) {
         );
     });
 
+    // The model-enforcing session driver over the same batched hot path:
+    // quantifies what per-update StreamModel validation (an exact
+    // frequency-vector apply per update) costs on top of the engine.
+    group.bench_function("robust_f0_session/update_batch", |b| {
+        b.iter_batched(
+            || {
+                ars_core::StreamSession::new(
+                    ars_stream::StreamModel::InsertionOnly,
+                    Box::new(builder().f0()),
+                )
+            },
+            |mut session| {
+                for chunk in f0_stream.chunks(BATCH) {
+                    session
+                        .update_batch(chunk)
+                        .expect("uniform insertions respect the insertion-only model");
+                }
+                session
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
     group.bench_function("robust_f0_dp/per_update", |b| {
         b.iter_batched(
             || builder().strategy(Strategy::DpAggregation).f0(),

@@ -19,8 +19,8 @@ use ars_adversary::{
     Adversary, AmsAttackAdversary, DistinctDuplicateAdversary, GameConfig, GameRunner,
 };
 use ars_core::{
-    empirical_flip_number, standard_registry, CryptoBackend, FlipNumberBound, RegistryParams,
-    RobustBuilder, RobustEstimator, Strategy,
+    empirical_flip_number, standard_registry, ArsError, CryptoBackend, Estimate, FlipNumberBound,
+    RegistryParams, RobustBuilder, RobustEstimator, Strategy, StreamSession,
 };
 use ars_sketch::ams::{AmsConfig, AmsSketch};
 use ars_sketch::countsketch::{CountSketch, CountSketchConfig};
@@ -215,6 +215,124 @@ pub fn game_contenders(
         .collect()
 }
 
+/// Formats an [`Estimate`] reading's accounting for a report-row note:
+/// `flips <used>/<budget>` (the budget renders `∞` for the crypto route —
+/// never the raw `usize::MAX` sentinel) plus the health verdict.
+#[must_use]
+pub fn reading_note(reading: &Estimate) -> String {
+    format!(
+        "flips {}/{}, {}",
+        reading.flips_used, reading.flip_budget, reading.health
+    )
+}
+
+/// Plays the adversarial game for each session-wrapped robust contender:
+/// the session enforces its declared stream model at ingestion and the
+/// outcome rows consume typed [`Estimate`] readings (guarantee interval,
+/// flip accounting, health) instead of bare floats.
+pub fn game_sessions(
+    contenders: Vec<(String, StreamSession)>,
+    mut make_adversary: impl FnMut() -> Box<dyn Adversary>,
+    config: GameConfig,
+    epsilon: f64,
+    workload: &str,
+) -> Vec<Row> {
+    contenders
+        .into_iter()
+        .map(|(label, mut session)| {
+            let mut adversary = make_adversary();
+            let outcome = GameRunner::new(config).run_session(&mut session, adversary.as_mut());
+            let reading = outcome
+                .final_reading
+                .expect("session games always carry a reading");
+            Row {
+                algorithm: label,
+                workload: workload.to_string(),
+                epsilon,
+                space_bytes: session.estimator().space_bytes(),
+                max_error: outcome.max_error,
+                // A game is only clean if the adversary never forced an
+                // error, never left the model, AND the reading's health is
+                // still trustworthy — a budget-exhausted contender whose
+                // observed errors happened to stay small must not pass
+                // (same condition the E13 registry sweep applies).
+                within_guarantee: !outcome.adversary_won()
+                    && outcome.model_violation.is_none()
+                    && reading.health.is_trustworthy(),
+                notes: format!(
+                    "adversary won: {}, first violation: {:?}, {}",
+                    outcome.adversary_won(),
+                    outcome.first_violation,
+                    reading_note(&reading)
+                ),
+            }
+        })
+        .collect()
+}
+
+/// The chunked stream-and-score core shared by [`score_session`] and
+/// [`score_registry_entry`]: feed each chunk through `step` (which ingests
+/// it and returns the current published estimate), score the estimate
+/// against the exact oracle once the warmup zone (first 10% of the stream)
+/// is past and the truth reaches `min_truth`, and return the worst scored
+/// error. A `step` error aborts the scan.
+fn score_chunked(
+    updates: &[Update],
+    chunk_size: usize,
+    query: Query,
+    additive: bool,
+    min_truth: f64,
+    mut step: impl FnMut(&[Update]) -> Result<f64, ArsError>,
+) -> Result<f64, ArsError> {
+    let chunk_size = chunk_size.max(1);
+    let warmup = updates.len() / 10;
+    let mut oracle = ars_stream::TrackingOracle::new(query);
+    let mut seen = 0usize;
+    let mut worst: f64 = 0.0;
+    for chunk in updates.chunks(chunk_size) {
+        let mut truth = 0.0;
+        for &u in chunk {
+            truth = oracle.update(u);
+        }
+        let estimate = step(chunk)?;
+        seen += chunk.len();
+        if seen < warmup || truth < min_truth {
+            continue;
+        }
+        let err = if additive {
+            (estimate - truth).abs()
+        } else if truth == 0.0 {
+            0.0
+        } else {
+            ((estimate - truth) / truth).abs()
+        };
+        worst = worst.max(err);
+    }
+    Ok(worst)
+}
+
+/// Streams `updates` through a model-enforcing [`StreamSession`] in
+/// `chunk_size` batches (the amortized hot path), scoring each
+/// batch-boundary [`Estimate`] reading against the exact oracle. Scoring
+/// starts once the warmup zone is past and the truth reaches `min_truth`.
+///
+/// Returns the worst scored error and the final reading; a stream that
+/// violates the session's model surfaces as `Err(ArsError::Stream(..))`.
+pub fn score_session(
+    session: &mut StreamSession,
+    updates: &[Update],
+    query: Query,
+    additive: bool,
+    min_truth: f64,
+    chunk_size: usize,
+) -> Result<(f64, Estimate), ArsError> {
+    let worst = score_chunked(updates, chunk_size, query, additive, min_truth, |chunk| {
+        session.update_batch(chunk)?;
+        Ok(session.query().value)
+    })?;
+    Ok((worst, session.query()))
+}
+
 /// Streams `updates` to a registry entry and scores it against the exact
 /// oracle at every observation point, honoring the entry's warmup-free
 /// zone (`min_truth`) and additive/multiplicative scoring. `chunk_size`
@@ -229,36 +347,24 @@ pub fn score_registry_entry(
     updates: &[Update],
     chunk_size: usize,
 ) -> f64 {
-    let chunk_size = chunk_size.max(1);
-    let warmup = updates.len() / 10;
-    let mut oracle = ars_stream::TrackingOracle::new(entry.query);
-    let mut seen = 0usize;
-    let mut worst: f64 = 0.0;
-    for chunk in updates.chunks(chunk_size) {
-        let mut truth = 0.0;
-        for &u in chunk {
-            truth = oracle.update(u);
-        }
-        if chunk_size == 1 {
-            entry.estimator.update(chunk[0]);
-        } else {
-            entry.estimator.update_batch(chunk);
-        }
-        seen += chunk.len();
-        if seen < warmup || truth < entry.min_truth {
-            continue;
-        }
-        let estimate = entry.estimator.estimate();
-        let err = if entry.additive {
-            (estimate - truth).abs()
-        } else if truth == 0.0 {
-            0.0
-        } else {
-            ((estimate - truth) / truth).abs()
-        };
-        worst = worst.max(err);
-    }
-    worst
+    let per_update = chunk_size <= 1;
+    let estimator = &mut entry.estimator;
+    score_chunked(
+        updates,
+        chunk_size,
+        entry.query,
+        entry.additive,
+        entry.min_truth,
+        |chunk| {
+            if per_update {
+                estimator.update(chunk[0]);
+            } else {
+                estimator.update_batch(chunk);
+            }
+            Ok(estimator.estimate())
+        },
+    )
+    .expect("registry scoring steps are infallible")
 }
 
 fn builder(scale: ExperimentScale, epsilon: f64, seed: u64) -> RobustBuilder {
@@ -665,19 +771,22 @@ pub fn attack_ams(scale: ExperimentScale, seed: u64) -> ExperimentReport {
     let rounds = 60 * rows;
     let mut robust_failures = 0usize;
     for trial in 0..scale.trials {
-        let contenders = vec![Contender::robust(
-            "robust F2 (sketch switching) under the same adversary".to_string(),
+        let session = StreamSession::new(
+            ars_stream::StreamModel::InsertionOnly,
             Box::new(
                 RobustBuilder::new(0.5)
                     .stream_length(rounds as u64)
                     .seed(seed + 200 + trial as u64)
                     .fp(2.0),
             ),
-        )];
+        );
         let trial_seed = seed + 300 + trial as u64;
         let config = GameConfig::relative(Query::Fp(2.0), 0.5, rounds).with_warmup(1);
-        let game_rows = game_contenders(
-            contenders,
+        let game_rows = game_sessions(
+            vec![(
+                "robust F2 (sketch switching) under the same adversary".to_string(),
+                session,
+            )],
             || Box::new(AmsAttackAdversary::new(rows, trial_seed)),
             config,
             0.5,
@@ -877,36 +986,57 @@ pub fn crypto_f0_experiment(scale: ExperimentScale, seed: u64) -> ExperimentRepo
     let rounds = scale.stream_length;
     let b = builder(scale, epsilon, seed);
 
-    let contenders: Vec<Contender> = vec![
-        Contender::baseline(
+    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(500);
+    let workload = format!("adaptive dip-hunter, {rounds} rounds");
+
+    // The non-robust baseline has no typed read surface; it goes through
+    // the bare-estimator game loop.
+    report.rows.extend(game_contenders(
+        vec![Contender::baseline(
             "static KMV (non-robust)",
             KmvSketch::new(KmvConfig::for_accuracy(epsilon), seed),
-        ),
-        Contender::robust(
-            "crypto robust F0 (ChaCha PRF)",
-            Box::new(b.seed(seed + 1).crypto_f0()),
-        ),
-        Contender::robust(
-            "crypto robust F0 (random oracle)",
-            Box::new(
-                b.seed(seed + 2)
-                    .strategy(Strategy::Crypto(CryptoBackend::RandomOracle))
-                    .crypto_f0(),
-            ),
-        ),
-        Contender::robust(
-            "robust F0 (sketch switching, for comparison)",
-            Box::new(b.seed(seed + 3).f0()),
-        ),
-    ];
-
-    let config = GameConfig::relative(Query::F0, epsilon * 1.5, rounds).with_warmup(500);
-    report.rows.extend(game_contenders(
-        contenders,
+        )],
         || Box::new(DistinctDuplicateAdversary::new(epsilon).with_min_count(500)),
         config,
         epsilon,
-        &format!("adaptive dip-hunter, {rounds} rounds"),
+        &workload,
+    ));
+
+    // The robust contenders play through model-enforcing sessions and are
+    // scored on typed readings (the crypto rows report a flip budget of ∞).
+    let sessions: Vec<(String, StreamSession)> = vec![
+        (
+            "crypto robust F0 (ChaCha PRF)".to_string(),
+            StreamSession::new(
+                ars_stream::StreamModel::InsertionOnly,
+                Box::new(b.seed(seed + 1).crypto_f0()),
+            ),
+        ),
+        (
+            "crypto robust F0 (random oracle)".to_string(),
+            StreamSession::new(
+                ars_stream::StreamModel::InsertionOnly,
+                Box::new(
+                    b.seed(seed + 2)
+                        .strategy(Strategy::Crypto(CryptoBackend::RandomOracle))
+                        .crypto_f0(),
+                ),
+            ),
+        ),
+        (
+            "robust F0 (sketch switching, for comparison)".to_string(),
+            StreamSession::new(
+                ars_stream::StreamModel::InsertionOnly,
+                Box::new(b.seed(seed + 3).f0()),
+            ),
+        ),
+    ];
+    report.rows.extend(game_sessions(
+        sessions,
+        || Box::new(DistinctDuplicateAdversary::new(epsilon).with_min_count(500)),
+        config,
+        epsilon,
+        &workload,
     ));
     report
 }
@@ -971,26 +1101,35 @@ pub fn registry_sweep(scale: ExperimentScale, seed: u64) -> ExperimentReport {
         domain: scale.domain,
         seed,
     };
-    for mut entry in standard_registry(&params) {
+    for entry in standard_registry(&params) {
         let updates = entry.reference_stream(&params, seed ^ 0x5EED);
-        let worst = score_registry_entry(&mut entry, &updates, 128);
+        let (label, query, additive, min_truth, error_budget) = (
+            entry.label.clone(),
+            entry.query,
+            entry.additive,
+            entry.min_truth,
+            entry.error_budget,
+        );
+        let model = entry.model;
+        // Drive the entry through a model-enforcing session: every update
+        // is validated against the model the guarantee assumes, and every
+        // observation is a typed reading.
+        let mut session = entry.into_session();
+        let (worst, reading) =
+            score_session(&mut session, &updates, query, additive, min_truth, 128)
+                .expect("reference workloads respect their declared stream model");
         report.rows.push(Row {
-            algorithm: entry.label.clone(),
-            workload: format!("{:?}", entry.model),
+            algorithm: label,
+            workload: format!("{model:?}"),
             epsilon: params.epsilon,
-            space_bytes: entry.estimator.space_bytes(),
+            space_bytes: session.estimator().space_bytes(),
             max_error: worst,
-            within_guarantee: worst <= entry.error_budget,
+            within_guarantee: worst <= error_budget && reading.health.is_trustworthy(),
             notes: format!(
-                "strategy {}, copies {}, error budget {:.3}, flips {}/{}",
-                entry.estimator.strategy_name(),
-                entry.copies(),
-                entry.error_budget,
-                entry.estimator.output_changes(),
-                match entry.estimator.flip_budget() {
-                    usize::MAX => "inf".to_string(),
-                    b => b.to_string(),
-                },
+                "strategy {}, copies {}, error budget {error_budget:.3}, {}",
+                session.estimator().strategy_name(),
+                reading.copies,
+                reading_note(&reading),
             ),
         });
     }
@@ -1092,10 +1231,12 @@ pub fn dp_aggregation_experiment(scale: ExperimentScale, seed: u64) -> Experimen
 
     // The same DP estimator under the adaptive dip-hunting adversary that
     // breaks static sketches (and a switching reference), through the
-    // generic game loop. Each contender is held to its own guarantee band:
-    // 2x epsilon for the DP route (grid + republication lag), the usual
-    // 1.3x epsilon for sketch switching — a shared loose threshold would
-    // mask a robustness regression in the tighter baseline.
+    // session-driven game loop: the session enforces the insertion-only
+    // promise at ingestion and the rows consume typed readings. Each
+    // contender is held to its own guarantee band: 2x epsilon for the DP
+    // route (grid + republication lag), the usual 1.3x epsilon for sketch
+    // switching — a shared loose threshold would mask a robustness
+    // regression in the tighter baseline.
     let rounds = scale.stream_length;
     for (label, threshold, estimator) in [
         (
@@ -1111,8 +1252,9 @@ pub fn dp_aggregation_experiment(scale: ExperimentScale, seed: u64) -> Experimen
         ),
     ] {
         let config = GameConfig::relative(Query::F0, threshold, rounds).with_warmup(500);
-        report.rows.extend(game_contenders(
-            vec![Contender::robust(label, estimator)],
+        let session = StreamSession::new(ars_stream::StreamModel::InsertionOnly, estimator);
+        report.rows.extend(game_sessions(
+            vec![(label.to_string(), session)],
             || Box::new(DistinctDuplicateAdversary::new(epsilon).with_min_count(500)),
             config,
             epsilon,

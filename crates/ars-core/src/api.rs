@@ -8,6 +8,9 @@
 use ars_sketch::Estimator;
 use ars_stream::Update;
 
+use crate::error::ArsError;
+use crate::estimate::{Estimate, FlipBudget};
+
 /// An adversarially robust streaming estimator.
 ///
 /// Extends [`Estimator`] (update / estimate / space accounting) with the
@@ -30,6 +33,58 @@ pub trait RobustEstimator: Estimator {
     fn update_batch(&mut self, updates: &[Update]) {
         for &u in updates {
             self.update(u);
+        }
+    }
+
+    /// The current typed reading: the published value plus the guarantee
+    /// interval, flip accounting and [`crate::estimate::Health`] verdict.
+    ///
+    /// [`ars_sketch::Estimator::estimate`] is the thin `query().value`
+    /// shim; callers that need to *trust* a reading should take the whole
+    /// [`Estimate`]. The default derives a multiplicative reading from the
+    /// scalar accessors; [`crate::engine::Robustify`] overrides it with the
+    /// plan-aware version (additive guarantees for entropy), and every
+    /// strategy inherits that one implementation.
+    fn query(&self) -> Estimate {
+        Estimate::new(
+            self.estimate(),
+            self.epsilon(),
+            false,
+            self.output_changes(),
+            FlipBudget::from_raw(self.flip_budget()),
+            self.copies(),
+        )
+    }
+
+    /// Fallible ingestion: processes the update, then reports
+    /// [`ArsError::BudgetExhausted`] if the published output has now
+    /// changed more often than the flip budget — the point past which the
+    /// paper's guarantee no longer covers the readings.
+    ///
+    /// The update **is** applied either way (the estimator keeps running,
+    /// degraded); the error is the signal `estimate()` could never carry.
+    fn try_update(&mut self, update: Update) -> Result<(), ArsError> {
+        self.update(update);
+        self.budget_check()
+    }
+
+    /// Fallible batched ingestion; same contract as
+    /// [`RobustEstimator::try_update`] over the amortized hot path.
+    fn try_update_batch(&mut self, updates: &[Update]) -> Result<(), ArsError> {
+        self.update_batch(updates);
+        self.budget_check()
+    }
+
+    /// Shared budget verdict behind the `try_*` path: `Ok(())` while the
+    /// flip budget holds, [`ArsError::BudgetExhausted`] once it does not.
+    fn budget_check(&self) -> Result<(), ArsError> {
+        if self.budget_exceeded() {
+            Err(ArsError::BudgetExhausted {
+                flips: self.output_changes(),
+                budget: self.flip_budget(),
+            })
+        } else {
+            Ok(())
         }
     }
 
@@ -107,6 +162,10 @@ macro_rules! delegate_robust_estimator {
 
             fn copies(&self) -> usize {
                 $crate::api::RobustEstimator::copies(&self.$field)
+            }
+
+            fn query(&self) -> $crate::estimate::Estimate {
+                $crate::api::RobustEstimator::query(&self.$field)
             }
 
             fn strategy_name(&self) -> &'static str {

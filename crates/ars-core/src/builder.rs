@@ -37,6 +37,7 @@ use ars_sketch::EstimatorFactory;
 use crate::crypto_f0::CryptoRobustF0;
 use crate::dp_aggregation::{DpAggregationConfig, DpAggregationStrategy};
 use crate::engine::{DynRobust, RobustPlan};
+use crate::error::{ArsError, BuildError};
 use crate::flip_number::FlipNumberBound;
 use crate::robust_bounded_deletion::RobustBoundedDeletionFp;
 use crate::robust_entropy::{EntropyMethod, ExponentialFactory, RobustEntropy};
@@ -101,11 +102,20 @@ impl RobustBuilder {
         Self::new(epsilon).delta(0.25)
     }
 
-    /// Starts a builder for `(1 ± ε)` robust estimators.
+    /// Starts a builder for `(1 ± ε)` robust estimators, panicking on an
+    /// invalid ε — a thin wrapper over [`RobustBuilder::try_new`].
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
-        Self {
+        Self::try_new(epsilon).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Starts a builder for `(1 ± ε)` robust estimators, rejecting an
+    /// invalid ε with a typed [`BuildError`] instead of a panic.
+    pub fn try_new(epsilon: f64) -> Result<Self, ArsError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(BuildError::out_of_range("epsilon", epsilon, "(0,1)").into());
+        }
+        Ok(Self {
             epsilon,
             delta: 1e-3,
             stream_length: 1 << 20,
@@ -115,15 +125,23 @@ impl RobustBuilder {
             strategy: None,
             practical_delta_floor: 1e-12,
             entropy_method: EntropyMethod::default(),
-        }
+        })
     }
 
-    /// Overall failure probability δ (default `10⁻³`).
+    /// Overall failure probability δ (default `10⁻³`); panics on an
+    /// invalid value — see [`RobustBuilder::try_delta`].
     #[must_use]
-    pub fn delta(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    pub fn delta(self, delta: f64) -> Self {
+        self.try_delta(delta).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible setter for the failure probability δ.
+    pub fn try_delta(mut self, delta: f64) -> Result<Self, ArsError> {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(BuildError::out_of_range("delta", delta, "(0,1)").into());
+        }
         self.delta = delta;
-        self
+        Ok(self)
     }
 
     /// Maximum stream length `m` (default `2²⁰`).
@@ -162,12 +180,21 @@ impl RobustBuilder {
     }
 
     /// Sets the practical floor on the computation-paths failure
-    /// probability (see the field documentation).
+    /// probability (see the field documentation); panics on an invalid
+    /// value — see [`RobustBuilder::try_practical_delta_floor`].
     #[must_use]
-    pub fn practical_delta_floor(mut self, floor: f64) -> Self {
-        assert!(floor > 0.0 && floor < 1.0);
+    pub fn practical_delta_floor(self, floor: f64) -> Self {
+        self.try_practical_delta_floor(floor)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible setter for the computation-paths failure-probability floor.
+    pub fn try_practical_delta_floor(mut self, floor: f64) -> Result<Self, ArsError> {
+        if !(floor > 0.0 && floor < 1.0) {
+            return Err(BuildError::out_of_range("practical_delta_floor", floor, "(0,1)").into());
+        }
         self.practical_delta_floor = floor;
-        self
+        Ok(self)
     }
 
     /// Selects the static backend for [`RobustBuilder::entropy`].
@@ -201,6 +228,7 @@ impl RobustBuilder {
             max_frequency: self.max_frequency,
             lambda: lambda.max(1),
             value_range: value_range.max(2.0),
+            additive: false,
         }
     }
 
@@ -238,6 +266,13 @@ impl RobustBuilder {
     /// the strategy).
     #[must_use]
     pub fn f0(&self) -> RobustF0 {
+        self.try_f0().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::f0`]. Every strategy admits an `F₀`
+    /// route, so with a validly-constructed builder this cannot currently
+    /// fail; it completes the uniform `try_*` surface.
+    pub fn try_f0(&self) -> Result<RobustF0, ArsError> {
         let lambda = self.f0_flip_number();
         let plan = self.plan(lambda, (self.domain.max(2)) as f64);
         let engine = match self.strategy.unwrap_or_default() {
@@ -274,7 +309,7 @@ impl RobustBuilder {
                 DpAggregationStrategy::default().wrap(factory, &plan, self.seed)
             }
         };
-        RobustF0::from_engine(engine)
+        Ok(RobustF0::from_engine(engine))
     }
 
     /// The flip-number budget of `F_p` (Corollary 3.5).
@@ -288,10 +323,15 @@ impl RobustBuilder {
     /// (Theorems 1.4 / 1.5).
     #[must_use]
     pub fn fp(&self, p: f64) -> RobustFp {
-        assert!(
-            p > 0.0 && p <= 2.0,
-            "p must lie in (0, 2]; use fp_large for p > 2"
-        );
+        self.try_fp(p).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::fp`]: rejects `p` outside `(0, 2]` and
+    /// the (unsound) cryptographic strategy with a typed error.
+    pub fn try_fp(&self, p: f64) -> Result<RobustFp, ArsError> {
+        if !(p > 0.0 && p <= 2.0) {
+            return Err(BuildError::out_of_range("p", p, "(0, 2]; use fp_large for p > 2").into());
+        }
         let lambda = self.fp_flip_number(p);
         let value_range = (self.max_frequency as f64).powf(p.max(1.0)) * self.domain as f64;
         let plan = self.plan(lambda, value_range);
@@ -316,10 +356,14 @@ impl RobustBuilder {
                 };
                 ComputationPathsStrategy.wrap(factory, &plan, self.seed)
             }
-            Strategy::Crypto(_) => panic!(
-                "the cryptographic transformation (Theorem 10.1) applies only to \
-                 duplicate-invariant sketches; there is no crypto route for Fp"
-            ),
+            Strategy::Crypto(_) => {
+                return Err(BuildError::StrategyMismatch {
+                    problem: "Fp estimation (Theorems 1.4/1.5)",
+                    detail: "the cryptographic transformation (Theorem 10.1) applies only to \
+                             duplicate-invariant sketches; there is no crypto route for Fp",
+                }
+                .into())
+            }
             Strategy::DpAggregation => {
                 let copies = DpAggregationConfig::copies_for_flip_budget(lambda);
                 let per_copy_delta = (self.delta / copies as f64).max(1e-4);
@@ -329,7 +373,7 @@ impl RobustBuilder {
                 DpAggregationStrategy::default().wrap(factory, &plan, self.seed)
             }
         };
-        RobustFp::from_engine(engine, p)
+        Ok(RobustFp::from_engine(engine, p))
     }
 
     /// Robust `F_p` for `p > 2` (Theorem 1.7; computation paths over the
@@ -337,8 +381,16 @@ impl RobustBuilder {
     /// `1/δ`).
     #[must_use]
     pub fn fp_large(&self, p: f64) -> RobustFpLarge {
-        assert!(p > 2.0, "use fp for p <= 2");
-        self.reject_non_paths("Fp estimation for p > 2 (Theorem 4.4)");
+        self.try_fp_large(p).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::fp_large`]: rejects `p ≤ 2` and
+    /// non-computation-paths strategies with a typed error.
+    pub fn try_fp_large(&self, p: f64) -> Result<RobustFpLarge, ArsError> {
+        if p <= 2.0 {
+            return Err(BuildError::out_of_range("p", p, "(2, inf); use fp for p <= 2").into());
+        }
+        self.ensure_paths("Fp estimation for p > 2 (Theorem 4.4)")?;
         let lambda = self.fp_flip_number(p);
         let value_range = (self.max_frequency as f64).powf(p) * self.domain as f64;
         let plan = self.plan(lambda, value_range);
@@ -346,7 +398,7 @@ impl RobustBuilder {
             config: FpLargeConfig::for_accuracy(p, self.epsilon / 4.0, self.domain),
         };
         let engine = ComputationPathsStrategy.wrap(factory, &plan, self.seed);
-        RobustFpLarge::from_engine(engine, p)
+        Ok(RobustFpLarge::from_engine(engine, p))
     }
 
     /// Robust `F_p` for turnstile streams promised to have flip number at
@@ -355,9 +407,21 @@ impl RobustBuilder {
     /// left the class.
     #[must_use]
     pub fn turnstile_fp(&self, p: f64, lambda: usize) -> RobustTurnstileFp {
-        assert!(p > 0.0 && p <= 2.0);
-        assert!(lambda >= 1);
-        self.reject_non_paths("turnstile Fp (Theorem 4.3)");
+        self.try_turnstile_fp(p, lambda)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::turnstile_fp`]: rejects `p` outside
+    /// `(0, 2]`, a zero flip-number promise, and non-computation-paths
+    /// strategies with a typed error.
+    pub fn try_turnstile_fp(&self, p: f64, lambda: usize) -> Result<RobustTurnstileFp, ArsError> {
+        if !(p > 0.0 && p <= 2.0) {
+            return Err(BuildError::out_of_range("p", p, "(0, 2]").into());
+        }
+        if lambda < 1 {
+            return Err(BuildError::out_of_range("lambda", lambda as f64, "[1, inf)").into());
+        }
+        self.ensure_paths("turnstile Fp (Theorem 4.3)")?;
         let value_range = (self.max_frequency as f64).powf(p.max(1.0)) * self.domain as f64;
         let plan = self.plan(lambda, value_range);
         let delta0 = ComputationPathsStrategy::required_delta(&plan, self.practical_delta_floor);
@@ -365,7 +429,7 @@ impl RobustBuilder {
             config: PStableConfig::for_tracking(p, self.epsilon / 2.0, delta0),
         };
         let engine = ComputationPathsStrategy.wrap(factory, &plan, self.seed);
-        RobustTurnstileFp::from_engine(engine, p)
+        Ok(RobustTurnstileFp::from_engine(engine, p))
     }
 
     /// The flip-number budget of Lemma 8.2.
@@ -385,9 +449,25 @@ impl RobustBuilder {
     /// `p ∈ [1, 2]`, `α ≥ 1`.
     #[must_use]
     pub fn bounded_deletion_fp(&self, p: f64, alpha: f64) -> RobustBoundedDeletionFp {
-        assert!((1.0..=2.0).contains(&p), "Theorem 8.3 covers p in [1, 2]");
-        assert!(alpha >= 1.0);
-        self.reject_non_paths("bounded-deletion Fp (Theorem 8.3)");
+        self.try_bounded_deletion_fp(p, alpha)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::bounded_deletion_fp`]: rejects `p`
+    /// outside `[1, 2]` (Theorem 8.3 covers p in [1, 2]), `α < 1`, and
+    /// non-computation-paths strategies with a typed error.
+    pub fn try_bounded_deletion_fp(
+        &self,
+        p: f64,
+        alpha: f64,
+    ) -> Result<RobustBoundedDeletionFp, ArsError> {
+        if !(1.0..=2.0).contains(&p) {
+            return Err(BuildError::out_of_range("p", p, "[1, 2] (Theorem 8.3)").into());
+        }
+        if alpha < 1.0 {
+            return Err(BuildError::out_of_range("alpha", alpha, "[1, inf)").into());
+        }
+        self.ensure_paths("bounded-deletion Fp (Theorem 8.3)")?;
         let lambda = self.bounded_deletion_flip_number(p, alpha);
         let value_range = (self.max_frequency as f64).powf(p) * self.domain as f64;
         let plan = self.plan(lambda, value_range);
@@ -396,7 +476,7 @@ impl RobustBuilder {
             config: PStableConfig::for_tracking(p, self.epsilon / 2.0, delta0),
         };
         let engine = ComputationPathsStrategy.wrap(factory, &plan, self.seed);
-        RobustBoundedDeletionFp::from_engine(engine, p, alpha)
+        Ok(RobustBoundedDeletionFp::from_engine(engine, p, alpha))
     }
 
     /// The flip-number budget of `2^{H}` (Proposition 7.2).
@@ -410,13 +490,22 @@ impl RobustBuilder {
     /// `2^{H(f)}` multiplicatively through exhaustible sketch switching.
     #[must_use]
     pub fn entropy(&self) -> RobustEntropy {
+        self.try_entropy().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::entropy`]: rejects every strategy but
+    /// sketch switching with a typed error.
+    pub fn try_entropy(&self) -> Result<RobustEntropy, ArsError> {
         if let Some(strategy) = self.strategy {
-            assert!(
-                matches!(strategy, Strategy::SketchSwitching),
-                "entropy (Theorem 7.3) robustifies via sketch switching only: entropy is \
-                 not additive over stream suffixes, so neither the restart optimisation \
-                 nor computation paths applies"
-            );
+            if !matches!(strategy, Strategy::SketchSwitching) {
+                return Err(BuildError::StrategyMismatch {
+                    problem: "entropy (Theorem 7.3)",
+                    detail: "robustifies via sketch switching only: entropy is not additive \
+                             over stream suffixes, so neither the restart optimisation nor \
+                             computation paths applies",
+                }
+                .into());
+            }
         }
         // Multiplicative parameter for the exponential of the entropy: an
         // eps-additive error in bits is a 2^{±eps} multiplicative error.
@@ -424,6 +513,9 @@ impl RobustBuilder {
         let lambda = self.entropy_flip_number();
         let mut plan = self.plan(lambda, (self.stream_length.max(4)) as f64);
         plan.rounding_epsilon = mult_epsilon;
+        // The user-facing guarantee is ε additive bits (the engine tracks
+        // 2^H multiplicatively, but readings report the entropy itself).
+        plan.additive = true;
         // Entropy is not additive over stream suffixes, so the restart
         // optimization of Theorem 4.1 does not apply: Theorem 7.3 uses the
         // plain (exhaustible) sketch-switching wrapper of Lemma 3.6. The
@@ -464,20 +556,30 @@ impl RobustBuilder {
                 strategy.wrap(factory, &plan, self.seed)
             }
         };
-        RobustEntropy::from_engine(engine, self.entropy_method)
+        Ok(RobustEntropy::from_engine(engine, self.entropy_method))
     }
 
     /// Robust `L₂` heavy hitters / point queries (Theorem 1.9 / 6.5).
     #[must_use]
     pub fn heavy_hitters(&self) -> RobustL2HeavyHitters {
+        self.try_heavy_hitters()
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::heavy_hitters`]: rejects every strategy
+    /// but sketch switching with a typed error.
+    pub fn try_heavy_hitters(&self) -> Result<RobustL2HeavyHitters, ArsError> {
         if let Some(strategy) = self.strategy {
-            assert!(
-                matches!(strategy, Strategy::SketchSwitching),
-                "L2 heavy hitters (Theorem 6.5) robustifies via sketch switching only: \
-                 the structure freezes point-query snapshots per published norm change"
-            );
+            if !matches!(strategy, Strategy::SketchSwitching) {
+                return Err(BuildError::StrategyMismatch {
+                    problem: "L2 heavy hitters (Theorem 6.5)",
+                    detail: "robustifies via sketch switching only: the structure freezes \
+                             point-query snapshots per published norm change",
+                }
+                .into());
+            }
         }
-        RobustL2HeavyHitters::from_builder(self)
+        Ok(RobustL2HeavyHitters::from_builder(self))
     }
 
     /// Space-optimal robust distinct elements from cryptographic
@@ -485,20 +587,30 @@ impl RobustBuilder {
     /// sketch, publish raw.
     #[must_use]
     pub fn crypto_f0(&self) -> CryptoRobustF0 {
+        self.try_crypto_f0().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`RobustBuilder::crypto_f0`]: rejects a conflicting
+    /// (non-crypto) strategy selection with a typed error.
+    pub fn try_crypto_f0(&self) -> Result<CryptoRobustF0, ArsError> {
         let backend = match self.strategy {
             None => CryptoBackend::default(),
             Some(Strategy::Crypto(backend)) => backend,
             Some(Strategy::SketchSwitching)
             | Some(Strategy::ComputationPaths)
-            | Some(Strategy::DpAggregation) => panic!(
-                "crypto_f0 is the Theorem 10.1 construction; select the backend with \
-                 Strategy::Crypto(..) or leave the strategy unset"
-            ),
+            | Some(Strategy::DpAggregation) => {
+                return Err(BuildError::StrategyMismatch {
+                    problem: "crypto_f0",
+                    detail: "crypto_f0 is the Theorem 10.1 construction; select the backend \
+                             with Strategy::Crypto(..) or leave the strategy unset",
+                }
+                .into())
+            }
         };
         let plan = self.plan(self.f0_flip_number(), (self.domain.max(2)) as f64);
         let factory = self.crypto_f0_factory();
         let engine = CryptoMaskStrategy { backend }.wrap(factory, &plan, self.seed);
-        CryptoRobustF0::from_engine(engine, backend)
+        Ok(CryptoRobustF0::from_engine(engine, backend))
     }
 
     /// The strong-tracking KMV ensemble behind the pool-based `F₀` routes
@@ -534,13 +646,16 @@ impl RobustBuilder {
         }
     }
 
-    fn reject_non_paths(&self, problem: &str) {
+    fn ensure_paths(&self, problem: &'static str) -> Result<(), BuildError> {
         if let Some(strategy) = self.strategy {
-            assert!(
-                matches!(strategy, Strategy::ComputationPaths),
-                "{problem} robustifies via computation paths only"
-            );
+            if !matches!(strategy, Strategy::ComputationPaths) {
+                return Err(BuildError::StrategyMismatch {
+                    problem,
+                    detail: "robustifies via computation paths only",
+                });
+            }
         }
+        Ok(())
     }
 }
 

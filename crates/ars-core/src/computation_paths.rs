@@ -278,7 +278,9 @@ mod tests {
         let inner_space = factory.build(0).space_bytes();
         let config = f0_config(10);
         let wrapped = Robustify::new(ComputationPaths::new(&factory, config, 0), plan_for(config));
-        assert!(wrapped.space_bytes() <= inner_space + 128);
+        // Core bookkeeping (32) + the engine's plan-plus-rounder overhead
+        // (size_of::<RobustPlan>() + 32): well under 160 bytes total.
+        assert!(wrapped.space_bytes() <= inner_space + 160);
     }
 
     #[test]

@@ -123,6 +123,14 @@ impl CryptoRobustF0 {
         ars_sketch::Estimator::estimate(&self.engine)
     }
 
+    /// The current typed reading. The crypto route needs no flip budget,
+    /// so the reading carries [`crate::estimate::FlipBudget::Unbounded`]
+    /// (rendered `∞`) rather than the old `usize::MAX` sentinel.
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
+    }
+
     /// The keyed-function backend in use.
     #[must_use]
     pub fn backend(&self) -> CryptoBackend {

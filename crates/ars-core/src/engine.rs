@@ -29,6 +29,8 @@ use ars_sketch::Estimator;
 use ars_stream::Update;
 
 use crate::api::RobustEstimator;
+use crate::error::{ArsError, BuildError};
+use crate::estimate::{Estimate, FlipBudget};
 use crate::rounding::EpsilonRounder;
 
 /// Derives the seed for copy `index` of a pool strategy from the pool's
@@ -165,6 +167,10 @@ pub struct RobustPlan {
     /// Bound `T` with tracked values in `[1/T, T] ∪ {0}` (drives the
     /// computation-paths union bound).
     pub value_range: f64,
+    /// Whether the user-facing guarantee is additive (entropy, in bits)
+    /// rather than multiplicative. Shapes the interval
+    /// [`crate::estimate::Estimate`] readings report.
+    pub additive: bool,
 }
 
 impl RobustPlan {
@@ -182,6 +188,7 @@ impl RobustPlan {
             max_frequency: 1 << 20,
             lambda: lambda.max(1),
             value_range: 1e18,
+            additive: false,
         }
     }
 }
@@ -204,20 +211,31 @@ pub struct Robustify<C: StrategyCore = Box<dyn StrategyCore + Send>> {
 pub type DynRobust = Robustify<Box<dyn StrategyCore + Send>>;
 
 impl<C: StrategyCore> Robustify<C> {
-    /// Assembles an engine from a strategy core and its plan.
+    /// Assembles an engine from a strategy core and its plan, panicking on
+    /// an invalid plan — a thin wrapper over [`Robustify::try_new`].
     #[must_use]
     pub fn new(core: C, plan: RobustPlan) -> Self {
-        assert!(
-            plan.rounding_epsilon > 0.0 && plan.rounding_epsilon < 1.0,
-            "rounding epsilon must be in (0,1)"
-        );
+        Self::try_new(core, plan).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Assembles an engine from a strategy core and its plan, rejecting an
+    /// invalid plan with a typed error instead of a panic.
+    pub fn try_new(core: C, plan: RobustPlan) -> Result<Self, ArsError> {
+        if !(plan.rounding_epsilon > 0.0 && plan.rounding_epsilon < 1.0) {
+            return Err(BuildError::out_of_range(
+                "rounding epsilon",
+                plan.rounding_epsilon,
+                "(0,1)",
+            )
+            .into());
+        }
         let mode = core.rounding_mode();
-        Self {
+        Ok(Self {
             core,
             plan,
             rounder: EpsilonRounder::new(plan.rounding_epsilon / 2.0),
             mode,
-        }
+        })
     }
 
     /// The plan this estimator was provisioned from.
@@ -236,6 +254,15 @@ impl<C: StrategyCore> Robustify<C> {
     #[must_use]
     pub fn rounding_mode(&self) -> RoundingMode {
         self.mode
+    }
+
+    /// The currently published value (ε-rounded in windowed mode, raw in
+    /// raw mode) — the `value` field of every [`Estimate`] reading.
+    fn published_value(&self) -> f64 {
+        match self.mode {
+            RoundingMode::Raw => self.core.raw_estimate(),
+            RoundingMode::Windowed => self.rounder.published().unwrap_or(0.0),
+        }
     }
 
     /// Re-derives the published output from the current raw estimate,
@@ -271,11 +298,10 @@ impl<C: StrategyCore> Estimator for Robustify<C> {
         self.refresh_publication();
     }
 
+    /// The thin `query().value` shim: the bare float is a projection of
+    /// the typed reading, never a separate code path.
     fn estimate(&self) -> f64 {
-        match self.mode {
-            RoundingMode::Raw => self.core.raw_estimate(),
-            RoundingMode::Windowed => self.rounder.published().unwrap_or(0.0),
-        }
+        RobustEstimator::query(self).value
     }
 
     fn space_bytes(&self) -> usize {
@@ -317,6 +343,37 @@ impl<C: StrategyCore> RobustEstimator for Robustify<C> {
 
     fn copies(&self) -> usize {
         self.core.copies()
+    }
+
+    /// The one plan-aware implementation of the typed read surface: every
+    /// strategy — switching pools, computation paths, the crypto route, DP
+    /// aggregation — inherits this through the engine, and the problem
+    /// shims forward to it.
+    ///
+    /// Additive plans (entropy) track the *exponential* `2^H` through the
+    /// multiplicative rounding machinery — the Section 7 reduction — so the
+    /// reading takes the logarithm back to bits here, exactly once, and
+    /// reports the additive `± ε` interval the user-facing guarantee is
+    /// stated in.
+    fn query(&self) -> Estimate {
+        let published = self.published_value();
+        let value = if self.plan.additive {
+            if published <= 0.0 {
+                0.0
+            } else {
+                published.log2().max(0.0)
+            }
+        } else {
+            published
+        };
+        Estimate::new(
+            value,
+            self.plan.epsilon,
+            self.plan.additive,
+            self.output_changes(),
+            FlipBudget::from_raw(self.plan.lambda),
+            self.core.copies(),
+        )
     }
 
     fn strategy_name(&self) -> &'static str {
@@ -465,6 +522,64 @@ mod tests {
         }
         assert_eq!(engine.flip_budget(), 3);
         assert!(engine.budget_exceeded());
+        // The typed surfaces agree: the reading reports BudgetExhausted and
+        // the fallible path surfaces the typed error (while still applying
+        // the update).
+        assert_eq!(
+            RobustEstimator::query(&engine).health,
+            crate::estimate::Health::BudgetExhausted
+        );
+        let before = engine.core().count;
+        let verdict = engine.try_update(Update::insert(1));
+        assert!(matches!(
+            verdict,
+            Err(ArsError::BudgetExhausted { budget: 3, .. })
+        ));
+        assert_eq!(engine.core().count, before + 1, "update must still apply");
+    }
+
+    #[test]
+    fn query_readings_match_the_float_surface() {
+        let mut engine = Robustify::new(CountingCore::windowed(), plan(0.2));
+        for i in 1..=1_000u64 {
+            engine.update(Update::insert(i));
+        }
+        let reading = RobustEstimator::query(&engine);
+        assert_eq!(reading.value, engine.estimate());
+        assert_eq!(reading.flips_used, engine.output_changes());
+        assert_eq!(
+            reading.flip_budget,
+            crate::estimate::FlipBudget::Bounded(1_000)
+        );
+        assert!(!reading.guarantee.additive);
+        assert!(
+            reading.guarantee.lower <= reading.value && reading.value <= reading.guarantee.upper
+        );
+        assert!(engine.try_update_batch(&[Update::insert(7)]).is_ok());
+    }
+
+    #[test]
+    fn additive_plans_answer_in_log_scale() {
+        // An additive plan models the entropy reduction: the core tracks
+        // the exponential 2^H, the reading answers in bits with a ± ε
+        // interval.
+        let mut additive_plan = plan(0.3);
+        additive_plan.additive = true;
+        let mut engine = Robustify::new(CountingCore::windowed(), additive_plan);
+        for i in 1..=64u64 {
+            engine.update(Update::insert(i));
+        }
+        let reading = RobustEstimator::query(&engine);
+        assert_eq!(engine.estimate(), reading.value, "estimate is the shim");
+        assert!(reading.guarantee.additive);
+        // The published exponential sits within the rounding window of 64,
+        // so the bits reading sits within log2(1.15) of 6.
+        assert!(
+            (reading.value - 6.0).abs() <= 0.5,
+            "bits reading {} far from log2(64)",
+            reading.value
+        );
+        assert!((reading.guarantee.upper - reading.value - 0.3).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Typed errors for the robust-estimation surface: [`ArsError`] and
+//! [`BuildError`].
+//!
+//! The pre-PR-3 surface reported every failure by panicking (builder
+//! `assert!`s) or not at all (stream-model violations were only enforced
+//! when a caller remembered to wire up a
+//! [`ars_stream::StreamValidator`]). A serving API must return typed,
+//! recoverable errors instead; this module is that vocabulary:
+//!
+//! * [`BuildError`] — structured builder/parameter validation (field,
+//!   value, allowed range), produced by the `try_*` constructors on
+//!   [`crate::builder::RobustBuilder`]. The panicking constructors remain
+//!   as thin wrappers that `panic!("{error}")`.
+//! * [`ArsError`] — the top-level error: a build failure, a stream-model
+//!   violation (wrapping [`ars_stream::StreamError`], raised by
+//!   [`crate::session::StreamSession`] at ingestion), or flip-budget
+//!   exhaustion (raised by the fallible
+//!   [`crate::api::RobustEstimator::try_update`] path).
+
+use std::fmt;
+
+use ars_stream::StreamError;
+
+/// Structured builder-validation failure: which field was rejected, the
+/// offending value, and the allowed range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A numeric parameter fell outside its allowed range.
+    OutOfRange {
+        /// The parameter name (`"epsilon"`, `"delta"`, `"p"`, …).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the allowed range, e.g. `"(0,1)"`.
+        allowed: &'static str,
+    },
+    /// The selected [`crate::builder::Strategy`] does not apply to the
+    /// requested problem (e.g. the cryptographic route for `F_p`).
+    StrategyMismatch {
+        /// The problem whose constructor rejected the strategy.
+        problem: &'static str,
+        /// Why the combination is unsound, in the paper's terms.
+        detail: &'static str,
+    },
+}
+
+impl BuildError {
+    /// Convenience constructor for range rejections.
+    #[must_use]
+    pub fn out_of_range(field: &'static str, value: f64, allowed: &'static str) -> Self {
+        Self::OutOfRange {
+            field,
+            value,
+            allowed,
+        }
+    }
+}
+
+impl fmt::Display for BuildError {
+    // Several #[should_panic] tests match substrings of these messages
+    // through the panicking builder wrappers — e.g. "epsilon must be in
+    // (0,1)" — so reword with care.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfRange {
+                field,
+                value,
+                allowed,
+            } => {
+                write!(f, "{field} must be in {allowed} (got {value})")
+            }
+            Self::StrategyMismatch { problem, detail } => write!(f, "{problem}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The top-level error of the robust-estimation surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArsError {
+    /// An update violated the declared stream model (Kaplan et al. 2021
+    /// shows what goes wrong when the promise is silently broken; the
+    /// [`crate::session::StreamSession`] driver refuses the update and
+    /// surfaces this instead).
+    Stream(StreamError),
+    /// Builder/parameter validation failed.
+    Build(BuildError),
+    /// The published output has changed more often than the provisioned
+    /// flip budget λ: the estimator is past the regime its theorem covers
+    /// and readings carry [`crate::estimate::Health::BudgetExhausted`].
+    BudgetExhausted {
+        /// Output changes spent so far.
+        flips: usize,
+        /// The provisioned budget λ.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ArsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Stream(err) => write!(f, "stream model violation: {err}"),
+            Self::Build(err) => write!(f, "invalid configuration: {err}"),
+            Self::BudgetExhausted { flips, budget } => write!(
+                f,
+                "flip budget exhausted: {flips} output changes against a budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Stream(err) => Some(err),
+            Self::Build(err) => Some(err),
+            Self::BudgetExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<StreamError> for ArsError {
+    fn from(err: StreamError) -> Self {
+        Self::Stream(err)
+    }
+}
+
+impl From<BuildError> for ArsError {
+    fn from(err: BuildError) -> Self {
+        Self::Build(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::Update;
+
+    #[test]
+    fn build_error_display_names_field_value_and_range() {
+        let err = BuildError::out_of_range("epsilon", 1.5, "(0,1)");
+        let text = err.to_string();
+        assert!(text.contains("epsilon must be in (0,1)"));
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn strategy_mismatch_display_names_the_problem() {
+        let err = BuildError::StrategyMismatch {
+            problem: "Fp estimation",
+            detail: "there is no crypto route for Fp",
+        };
+        assert!(err.to_string().contains("no crypto route for Fp"));
+    }
+
+    #[test]
+    fn ars_error_wraps_and_sources() {
+        use std::error::Error;
+        let stream = ArsError::from(StreamError::NonPositiveInsertion {
+            update: Update::delete(3),
+        });
+        assert!(matches!(stream, ArsError::Stream(_)));
+        assert!(stream.source().is_some());
+        assert!(stream.to_string().contains("stream model violation"));
+
+        let build = ArsError::from(BuildError::out_of_range("delta", 0.0, "(0,1)"));
+        assert!(matches!(build, ArsError::Build(_)));
+        assert!(build.to_string().contains("delta must be in (0,1)"));
+
+        let budget = ArsError::BudgetExhausted {
+            flips: 11,
+            budget: 10,
+        };
+        assert!(budget.source().is_none());
+        assert!(budget.to_string().contains("11"));
+        assert!(budget.to_string().contains("10"));
+    }
+}

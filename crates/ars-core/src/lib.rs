@@ -38,30 +38,46 @@
 //! * [`registry`] — every problem × strategy as `Box<dyn RobustEstimator>`
 //!   plus scoring metadata, so benches, games and conformance tests drive
 //!   all of them through one generic loop.
+//! * [`estimate`] / [`error`] / [`session`] — the typed serving surface:
+//!   [`estimate::Estimate`] readings (value, guarantee interval, flip
+//!   accounting, [`estimate::Health`]) from
+//!   [`api::RobustEstimator::query`], typed [`error::ArsError`] failures
+//!   from the fallible `try_*` builder and ingestion paths, and the
+//!   [`session::StreamSession`] driver that enforces the declared
+//!   [`ars_stream::StreamModel`] on every update.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use ars_core::{RobustBuilder, RobustEstimator, Strategy};
-//! use ars_stream::Update;
+//! use ars_core::{ArsError, Health, RobustBuilder, RobustEstimator, StreamSession, Strategy};
+//! use ars_stream::{StreamModel, Update};
 //!
-//! // One builder for every problem.
+//! // One builder for every problem (each constructor has a fallible
+//! // `try_*` twin returning `ArsError` instead of panicking).
 //! let builder = RobustBuilder::new(0.2).stream_length(10_000).seed(7);
-//! let mut f0 = builder.f0();                                   // Thm 1.1
+//! let f0 = builder.f0();                                        // Thm 1.1
 //! let mut f2 = builder.strategy(Strategy::ComputationPaths).fp(2.0); // Thm 1.5
 //!
-//! // Per-update tracking...
+//! // The serving surface: a session enforcing the promised stream model,
+//! // answering typed readings instead of bare floats.
+//! let mut session = StreamSession::new(StreamModel::InsertionOnly, Box::new(f0));
 //! for i in 0..1_000u64 {
-//!     f0.insert(i % 250);
+//!     session.insert(i % 250).unwrap();
 //! }
-//! assert!((f0.estimate() - 250.0).abs() <= 0.25 * 250.0);
+//! let reading = session.query();
+//! assert!((reading.value - 250.0).abs() <= 0.25 * 250.0);
+//! assert_eq!(reading.health, Health::WithinGuarantee);
+//! assert!(matches!(
+//!     session.update(Update::delete(1)),            // breaks the promise
+//!     Err(ArsError::Stream(_))
+//! ));
 //!
-//! // ...or the batched hot path, and trait-object-driven loops.
+//! // The batched hot path and trait-object-driven loops still apply.
 //! let batch: Vec<Update> = (0..1_000u64).map(|i| Update::insert(i % 250)).collect();
 //! let mut boxed: Vec<Box<dyn RobustEstimator>> = vec![Box::new(f2)];
 //! for estimator in &mut boxed {
 //!     estimator.update_batch(&batch);
-//!     assert!(estimator.estimate() > 0.0);
+//!     assert!(estimator.query().value > 0.0);
 //! }
 //! ```
 //!
@@ -93,6 +109,8 @@ pub mod computation_paths;
 pub mod crypto_f0;
 pub mod dp_aggregation;
 pub mod engine;
+pub mod error;
+pub mod estimate;
 pub mod flip_number;
 pub mod registry;
 pub mod robust_bounded_deletion;
@@ -102,6 +120,7 @@ pub mod robust_fp;
 pub mod robust_heavy_hitters;
 pub mod robust_turnstile;
 pub mod rounding;
+pub mod session;
 pub mod sketch_switch;
 pub mod strategy;
 
@@ -111,6 +130,8 @@ pub use computation_paths::{ComputationPaths, ComputationPathsConfig};
 pub use crypto_f0::{CryptoBackend, CryptoRobustF0, CryptoRobustF0Builder};
 pub use dp_aggregation::{DpAggregation, DpAggregationConfig, DpAggregationStrategy};
 pub use engine::{DynRobust, RobustPlan, Robustify, RoundingMode, StrategyCore};
+pub use error::{ArsError, BuildError};
+pub use estimate::{Estimate, FlipBudget, Guarantee, Health};
 pub use flip_number::{empirical_flip_number, FlipNumberBound};
 pub use registry::{standard_registry, RegistryEntry, RegistryParams};
 pub use robust_bounded_deletion::{RobustBoundedDeletionFp, RobustBoundedDeletionFpBuilder};
@@ -120,6 +141,7 @@ pub use robust_fp::{FpMethod, RobustFp, RobustFpBuilder, RobustFpLarge, RobustFp
 pub use robust_heavy_hitters::{RobustL2HeavyHitters, RobustL2HeavyHittersBuilder};
 pub use robust_turnstile::{RobustTurnstileFp, RobustTurnstileFpBuilder};
 pub use rounding::{round_to_power, EpsilonRounder};
+pub use session::StreamSession;
 pub use sketch_switch::{SketchSwitch, SketchSwitchConfig, SwitchStrategy};
 pub use strategy::{
     ComputationPathsStrategy, CryptoMaskStrategy, PoolPolicy, RobustStrategy, SketchSwitchStrategy,

@@ -19,6 +19,7 @@ use crate::api::RobustEstimator;
 use crate::builder::{RobustBuilder, Strategy};
 use crate::flip_number::FlipNumberBound;
 use crate::robust_entropy::EntropyMethod;
+use crate::session::StreamSession;
 use crate::strategy::CryptoBackend;
 
 /// Shared parameters for one registry instantiation.
@@ -135,6 +136,15 @@ impl RegistryEntry {
     #[must_use]
     pub fn space_bytes(&self) -> usize {
         self.estimator.space_bytes()
+    }
+
+    /// Wraps the entry's estimator in a [`StreamSession`] enforcing the
+    /// stream model its guarantee assumes — the driver-facing way to run a
+    /// registry entry: updates are validated at ingestion and readings come
+    /// back as typed [`crate::estimate::Estimate`]s.
+    #[must_use]
+    pub fn into_session(self) -> StreamSession {
+        StreamSession::new(self.model, self.estimator)
     }
 
     /// Generates this entry's reference stream.

@@ -107,6 +107,13 @@ impl RobustBoundedDeletionFp {
         ars_sketch::Estimator::estimate(&self.engine)
     }
 
+    /// The current typed reading: value, guarantee interval, flip
+    /// accounting and health (see [`crate::estimate::Estimate`]).
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
+    }
+
     /// The deletion parameter α.
     #[must_use]
     pub fn alpha(&self) -> f64 {

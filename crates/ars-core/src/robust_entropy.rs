@@ -172,15 +172,19 @@ impl RobustEntropy {
         self.update(Update::insert(item));
     }
 
-    /// The current entropy estimate in bits.
+    /// The current entropy estimate in bits. The engine's additive plan
+    /// already takes the `2^H → H` logarithm (the Section 7 reduction), so
+    /// this is the engine's published value as-is.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        let exp = Estimator::estimate(&self.engine);
-        if exp <= 0.0 {
-            0.0
-        } else {
-            exp.log2().max(0.0)
-        }
+        Estimator::estimate(&self.engine)
+    }
+
+    /// The current typed reading: entropy in bits with the additive `± ε`
+    /// guarantee interval.
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
     }
 
     /// The static backend in use.
@@ -202,8 +206,10 @@ impl RobustEntropy {
     }
 }
 
-// Entropy answers in bits while its engine tracks 2^H, so the trait impls
-// apply the log transform by hand instead of using the delegation macro.
+// Entropy answers in bits while its engine tracks 2^H; the engine's
+// additive plan applies the log transform in `query()`, and these impls
+// forward to it (kept by hand rather than via the delegation macro for the
+// inherent-method naming).
 impl Estimator for RobustEntropy {
     fn update(&mut self, update: Update) {
         RobustEntropy::update(self, update);
@@ -237,6 +243,10 @@ impl RobustEstimator for RobustEntropy {
 
     fn copies(&self) -> usize {
         RobustEstimator::copies(&self.engine)
+    }
+
+    fn query(&self) -> crate::estimate::Estimate {
+        RobustEntropy::query(self)
     }
 
     fn strategy_name(&self) -> &'static str {

@@ -140,10 +140,18 @@ impl RobustF0 {
         self.update(Update::insert(item));
     }
 
-    /// The current `(1 ± ε)` estimate of the number of distinct elements.
+    /// The current `(1 ± ε)` estimate of the number of distinct elements —
+    /// the bare `value` of [`RobustF0::query`].
     #[must_use]
     pub fn estimate(&self) -> f64 {
         ars_sketch::Estimator::estimate(&self.engine)
+    }
+
+    /// The current typed reading: value, guarantee interval, flip
+    /// accounting and health (see [`crate::estimate::Estimate`]).
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
     }
 
     /// The approximation parameter this estimator was built for.

@@ -139,6 +139,13 @@ impl RobustFp {
         ars_sketch::Estimator::estimate(&self.engine)
     }
 
+    /// The current typed reading: value, guarantee interval, flip
+    /// accounting and health (see [`crate::estimate::Estimate`]).
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
+    }
+
     /// The current estimate of the norm `‖f‖_p`.
     #[must_use]
     pub fn norm_estimate(&self) -> f64 {
@@ -261,6 +268,13 @@ impl RobustFpLarge {
     #[must_use]
     pub fn estimate(&self) -> f64 {
         ars_sketch::Estimator::estimate(&self.engine)
+    }
+
+    /// The current typed reading: value, guarantee interval, flip
+    /// accounting and health (see [`crate::estimate::Estimate`]).
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
     }
 
     /// The moment order `p`.

@@ -213,6 +213,13 @@ impl RobustL2HeavyHitters {
         self.switches
     }
 
+    /// The current typed reading of the scalar facet (the robust `‖f‖₂`
+    /// estimate), with switch-time accounting as the flip usage.
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(self)
+    }
+
     /// The approximation parameter ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {

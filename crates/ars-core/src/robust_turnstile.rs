@@ -106,6 +106,14 @@ impl RobustTurnstileFp {
         ars_sketch::Estimator::estimate(&self.engine)
     }
 
+    /// The current typed reading; its health turns
+    /// [`crate::estimate::Health::BudgetExhausted`] exactly when
+    /// [`RobustTurnstileFp::budget_exceeded`] — the stream left `S_λ`.
+    #[must_use]
+    pub fn query(&self) -> crate::estimate::Estimate {
+        RobustEstimator::query(&self.engine)
+    }
+
     /// The promised flip-number budget λ.
     #[must_use]
     pub fn lambda(&self) -> usize {

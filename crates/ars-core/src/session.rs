@@ -1,0 +1,373 @@
+//! [`StreamSession`]: a model-enforcing ingestion driver around any robust
+//! estimator.
+//!
+//! Every theorem in the paper is conditional on a stream *promise* —
+//! insertion-only for Sections 4–7, a bounded flip number for turnstile
+//! streams (Theorem 4.3), the α-bounded-deletion invariant for Section 8.
+//! Kaplan et al. 2021 (arXiv:2101.10836) shows these promises are not
+//! pedantry: separations are real once the stream leaves the promised
+//! class. Before this module, nothing enforced the promise at ingestion —
+//! [`ars_stream::StreamValidator`] existed but had to be wired up by hand,
+//! and the estimators silently ingested whatever they were fed.
+//!
+//! A [`StreamSession`] owns a validator and a boxed
+//! [`RobustEstimator`]; every update is checked against the declared
+//! [`StreamModel`] *before* it reaches the sketch. A violating update is
+//! refused with [`ArsError::Stream`] (the sketch never sees it), the
+//! violation is recorded, and every subsequent [`StreamSession::query`]
+//! reading reports [`Health::PromiseViolated`] — the guarantee's premise is
+//! void and the session says so, instead of returning a bare float that
+//! looks as trustworthy as any other.
+//!
+//! ```
+//! use ars_core::{ArsError, Health, RobustBuilder, StreamSession};
+//! use ars_stream::{StreamModel, Update};
+//!
+//! let mut session = StreamSession::new(
+//!     StreamModel::InsertionOnly,
+//!     Box::new(RobustBuilder::new(0.2).stream_length(1_000).f0()),
+//! );
+//! for i in 0..100u64 {
+//!     session.update(Update::insert(i)).unwrap();
+//! }
+//! // A deletion violates the insertion-only promise: typed error, the
+//! // sketch is untouched, and the reading is flagged.
+//! assert!(matches!(
+//!     session.update(Update::delete(1)),
+//!     Err(ArsError::Stream(_))
+//! ));
+//! assert_eq!(session.query().health, Health::PromiseViolated);
+//! ```
+
+use ars_stream::{FrequencyVector, StreamError, StreamModel, StreamValidator, Update};
+
+use crate::api::RobustEstimator;
+use crate::error::ArsError;
+use crate::estimate::{Estimate, Health};
+
+/// A model-enforcing ingestion session: one declared [`StreamModel`], one
+/// robust estimator, every update validated before it is ingested.
+///
+/// The session exposes the engine's batched hot path
+/// ([`StreamSession::update_batch`]): the whole batch is validated against
+/// the evolving exact state first, then handed to
+/// [`RobustEstimator::update_batch`] in one amortized pass.
+///
+/// # Memory
+///
+/// Validation is exact: the session's [`StreamValidator`] maintains the
+/// signed and absolute frequency vectors of the accepted prefix, which is
+/// `O(distinct items)` memory on top of the estimator's sublinear sketch.
+/// That is the price of *enforcing* the α-bounded-deletion invariant and
+/// magnitude bounds (both are statements about the exact vector), and it
+/// is what [`StreamSession::frequency`] hands to scoring drivers. Callers
+/// who need the sketch's space story end-to-end should count
+/// `estimator().space_bytes()` *and* the validator state; a stateless
+/// fast-path validator for the models that allow one (insertion-only or
+/// unbounded turnstile) is future work recorded in ROADMAP.md.
+pub struct StreamSession {
+    validator: StreamValidator,
+    estimator: Box<dyn RobustEstimator>,
+    /// First recorded model violation; sticky — once the promise is broken
+    /// the guarantee's premise is void for the rest of the session.
+    violation: Option<StreamError>,
+    rejected: usize,
+}
+
+impl StreamSession {
+    /// Opens a session enforcing `model` over `estimator`, with no
+    /// magnitude or length bounds.
+    #[must_use]
+    pub fn new(model: StreamModel, estimator: Box<dyn RobustEstimator>) -> Self {
+        Self {
+            validator: StreamValidator::new(model),
+            estimator,
+            violation: None,
+            rejected: 0,
+        }
+    }
+
+    /// Additionally enforces `‖f‖_∞ ≤ bound` at every point of the stream.
+    #[must_use]
+    pub fn with_magnitude_bound(mut self, bound: u64) -> Self {
+        self.validator = self.validator.with_magnitude_bound(bound);
+        self
+    }
+
+    /// Additionally enforces a maximum stream length `m`.
+    #[must_use]
+    pub fn with_max_length(mut self, m: u64) -> Self {
+        self.validator = self.validator.with_max_length(m);
+        self
+    }
+
+    /// The stream model this session enforces.
+    #[must_use]
+    pub fn model(&self) -> StreamModel {
+        self.validator.model()
+    }
+
+    /// Validates and ingests one update. On a model violation the update
+    /// never reaches the estimator; the violation is recorded and returned
+    /// as [`ArsError::Stream`].
+    pub fn update(&mut self, update: Update) -> Result<(), ArsError> {
+        match self.validator.apply(update) {
+            Ok(()) => {
+                self.estimator.update(update);
+                Ok(())
+            }
+            Err(err) => {
+                self.record(&err);
+                Err(ArsError::Stream(err))
+            }
+        }
+    }
+
+    /// Validates and ingests a unit insertion.
+    pub fn insert(&mut self, item: u64) -> Result<(), ArsError> {
+        self.update(Update::insert(item))
+    }
+
+    /// Validates a whole batch against the evolving exact state, then
+    /// ingests the admissible prefix through the estimator's amortized
+    /// batched hot path.
+    ///
+    /// Returns the number of updates ingested. On a violation at position
+    /// `i`, the valid prefix `updates[..i]` *is* ingested (one batch), the
+    /// violation is recorded, and [`ArsError::Stream`] is returned — the
+    /// offending update and everything after it never reach the sketch.
+    /// The error itself names the offending update but not `i`; recover
+    /// the ingested count as the change in [`StreamSession::len`] across
+    /// the call. In particular, do **not** re-submit the same batch after
+    /// an error — its accepted prefix is already in the sketch; resume
+    /// from `updates[ingested + 1..]` (skipping the refused update) if you
+    /// intend to drop the violation and continue.
+    pub fn update_batch(&mut self, updates: &[Update]) -> Result<usize, ArsError> {
+        for (i, &u) in updates.iter().enumerate() {
+            if let Err(err) = self.validator.apply(u) {
+                self.estimator.update_batch(&updates[..i]);
+                self.record(&err);
+                return Err(ArsError::Stream(err));
+            }
+        }
+        self.estimator.update_batch(updates);
+        Ok(updates.len())
+    }
+
+    /// The current typed reading. Identical to the estimator's own
+    /// [`RobustEstimator::query`], except that the health is downgraded to
+    /// [`Health::PromiseViolated`] once the stream has left its declared
+    /// model — a violated promise voids the guarantee regardless of the
+    /// flip accounting.
+    #[must_use]
+    pub fn query(&self) -> Estimate {
+        let mut reading = self.estimator.query();
+        if self.violation.is_some() {
+            reading.health = Health::PromiseViolated;
+        }
+        reading
+    }
+
+    /// The bare published value — [`StreamSession::query`]`.value`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.query().value
+    }
+
+    /// The first recorded model violation, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<&StreamError> {
+        self.violation.as_ref()
+    }
+
+    /// Number of updates refused by the validator so far.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Number of updates accepted and ingested so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.validator.len()
+    }
+
+    /// Whether no updates have been accepted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.validator.is_empty()
+    }
+
+    /// The exact signed frequency vector of the accepted prefix (the
+    /// validator maintains it for model enforcement; drivers reuse it for
+    /// scoring).
+    #[must_use]
+    pub fn frequency(&self) -> &FrequencyVector {
+        self.validator.frequency()
+    }
+
+    /// Read access to the estimator behind the session.
+    #[must_use]
+    pub fn estimator(&self) -> &dyn RobustEstimator {
+        self.estimator.as_ref()
+    }
+
+    /// Consumes the session, returning the estimator.
+    #[must_use]
+    pub fn into_estimator(self) -> Box<dyn RobustEstimator> {
+        self.estimator
+    }
+
+    fn record(&mut self, err: &StreamError) {
+        self.rejected += 1;
+        if self.violation.is_none() {
+            self.violation = Some(err.clone());
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("model", &self.model())
+            .field("strategy", &self.estimator.strategy_name())
+            .field("accepted", &self.len())
+            .field("rejected", &self.rejected)
+            .field("violation", &self.violation)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RobustBuilder;
+
+    fn f0_session() -> StreamSession {
+        StreamSession::new(
+            StreamModel::InsertionOnly,
+            Box::new(
+                RobustBuilder::new(0.2)
+                    .stream_length(10_000)
+                    .domain(1 << 12)
+                    .seed(5)
+                    .f0(),
+            ),
+        )
+    }
+
+    #[test]
+    fn accepts_model_conforming_streams_and_tracks() {
+        let mut session = f0_session();
+        for i in 0..2_000u64 {
+            session.update(Update::insert(i % 500)).unwrap();
+        }
+        assert_eq!(session.len(), 2_000);
+        assert_eq!(session.rejected(), 0);
+        let reading = session.query();
+        assert_eq!(reading.health, Health::WithinGuarantee);
+        assert!(
+            (reading.value - 500.0).abs() <= 0.25 * 500.0,
+            "reading {reading}"
+        );
+        assert!(reading.guarantee.contains(session.frequency().f0() as f64));
+    }
+
+    #[test]
+    fn rejects_deletions_on_insertion_only_sessions() {
+        let mut session = f0_session();
+        session.insert(1).unwrap();
+        let before = session.estimate();
+        let err = session.update(Update::delete(1));
+        assert!(matches!(err, Err(ArsError::Stream(_))));
+        // The sketch never saw the offending update and the exact state is
+        // unchanged.
+        assert_eq!(session.len(), 1);
+        assert_eq!(session.rejected(), 1);
+        assert_eq!(session.estimate(), before);
+        assert_eq!(session.frequency().get(1), 1);
+        // The reading is flagged, permanently.
+        assert_eq!(session.query().health, Health::PromiseViolated);
+        session.insert(2).unwrap();
+        assert_eq!(session.query().health, Health::PromiseViolated);
+        assert!(session.violation().is_some());
+    }
+
+    #[test]
+    fn batch_ingestion_stops_at_the_first_violation() {
+        let mut session = f0_session();
+        let batch: Vec<Update> = (0..10u64)
+            .map(Update::insert)
+            .chain(std::iter::once(Update::delete(3)))
+            .chain((10..20u64).map(Update::insert))
+            .collect();
+        let before = session.len();
+        let err = session.update_batch(&batch);
+        assert!(matches!(err, Err(ArsError::Stream(_))));
+        // Exactly the valid prefix was ingested, and the documented
+        // recovery recipe works: the ingested count is the len() delta,
+        // so a caller resumes from batch[ingested + 1..].
+        let ingested = (session.len() - before) as usize;
+        assert_eq!(ingested, 10);
+        assert_eq!(session.frequency().f0(), 10);
+        assert_eq!(session.query().health, Health::PromiseViolated);
+        assert_eq!(
+            session.update_batch(&batch[ingested + 1..]).unwrap(),
+            batch.len() - ingested - 1
+        );
+        assert_eq!(session.frequency().f0(), 20);
+    }
+
+    #[test]
+    fn batch_ingestion_matches_the_estimator_hot_path() {
+        let mut session = f0_session();
+        let batch: Vec<Update> = (0..1_024u64).map(|i| Update::insert(i % 200)).collect();
+        assert_eq!(session.update_batch(&batch).unwrap(), 1_024);
+        let reading = session.query();
+        assert!(
+            (reading.value - 200.0).abs() <= 0.25 * 200.0,
+            "reading {reading}"
+        );
+    }
+
+    #[test]
+    fn turnstile_sessions_enforce_magnitude_bounds() {
+        let estimator = RobustBuilder::new(0.25)
+            .stream_length(1_000)
+            .domain(1 << 8)
+            .max_frequency(4)
+            .turnstile_fp(2.0, 50);
+        let mut session =
+            StreamSession::new(StreamModel::Turnstile, Box::new(estimator)).with_magnitude_bound(4);
+        for _ in 0..4 {
+            session.update(Update::insert(9)).unwrap();
+        }
+        assert!(matches!(
+            session.update(Update::insert(9)),
+            Err(ArsError::Stream(StreamError::MagnitudeBoundExceeded { .. }))
+        ));
+        assert!(session.update(Update::delete(9)).is_ok());
+    }
+
+    #[test]
+    fn max_length_is_enforced() {
+        let mut session = f0_session().with_max_length(3);
+        for i in 0..3u64 {
+            session.insert(i).unwrap();
+        }
+        assert!(matches!(
+            session.insert(3),
+            Err(ArsError::Stream(StreamError::LengthExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn session_estimate_is_the_reading_value() {
+        let mut session = f0_session();
+        for i in 0..300u64 {
+            session.insert(i).unwrap();
+        }
+        assert_eq!(session.estimate(), session.query().value);
+        assert_eq!(session.estimate(), session.estimator().estimate());
+    }
+}

@@ -9,10 +9,10 @@
 //! Run with: `cargo run --release --example adversarial_attack_demo`
 
 use adversarial_robust_streaming::adversary::{Adversary, AmsAttackAdversary};
-use adversarial_robust_streaming::robust::RobustBuilder;
+use adversarial_robust_streaming::robust::{RobustBuilder, StreamSession};
 use adversarial_robust_streaming::sketch::ams::{AmsConfig, AmsSketch};
 use adversarial_robust_streaming::sketch::Estimator;
-use adversarial_robust_streaming::stream::FrequencyVector;
+use adversarial_robust_streaming::stream::{FrequencyVector, StreamModel};
 
 fn main() {
     let rows = 64;
@@ -49,11 +49,19 @@ fn main() {
     }
 
     // --- the same adversary against the robust estimator -----------------
+    // The robust side runs behind a model-enforcing session: the adversary
+    // plays inside the insertion-only model the guarantee assumes, and the
+    // dashboard reads typed `Estimate` readings instead of bare floats.
     let epsilon = 0.5;
-    let mut robust = RobustBuilder::new(epsilon)
-        .stream_length(rounds as u64)
-        .seed(11)
-        .fp(2.0);
+    let mut session = StreamSession::new(
+        StreamModel::InsertionOnly,
+        Box::new(
+            RobustBuilder::new(epsilon)
+                .stream_length(rounds as u64)
+                .seed(11)
+                .fp(2.0),
+        ),
+    );
     let mut adversary = AmsAttackAdversary::new(rows, 13);
     let mut truth = FrequencyVector::new();
     let mut last = 0.0;
@@ -61,19 +69,30 @@ fn main() {
     for _ in 1..=rounds {
         let update = adversary.next_update(last);
         truth.apply(update);
-        robust.update(update);
-        last = robust.estimate();
+        session
+            .update(update)
+            .expect("the AMS attack plays insertion-only");
+        last = session.estimate();
         if truth.f2() > 100.0 {
             worst = worst.max((last - truth.f2()).abs() / truth.f2());
         }
     }
+    let reading = session.query();
     println!();
     println!("Robust F2 estimator (sketch switching) under the same adversary:");
     println!("  true F2 after {rounds} updates:   {:>12.0}", truth.f2());
-    println!("  robust estimate:               {:>12.0}", last);
+    println!("  robust reading:                {:>12.0}", reading.value);
+    println!(
+        "  guarantee interval:            {} ({})",
+        reading.guarantee, reading.health
+    );
+    println!(
+        "  flip budget spent:             {:>9}/{}",
+        reading.flips_used, reading.flip_budget
+    );
     println!(
         "  worst relative error observed: {:>12.3} (guarantee: {epsilon})",
         worst
     );
-    println!("  memory: {} KiB", robust.space_bytes() / 1024);
+    println!("  memory: {} KiB", session.estimator().space_bytes() / 1024);
 }

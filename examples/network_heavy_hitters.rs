@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example network_heavy_hitters`
 
-use adversarial_robust_streaming::robust::RobustBuilder;
-use adversarial_robust_streaming::stream::{FrequencyVector, Update};
+use adversarial_robust_streaming::robust::{ArsError, RobustBuilder};
+use adversarial_robust_streaming::stream::{FrequencyVector, StreamModel, StreamValidator, Update};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,6 +28,10 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(17);
     let mut exact = FrequencyVector::new();
+    // The heavy-hitters structure answers vector queries (point queries +
+    // a reported set), so it is driven directly; the router still enforces
+    // the insertion-only model its guarantee assumes on the packet feed.
+    let mut validator = StreamValidator::new(StreamModel::InsertionOnly);
     // Four tenants with bursty elephant flows; the elephants move whenever
     // they notice they are being reported (the adaptive part).
     let mut elephants: Vec<u64> = vec![1, 2, 3, 4];
@@ -40,6 +44,10 @@ fn main() {
             rng.gen_range(100..domain)
         };
         let update = Update::insert(flow);
+        validator
+            .apply(update)
+            .map_err(ArsError::Stream)
+            .expect("packet arrivals are insertions");
         exact.apply(update);
         hh.update(update);
 
@@ -72,6 +80,13 @@ fn main() {
         exact.l2()
     );
     println!("switch times used so far:           {}", hh.switches());
+    // The scalar facet of the structure as a typed reading: the robust
+    // L2-norm value plus its guarantee interval and flip accounting.
+    let reading = hh.query();
+    println!(
+        "typed norm reading:                 {:.0} in {} (flips {}/{}, {})",
+        reading.value, reading.guarantee, reading.flips_used, reading.flip_budget, reading.health
+    );
     println!(
         "memory:                             {} KiB",
         hh.space_bytes() / 1024

@@ -1,75 +1,100 @@
-//! Quickstart: build a robust distinct-elements estimator through the
-//! unified `RobustBuilder`, feed it a stream — per update and in batches —
-//! and read the tracking estimate at any point.
+//! Quickstart: open a model-enforcing `StreamSession` over a robust
+//! distinct-elements estimator, feed it a stream — per update and in
+//! batches — and read typed `Estimate` readings (value, guarantee interval,
+//! flip accounting, health) instead of bare floats.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use adversarial_robust_streaming::robust::{RobustBuilder, RobustEstimator};
+use adversarial_robust_streaming::robust::{ArsError, RobustBuilder, StreamSession};
 use adversarial_robust_streaming::stream::generator::{Generator, UniformGenerator};
-use adversarial_robust_streaming::stream::FrequencyVector;
+use adversarial_robust_streaming::stream::{StreamModel, Update};
 
 fn main() {
     // A (1 ± 0.1) adversarially robust distinct-elements estimator
     // (Theorem 1.1: optimized sketch switching over a strong-tracking KMV
     // ensemble). The same builder constructs every other robust estimator
-    // in the crate: `.fp(p)`, `.entropy()`, `.heavy_hitters()`, ...
-    // `estimate()` may be read after every single update — the guarantee is
-    // a tracking guarantee, and it holds even if future updates are chosen
-    // based on the estimates you read.
-    let mut robust = RobustBuilder::new(0.1)
+    // in the crate: `.fp(p)`, `.entropy()`, `.heavy_hitters()`, ... and
+    // every constructor has a fallible `try_*` twin returning `ArsError`
+    // instead of panicking on bad parameters.
+    let robust = RobustBuilder::new(0.1)
         .stream_length(50_000)
         .domain(1 << 20)
         .seed(7)
         .f0();
 
+    // The session enforces the stream model the guarantee assumes
+    // (insertion-only here) on every update: a violating update is refused
+    // with a typed error and never reaches the sketch.
+    let mut session = StreamSession::new(StreamModel::InsertionOnly, Box::new(robust));
+
     // Any stream source works; here, 50k uniformly random 20-bit items.
     let mut generator = UniformGenerator::new(1 << 20, 42);
-    let mut exact = FrequencyVector::new();
 
     println!(
-        "{:>10} {:>12} {:>12} {:>8}",
-        "updates", "true F0", "estimate", "error"
+        "{:>10} {:>12} {:>12} {:>26} {:>10}",
+        "updates", "true F0", "reading", "guarantee interval", "flips"
     );
     for step in 1..=50_000u64 {
-        let update = generator.next_update();
-        exact.apply(update);
-        robust.update(update);
+        session
+            .update(generator.next_update())
+            .expect("uniform insertions respect the insertion-only model");
 
         if step % 10_000 == 0 {
-            let truth = exact.f0() as f64;
-            let estimate = robust.estimate();
+            // `query()` returns the full reading; `estimate()` is just its
+            // `.value` for callers that only want the float.
+            let reading = session.query();
+            let truth = session.frequency().f0() as f64;
             println!(
-                "{step:>10} {truth:>12.0} {estimate:>12.0} {:>7.2}%",
-                100.0 * (estimate - truth).abs() / truth
+                "{step:>10} {truth:>12.0} {:>12.0} {:>26} {:>7}/{}",
+                reading.value,
+                reading.guarantee.to_string(),
+                reading.flips_used,
+                reading.flip_budget,
             );
         }
     }
 
+    let reading = session.query();
     println!();
+    println!("final reading: {reading}");
+    println!("health: {} (guarantee trustworthy)", reading.health);
     println!(
         "memory used by the robust estimator: {} KiB",
-        robust.space_bytes() / 1024
-    );
-    println!(
-        "published output changed {} times (bounded by the F0 flip number)",
-        robust.output_changes()
+        session.estimator().space_bytes() / 1024
     );
 
-    // Throughput-oriented callers hand the engine whole batches instead:
-    // the ε-rounding / switching check is amortized to one per batch, and
-    // the estimate read between batches carries the same guarantee.
-    let mut batched = RobustBuilder::new(0.1)
-        .stream_length(50_000)
-        .domain(1 << 20)
-        .seed(7)
-        .f0();
-    let updates = UniformGenerator::new(1 << 20, 42).take_updates(50_000);
-    for chunk in updates.chunks(512) {
-        batched.update_batch(chunk);
+    // A deletion violates the declared insertion-only promise: the session
+    // refuses it with a typed error instead of silently ingesting it, and
+    // flags every later reading.
+    match session.update(Update::delete(1)) {
+        Err(ArsError::Stream(err)) => println!("\ndeletion refused as promised: {err}"),
+        other => println!("\nunexpected: {other:?}"),
     }
     println!(
-        "batched run (512-update chunks) agrees: estimate {:.0} vs {:.0}",
-        batched.estimate(),
-        robust.estimate()
+        "reading after the violation: health = {}",
+        session.query().health
+    );
+
+    // Throughput-oriented callers hand the session whole batches instead:
+    // the batch is validated against the model, then the engine amortizes
+    // the ε-rounding / switching check to one per batch.
+    let mut batched = StreamSession::new(
+        StreamModel::InsertionOnly,
+        Box::new(
+            RobustBuilder::new(0.1)
+                .stream_length(50_000)
+                .domain(1 << 20)
+                .seed(7)
+                .f0(),
+        ),
+    );
+    let updates = UniformGenerator::new(1 << 20, 42).take_updates(50_000);
+    for chunk in updates.chunks(512) {
+        batched.update_batch(chunk).expect("conforming batch");
+    }
+    println!(
+        "\nbatched run (512-update chunks) agrees: {:.0} vs {:.0}",
+        batched.query().value,
+        reading.value,
     );
 }

@@ -16,9 +16,10 @@
 //!
 //! Run with: `cargo run --release --example robust_distinct_counting`
 
-use adversarial_robust_streaming::robust::{CryptoBackend, RobustBuilder, Strategy};
+use adversarial_robust_streaming::robust::{CryptoBackend, RobustBuilder, Strategy, StreamSession};
 use adversarial_robust_streaming::sketch::kmv::{KmvConfig, KmvSketch};
 use adversarial_robust_streaming::sketch::Estimator;
+use adversarial_robust_streaming::stream::StreamModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -114,6 +115,43 @@ fn main() {
     ];
     for (label, estimator) in &mut contenders {
         run(label, estimator.as_mut(), rounds, 1);
+    }
+
+    // The serving surface: the same robust estimators behind model-enforcing
+    // sessions, read as typed `Estimate` readings. The optimizer can now see
+    // the interval the guarantee promises the cardinality lies in, how much
+    // of the flip budget the feedback loop has burned (∞ for the crypto
+    // route, which needs none), and whether the reading is still covered.
+    println!();
+    println!("typed readings from model-enforcing sessions:");
+    let sessions: Vec<(&str, StreamSession)> = vec![
+        (
+            "robust F0 (sketch switching, Thm 1.1)",
+            StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.seed(5).f0())),
+        ),
+        (
+            "robust F0 (ChaCha PRF, Thm 10.1)",
+            StreamSession::new(
+                StreamModel::InsertionOnly,
+                Box::new(
+                    builder
+                        .seed(9)
+                        .strategy(Strategy::Crypto(CryptoBackend::ChaChaPrf))
+                        .crypto_f0(),
+                ),
+            ),
+        ),
+    ];
+    for (label, mut session) in sessions {
+        let mut workload = FeedbackWorkload::new(1);
+        let mut last = 0.0;
+        for _ in 0..rounds {
+            let value = workload.next_value(last);
+            session.insert(value).expect("inserts conform to the model");
+            last = session.estimate();
+        }
+        let reading = session.query();
+        println!("  {label:<42} {reading}");
     }
 
     println!();

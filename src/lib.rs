@@ -25,19 +25,32 @@
 //!
 //! # Quickstart
 //!
-//! One builder constructs every robust estimator; every estimator is
-//! drivable through the object-safe [`robust::RobustEstimator`] trait:
+//! One builder constructs every robust estimator; the serving surface is a
+//! model-enforcing [`robust::StreamSession`] answering typed
+//! [`robust::Estimate`] readings, and every estimator is drivable through
+//! the object-safe [`robust::RobustEstimator`] trait:
 //!
 //! ```
-//! use adversarial_robust_streaming::robust::{RobustBuilder, RobustEstimator, Strategy};
-//! use adversarial_robust_streaming::stream::Update;
+//! use adversarial_robust_streaming::robust::{
+//!     ArsError, Health, RobustBuilder, RobustEstimator, Strategy, StreamSession,
+//! };
+//! use adversarial_robust_streaming::stream::{StreamModel, Update};
 //!
 //! let builder = RobustBuilder::new(0.1).stream_length(10_000).seed(7);
-//! let mut estimator = builder.f0(); // Theorem 1.1; .fp(p), .entropy(), ... likewise
+//! let mut session = StreamSession::new(
+//!     StreamModel::InsertionOnly,
+//!     Box::new(builder.f0()), // Theorem 1.1; .fp(p), .entropy(), ... likewise
+//! );
 //! for i in 0..1_000u64 {
-//!     estimator.insert(i % 250);
+//!     session.insert(i % 250).unwrap();
 //! }
-//! assert!((estimator.estimate() - 250.0).abs() <= 0.2 * 250.0);
+//! let reading = session.query(); // value + guarantee interval + flips + health
+//! assert!((reading.value - 250.0).abs() <= 0.2 * 250.0);
+//! assert!(reading.guarantee.contains(250.0));
+//! assert_eq!(reading.health, Health::WithinGuarantee);
+//! // A deletion breaks the insertion-only promise: typed error, flagged reading.
+//! assert!(matches!(session.update(Update::delete(1)), Err(ArsError::Stream(_))));
+//! assert_eq!(session.query().health, Health::PromiseViolated);
 //!
 //! // Heterogeneous fleets run through one trait-object loop, using the
 //! // batched hot path to amortize the robustness bookkeeping:
@@ -49,7 +62,7 @@
 //! ];
 //! for robust in &mut fleet {
 //!     robust.update_batch(&batch);
-//!     assert!(robust.estimate() > 0.0);
+//!     assert!(robust.query().value > 0.0);
 //! }
 //! ```
 #![forbid(unsafe_code)]

@@ -6,10 +6,11 @@
 
 use adversarial_robust_streaming::robust::registry::RegistryEntry;
 use adversarial_robust_streaming::robust::{
-    standard_registry, DpAggregationConfig, RegistryParams, RobustBuilder, RobustEstimator,
-    SketchSwitchConfig, Strategy,
+    standard_registry, ArsError, DpAggregationConfig, FlipBudget, Health, RegistryParams,
+    RobustBuilder, RobustEstimator, SketchSwitchConfig, Strategy, StreamSession,
 };
 use adversarial_robust_streaming::stream::generator::Generator;
+use adversarial_robust_streaming::stream::{StreamModel, Update};
 
 fn params() -> RegistryParams {
     RegistryParams {
@@ -205,6 +206,264 @@ fn theorem_10_1_preset_reproduces_the_legacy_crypto_sketch() {
         preset.update(u);
         assert_eq!(legacy.estimate(), preset.estimate());
     }
+}
+
+#[test]
+fn query_value_is_bitwise_equal_to_estimate_for_every_entry() {
+    // The typed reading and the legacy float surface must never diverge:
+    // estimate() is the thin query().value shim, checked at several points
+    // of each entry's reference stream (including the empty prefix).
+    let p = params();
+    for mut entry in standard_registry(&p) {
+        assert_eq!(
+            entry.estimator.query().value,
+            entry.estimator.estimate(),
+            "{} diverged on the empty stream",
+            entry.id
+        );
+        let updates = entry.reference_stream(&p, p.seed ^ 0xFACE);
+        for (i, &u) in updates.iter().take(1_200).enumerate() {
+            entry.estimator.update(u);
+            if i % 97 == 0 {
+                let reading = entry.estimator.query();
+                assert_eq!(
+                    reading.value,
+                    entry.estimator.estimate(),
+                    "{} reading diverged from estimate() at update {i}",
+                    entry.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn readings_carry_populated_guarantees_budgets_and_health() {
+    let p = params();
+    for mut entry in standard_registry(&p) {
+        let updates = entry.reference_stream(&p, p.seed ^ 0xFEED);
+        for &u in updates.iter().take(1_500) {
+            entry.estimator.update(u);
+        }
+        let reading = entry.estimator.query();
+        // Populated guarantee: a non-degenerate interval bracketing the
+        // value (additive entries may publish 0 bits, where the interval
+        // collapses around 0 but stays well-formed).
+        assert!(
+            reading.guarantee.lower <= reading.value + 1e-12
+                && reading.value <= reading.guarantee.upper + 1e-12,
+            "{}: guarantee {} does not bracket value {}",
+            entry.id,
+            reading.guarantee,
+            reading.value
+        );
+        assert_eq!(reading.guarantee.additive, entry.additive, "{}", entry.id);
+        assert_eq!(reading.epsilon, p.epsilon, "{}", entry.id);
+        // Typed budget round-trips the raw accessor; the crypto route is
+        // Unbounded, everything else Bounded.
+        assert_eq!(
+            reading.flip_budget,
+            FlipBudget::from_raw(entry.estimator.flip_budget()),
+            "{}",
+            entry.id
+        );
+        if entry.estimator.strategy_name() == "crypto-mask" {
+            assert_eq!(reading.flip_budget, FlipBudget::Unbounded, "{}", entry.id);
+            assert_eq!(reading.flip_budget.to_string(), "∞", "{}", entry.id);
+        } else {
+            assert!(
+                matches!(reading.flip_budget, FlipBudget::Bounded(_)),
+                "{}",
+                entry.id
+            );
+        }
+        assert_eq!(reading.flips_used, entry.estimator.output_changes());
+        assert_eq!(reading.copies, entry.estimator.copies());
+        // Health agrees with budget_exceeded() on every entry.
+        assert_eq!(
+            reading.health == Health::BudgetExhausted,
+            entry.estimator.budget_exceeded(),
+            "{}: health {:?} disagrees with budget_exceeded()",
+            entry.id,
+            reading.health
+        );
+    }
+}
+
+#[test]
+fn health_turns_budget_exhausted_exactly_when_budget_exceeded() {
+    // A turnstile estimator promised a tiny flip budget, driven through
+    // enough insert/delete waves to blow it: health must flip to
+    // BudgetExhausted at exactly the update where budget_exceeded() first
+    // turns true, and try_update must surface the typed error.
+    let mut robust = RobustBuilder::new(0.25)
+        .stream_length(8_000)
+        .domain(1 << 8)
+        .max_frequency(64)
+        .turnstile_fp(2.0, 2);
+    let waves = adversarial_robust_streaming::stream::generator::TurnstileWaveGenerator::new(400)
+        .take_updates(6_000);
+    let mut saw_exhaustion = false;
+    for &u in &waves {
+        let verdict = RobustEstimator::try_update(&mut robust, u);
+        let reading = robust.query();
+        assert_eq!(
+            reading.health == Health::BudgetExhausted,
+            robust.budget_exceeded(),
+            "health and budget_exceeded() diverged at flips {}",
+            reading.flips_used
+        );
+        assert_eq!(
+            verdict.is_err(),
+            robust.budget_exceeded(),
+            "try_update verdict diverged from budget_exceeded()"
+        );
+        if let Err(err) = verdict {
+            assert!(
+                matches!(err, ArsError::BudgetExhausted { budget: 2, .. }),
+                "unexpected error {err:?}"
+            );
+            saw_exhaustion = true;
+        }
+    }
+    assert!(
+        saw_exhaustion,
+        "the waves never exhausted the 2-flip budget; the test exercises nothing"
+    );
+}
+
+#[test]
+fn insertion_only_sessions_reject_deletions_with_typed_errors() {
+    // Every insertion-only registry entry, wrapped in its session, refuses
+    // a deletion with ArsError::Stream(..) — not a panic, not silent
+    // ingestion — and flags every later reading as PromiseViolated.
+    let p = params();
+    for entry in standard_registry(&p) {
+        if entry.model != StreamModel::InsertionOnly {
+            continue;
+        }
+        let id = entry.id;
+        let mut session = entry.into_session();
+        session.insert(7).expect("insertions conform");
+        let estimate_before = session.estimate();
+        match session.update(Update::delete(7)) {
+            Err(ArsError::Stream(_)) => {}
+            other => panic!("{id}: expected ArsError::Stream, got {other:?}"),
+        }
+        assert_eq!(
+            session.estimate(),
+            estimate_before,
+            "{id}: the rejected deletion reached the sketch"
+        );
+        assert_eq!(session.query().health, Health::PromiseViolated, "{id}");
+        assert_eq!(session.len(), 1, "{id}");
+    }
+}
+
+#[test]
+fn sessions_expose_the_batched_hot_path_with_validation() {
+    let p = params();
+    let mut session = StreamSession::new(
+        StreamModel::InsertionOnly,
+        Box::new(
+            RobustBuilder::new(p.epsilon)
+                .stream_length(p.stream_length)
+                .domain(p.domain)
+                .seed(11)
+                .f0(),
+        ),
+    );
+    let updates =
+        adversarial_robust_streaming::stream::generator::UniformGenerator::new(p.domain, 13)
+            .take_updates(4_000);
+    for chunk in updates.chunks(256) {
+        let accepted = session.update_batch(chunk).expect("conforming batch");
+        assert_eq!(accepted, chunk.len());
+    }
+    let reading = session.query();
+    let truth = session.frequency().f0() as f64;
+    assert!(
+        reading.guarantee.contains(truth) || (reading.value - truth).abs() <= 0.3 * truth,
+        "session reading {reading} far from truth {truth}"
+    );
+    assert_eq!(reading.health, Health::WithinGuarantee);
+}
+
+#[test]
+fn try_build_surfaces_structured_errors_for_every_rejected_range() {
+    use adversarial_robust_streaming::robust::BuildError;
+
+    fn out_of_range(err: ArsError) -> (&'static str, f64, &'static str) {
+        match err {
+            ArsError::Build(BuildError::OutOfRange {
+                field,
+                value,
+                allowed,
+            }) => (field, value, allowed),
+            other => panic!("expected BuildError::OutOfRange, got {other:?}"),
+        }
+    }
+
+    for (bad_eps, expect) in [(0.0, 0.0), (1.0, 1.0), (-0.1, -0.1), (1.5, 1.5)] {
+        let (field, value, allowed) = out_of_range(RobustBuilder::try_new(bad_eps).unwrap_err());
+        assert_eq!((field, allowed), ("epsilon", "(0,1)"));
+        assert_eq!(value, expect);
+    }
+    let b = RobustBuilder::new(0.1);
+    for bad_delta in [0.0, 1.0] {
+        let (field, _, allowed) = out_of_range(b.try_delta(bad_delta).unwrap_err());
+        assert_eq!((field, allowed), ("delta", "(0,1)"));
+    }
+    let (field, ..) = out_of_range(b.try_practical_delta_floor(0.0).unwrap_err());
+    assert_eq!(field, "practical_delta_floor");
+    for bad_p in [0.0, -1.0, 2.5] {
+        let (field, value, _) = out_of_range(b.try_fp(bad_p).unwrap_err());
+        assert_eq!(field, "p");
+        assert_eq!(value, bad_p);
+    }
+    let (field, value, _) = out_of_range(b.try_fp_large(2.0).unwrap_err());
+    assert_eq!((field, value), ("p", 2.0));
+    let (field, value, _) = out_of_range(b.try_turnstile_fp(3.0, 10).unwrap_err());
+    assert_eq!((field, value), ("p", 3.0));
+    let (field, value, _) = out_of_range(b.try_turnstile_fp(2.0, 0).unwrap_err());
+    assert_eq!((field, value), ("lambda", 0.0));
+    let (field, value, _) = out_of_range(b.try_bounded_deletion_fp(0.5, 2.0).unwrap_err());
+    assert_eq!((field, value), ("p", 0.5));
+    let (field, value, _) = out_of_range(b.try_bounded_deletion_fp(1.0, 0.5).unwrap_err());
+    assert_eq!((field, value), ("alpha", 0.5));
+
+    // Strategy conflicts carry the problem and the paper's reason.
+    assert!(matches!(
+        b.strategy(Strategy::Crypto(Default::default())).try_fp(2.0),
+        Err(ArsError::Build(BuildError::StrategyMismatch { .. }))
+    ));
+    assert!(matches!(
+        b.strategy(Strategy::DpAggregation).try_entropy(),
+        Err(ArsError::Build(BuildError::StrategyMismatch { .. }))
+    ));
+    assert!(matches!(
+        b.strategy(Strategy::ComputationPaths).try_heavy_hitters(),
+        Err(ArsError::Build(BuildError::StrategyMismatch { .. }))
+    ));
+    assert!(matches!(
+        b.strategy(Strategy::SketchSwitching).try_crypto_f0(),
+        Err(ArsError::Build(BuildError::StrategyMismatch { .. }))
+    ));
+    assert!(matches!(
+        b.strategy(Strategy::SketchSwitching).try_fp_large(3.0),
+        Err(ArsError::Build(BuildError::StrategyMismatch { .. }))
+    ));
+
+    // And the happy paths still build.
+    assert!(RobustBuilder::try_new(0.2).is_ok());
+    assert!(b.try_f0().is_ok());
+    assert!(b.try_fp(2.0).is_ok());
+    assert!(b.try_fp_large(3.0).is_ok());
+    assert!(b.try_turnstile_fp(2.0, 10).is_ok());
+    assert!(b.try_bounded_deletion_fp(1.0, 2.0).is_ok());
+    assert!(b.try_entropy().is_ok());
+    assert!(b.try_heavy_hitters().is_ok());
+    assert!(b.try_crypto_f0().is_ok());
 }
 
 #[test]
