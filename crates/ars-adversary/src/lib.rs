@@ -20,6 +20,14 @@
 //!   duplicate/fresh probing for `F₀`, surge adversaries for moments) used
 //!   to stress-test the robust estimators in integration tests and
 //!   benchmarks.
+//!
+//! # Paper map
+//!
+//! | Module | Paper section / result |
+//! |---|---|
+//! | [`game`] | Section 1's adversarial model (the two-player game, Definition 1.1's correctness requirement) |
+//! | [`ams_attack`] | Algorithm 3 / Theorem 9.1 (explicit adaptive attack on AMS) |
+//! | [`adaptive`] | the "dip-hunter" style adversaries driving the E8/E11/E14/E15 game legs |
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

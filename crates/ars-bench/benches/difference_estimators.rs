@@ -1,0 +1,17 @@
+//! `cargo bench --bench difference_estimators` regenerates experiment E15:
+//! difference estimators (Attias et al. 2022) vs both switching pools and
+//! DP aggregation — copies, space, accuracy and flip accounting at equal
+//! analytic flip budget, plus the adaptive dip-hunter game.
+
+use ars_bench::{run_experiment, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::var("ARS_BENCH_FULL").is_ok() {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::quick()
+    };
+    let report = run_experiment("E15", scale, 42).expect("experiment E15 exists");
+    println!("{}", report.to_markdown());
+    eprintln!("{}", report.to_json());
+}

@@ -1264,6 +1264,192 @@ pub fn dp_aggregation_experiment(scale: ExperimentScale, seed: u64) -> Experimen
     report
 }
 
+/// E15 — difference estimators (Attias et al. 2022) vs both switching
+/// pools and DP aggregation: copies, space, accuracy and flip accounting
+/// at equal analytic flip budget.
+///
+/// The headline comparison is the copy axis at flip budget λ: the plain
+/// Lemma 3.6 pool needs λ copies (capped at 256 for laptop scale, recorded
+/// in the row notes), the optimized restarting pool `Θ(ε⁻¹ log ε⁻¹)`, the
+/// DP route `O(√λ)`, and the chunked difference pool `O(log λ)`. The flips
+/// column (via [`reading_note`]) additionally shows the difference route's
+/// *provisioned* budget `Σ_j b_j ≥ λ` — the per-chunk accounting threaded
+/// through the plan.
+#[must_use]
+pub fn difference_estimators_experiment(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    use ars_core::{
+        DifferenceSchedule, DpAggregationConfig, SketchSwitchConfig, SketchSwitchStrategy,
+    };
+
+    /// One E15 contender: label, pool-sizing note, guarantee threshold
+    /// (per-route, as in E14 — a shared loose threshold would mask a
+    /// regression in the tighter baselines), estimator.
+    type PoolContender = (String, String, f64, Box<dyn RobustEstimator>);
+
+    let mut report = ExperimentReport::new(
+        "E15",
+        "Difference estimators vs sketch switching vs DP aggregation: copies, space, accuracy, flips",
+    );
+    let epsilon = 0.2;
+    let updates = UniformGenerator::new(scale.domain, seed).take_updates(scale.stream_length);
+    let workload = format!("uniform(n={})", scale.domain);
+    let warmup = scale.stream_length / 10;
+    let b = builder(scale, epsilon, seed);
+    let lambda = b.f0_flip_number();
+
+    // The Lemma 3.6 exhaustible pool at the analytic λ (capped), over the
+    // same Theorem 1.1 static ingredient the builder's f0 routes use.
+    let exhaustible_cap = 256usize;
+    let delta = b.raw_parameters().0;
+    let exhaustible_factory = b.f0_tracking_factory((delta / lambda as f64).max(1e-6));
+    let exhaustible = b.seed(seed + 1).custom(
+        exhaustible_factory,
+        &SketchSwitchStrategy {
+            pool: ars_core::PoolPolicy::Explicit(SketchSwitchConfig::exhaustible(
+                epsilon,
+                lambda.min(exhaustible_cap),
+            )),
+        },
+        lambda,
+        scale.domain as f64,
+    );
+
+    let schedule = DifferenceSchedule::for_flip_budget(lambda);
+    let contenders: Vec<PoolContender> = vec![
+        (
+            "robust F0 (exhaustible switching, Lemma 3.6)".to_string(),
+            format!("analytic pool = lambda = {lambda}, capped at {exhaustible_cap}"),
+            1.3 * epsilon,
+            Box::new(exhaustible),
+        ),
+        (
+            "robust F0 (restarting switching, Thm 4.1)".to_string(),
+            String::new(),
+            1.3 * epsilon,
+            Box::new(b.seed(seed + 2).f0()),
+        ),
+        (
+            "robust F0 (DP aggregation, HKMMS20)".to_string(),
+            format!(
+                "sqrt(lambda) pool = {} of lambda = {lambda}",
+                DpAggregationConfig::copies_for_flip_budget(lambda)
+            ),
+            2.0 * epsilon,
+            Box::new(b.seed(seed + 3).strategy(Strategy::DpAggregation).f0()),
+        ),
+        (
+            "robust F0 (difference estimators, ACSS22)".to_string(),
+            format!(
+                "log(lambda) chunk pool = {} of lambda = {lambda}, provisioned flips {}",
+                schedule.chunks(),
+                schedule.total_flip_budget()
+            ),
+            2.0 * epsilon,
+            Box::new(
+                b.seed(seed + 4)
+                    .strategy(Strategy::DifferenceEstimators)
+                    .f0(),
+            ),
+        ),
+    ];
+
+    // The same comparison on the F2 moment (the p-stable static
+    // ingredient): copies and accuracy at the Fp flip budget.
+    let fp_lambda = b.fp_flip_number(2.0);
+    let fp_schedule = DifferenceSchedule::for_flip_budget(fp_lambda);
+    let fp_updates =
+        ZipfGenerator::new(scale.domain, 1.1, seed + 9).take_updates(scale.stream_length);
+    let fp_workload = format!("zipf(n={}, s=1.1)", scale.domain);
+    let fp_contenders: Vec<PoolContender> = vec![
+        (
+            "robust F2 (restarting switching, Thm 1.4)".to_string(),
+            String::new(),
+            1.6 * epsilon,
+            Box::new(b.seed(seed + 5).fp(2.0)),
+        ),
+        (
+            "robust F2 (DP aggregation, HKMMS20)".to_string(),
+            String::new(),
+            2.0 * epsilon,
+            Box::new(b.seed(seed + 6).strategy(Strategy::DpAggregation).fp(2.0)),
+        ),
+        (
+            "robust F2 (difference estimators, ACSS22)".to_string(),
+            format!(
+                "chunk pool = {} of lambda = {fp_lambda}",
+                fp_schedule.chunks()
+            ),
+            2.0 * epsilon,
+            Box::new(
+                b.seed(seed + 7)
+                    .strategy(Strategy::DifferenceEstimators)
+                    .fp(2.0),
+            ),
+        ),
+    ];
+    // One scoring loop for both legs: rows carry the copy count, any
+    // pool-sizing note, and the typed reading's flip accounting (which is
+    // where the difference route's provisioned budget shows up).
+    let legs: [(&[Update], &str, Query, Vec<PoolContender>); 2] = [
+        (&updates, &workload, Query::F0, contenders),
+        (&fp_updates, &fp_workload, Query::Fp(2.0), fp_contenders),
+    ];
+    for (leg_updates, leg_workload, query, leg_contenders) in legs {
+        for (label, extra, threshold, mut estimator) in leg_contenders {
+            let (worst, space) =
+                score_tracking(estimator.as_mut(), leg_updates, query, warmup, false);
+            let copies = estimator.copies();
+            let reading = estimator.query();
+            report.rows.push(Row {
+                algorithm: label,
+                workload: leg_workload.to_string(),
+                epsilon,
+                space_bytes: space,
+                max_error: worst,
+                within_guarantee: worst <= threshold,
+                notes: if extra.is_empty() {
+                    format!("copies {copies}, {}", reading_note(&reading))
+                } else {
+                    format!("copies {copies} ({extra}), {}", reading_note(&reading))
+                },
+            });
+        }
+    }
+
+    // The chunked route under the adaptive dip-hunting adversary, next to
+    // a switching reference, through the session-driven game loop (model
+    // enforcement at ingestion, typed readings in the rows). Each
+    // contender is held to its own guarantee band, as in E14.
+    let rounds = scale.stream_length;
+    for (label, threshold, estimator) in [
+        (
+            "robust F0 (difference estimators) under adaptive dip-hunter",
+            2.0 * epsilon,
+            Box::new(
+                b.seed(seed + 8)
+                    .strategy(Strategy::DifferenceEstimators)
+                    .f0(),
+            ) as Box<dyn RobustEstimator>,
+        ),
+        (
+            "robust F0 (sketch switching) under adaptive dip-hunter",
+            1.3 * epsilon,
+            Box::new(b.seed(seed + 10).f0()),
+        ),
+    ] {
+        let config = GameConfig::relative(Query::F0, threshold, rounds).with_warmup(500);
+        let session = StreamSession::new(ars_stream::StreamModel::InsertionOnly, estimator);
+        report.rows.extend(game_sessions(
+            vec![(label.to_string(), session)],
+            || Box::new(DistinctDuplicateAdversary::new(epsilon).with_min_count(500)),
+            config,
+            epsilon,
+            &format!("adaptive dip-hunter, {rounds} rounds"),
+        ));
+    }
+    report
+}
+
 /// Runs a named experiment at the given scale (used by the bin targets).
 #[must_use]
 pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<ExperimentReport> {
@@ -1282,6 +1468,7 @@ pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<Exp
         "E12" => Some(wrapper_ablation(scale, seed)),
         "E13" => Some(registry_sweep(scale, seed)),
         "E14" => Some(dp_aggregation_experiment(scale, seed)),
+        "E15" => Some(difference_estimators_experiment(scale, seed)),
         _ => None,
     }
 }
@@ -1291,6 +1478,7 @@ pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<Exp
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+        "E15",
     ]
 }
 
@@ -1325,7 +1513,7 @@ mod tests {
             // Only check dispatch, not execution (some experiments are slow).
             assert!([
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14"
+                "E14", "E15"
             ]
             .contains(&id));
         }
@@ -1358,6 +1546,43 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.workload.contains("dip-hunter")));
+    }
+
+    #[test]
+    fn difference_estimators_use_the_smallest_pool_of_all_routes() {
+        let report = difference_estimators_experiment(tiny(), 7);
+        let copies_of = |needle: &str| -> usize {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.algorithm.contains(needle) && !r.workload.contains("dip-hunter"))
+                .unwrap_or_else(|| panic!("missing E15 row {needle}"));
+            row.notes
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.trim_end_matches(',').parse().ok())
+                .unwrap_or_else(|| panic!("row {needle} lacks a copies note: {}", row.notes))
+        };
+        let de = copies_of("F0 (difference estimators");
+        let dp = copies_of("F0 (DP aggregation");
+        let exhaustible = copies_of("exhaustible switching");
+        assert!(
+            de < dp && dp < exhaustible,
+            "pool ordering violated: de {de}, dp {dp}, exhaustible {exhaustible}"
+        );
+        // The F2 comparison rows and the game legs made it in.
+        assert!(report.rows.iter().any(|r| r.algorithm.contains("F2")));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.workload.contains("dip-hunter")));
+        // The flips column reports the provisioned (improved) budget.
+        let de_row = report
+            .rows
+            .iter()
+            .find(|r| r.algorithm.contains("F0 (difference estimators"))
+            .expect("E15 has a difference-estimator F0 row");
+        assert!(de_row.notes.contains("provisioned flips"));
     }
 
     #[test]

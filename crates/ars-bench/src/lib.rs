@@ -15,10 +15,16 @@
 //! Each experiment in [`experiments`] reproduces one of those rows/claims
 //! empirically on synthetic workloads and returns structured rows;
 //! [`report`] renders them as the markdown tables recorded in
-//! EXPERIMENTS.md. The `benches/` directory contains one `cargo bench`
-//! target per experiment id (E1–E12 in DESIGN.md) plus Criterion timing
-//! benchmarks for the update-time claims, and `src/bin/` exposes the same
-//! experiments as standalone binaries.
+//! EXPERIMENTS.md. Beyond the paper's own tables, the follow-up-framework
+//! experiments compare the strategy routes at equal flip budget: E13
+//! sweeps the whole `ars_core::standard_registry` through model-enforcing
+//! sessions, E14 pits DP aggregation (Hassidim et al. 2020, `O(√λ)`
+//! copies) against both switching pools, and E15 adds the difference
+//! estimators (Attias et al. 2022, `O(log λ)` copies on a geometric chunk
+//! schedule) to the same copies/space/accuracy/flips grid. The `benches/`
+//! directory contains one `cargo bench` target per experiment id (E1–E15)
+//! plus Criterion timing benchmarks for the update-time claims, and
+//! `src/bin/` exposes the same experiments as standalone binaries.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

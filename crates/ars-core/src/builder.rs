@@ -35,6 +35,7 @@ use ars_sketch::tracking::{MedianTrackingConfig, MedianTrackingFactory};
 use ars_sketch::EstimatorFactory;
 
 use crate::crypto_f0::CryptoRobustF0;
+use crate::difference_estimators::{DifferenceEstimatorsStrategy, DifferenceSchedule};
 use crate::dp_aggregation::{DpAggregationConfig, DpAggregationStrategy};
 use crate::engine::{DynRobust, RobustPlan};
 use crate::error::{ArsError, BuildError};
@@ -70,6 +71,11 @@ pub enum Strategy {
     /// an `O(√λ)` copy pool answering through a DP median — the cheapest
     /// route in copies when λ is large.
     DpAggregation,
+    /// Difference estimators (Attias–Cohen–Shechner–Stemmer 2022, after
+    /// Woodruff–Zhou): a geometric chunk schedule publishing telescoped
+    /// difference estimates, `O(log λ)` copies with per-chunk flip budgets
+    /// — the smallest pool of all the routes.
+    DifferenceEstimators,
 }
 
 /// The single builder for every robust estimator.
@@ -104,6 +110,13 @@ impl RobustBuilder {
 
     /// Starts a builder for `(1 ± ε)` robust estimators, panicking on an
     /// invalid ε — a thin wrapper over [`RobustBuilder::try_new`].
+    ///
+    /// ```
+    /// use ars_core::RobustBuilder;
+    ///
+    /// let builder = RobustBuilder::new(0.2).stream_length(1_000).domain(1 << 10);
+    /// assert_eq!(builder.epsilon(), 0.2);
+    /// ```
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
         Self::try_new(epsilon).unwrap_or_else(|err| panic!("{err}"))
@@ -111,6 +124,16 @@ impl RobustBuilder {
 
     /// Starts a builder for `(1 ± ε)` robust estimators, rejecting an
     /// invalid ε with a typed [`BuildError`] instead of a panic.
+    ///
+    /// ```
+    /// use ars_core::{ArsError, BuildError, RobustBuilder};
+    ///
+    /// assert!(RobustBuilder::try_new(0.2).is_ok());
+    /// assert!(matches!(
+    ///     RobustBuilder::try_new(1.5),
+    ///     Err(ArsError::Build(BuildError::OutOfRange { field: "epsilon", .. }))
+    /// ));
+    /// ```
     pub fn try_new(epsilon: f64) -> Result<Self, ArsError> {
         if !(epsilon > 0.0 && epsilon < 1.0) {
             return Err(BuildError::out_of_range("epsilon", epsilon, "(0,1)").into());
@@ -229,6 +252,7 @@ impl RobustBuilder {
             lambda: lambda.max(1),
             value_range: value_range.max(2.0),
             additive: false,
+            difference_schedule: None,
         }
     }
 
@@ -264,6 +288,24 @@ impl RobustBuilder {
 
     /// Robust distinct elements (Theorems 1.1 / 1.2 / 10.1 depending on
     /// the strategy).
+    ///
+    /// ```
+    /// use ars_core::{RobustBuilder, RobustEstimator, Strategy};
+    ///
+    /// // The difference-estimator route: an O(log λ) chunk pool whose
+    /// // readings report the provisioned per-chunk flip budget.
+    /// let mut f0 = RobustBuilder::new(0.25)
+    ///     .stream_length(2_000)
+    ///     .domain(1 << 10)
+    ///     .strategy(Strategy::DifferenceEstimators)
+    ///     .f0();
+    /// for i in 0..500u64 {
+    ///     f0.insert(i);
+    /// }
+    /// let reading = f0.query();
+    /// assert!((reading.value - 500.0).abs() <= 0.3 * 500.0);
+    /// assert!(reading.copies >= 4 && reading.copies <= 24); // log-sized pool
+    /// ```
     #[must_use]
     pub fn f0(&self) -> RobustF0 {
         self.try_f0().unwrap_or_else(|err| panic!("{err}"))
@@ -308,6 +350,16 @@ impl RobustBuilder {
                 let factory = self.f0_tracking_factory(per_copy_delta);
                 DpAggregationStrategy::default().wrap(factory, &plan, self.seed)
             }
+            Strategy::DifferenceEstimators => {
+                // The O(log λ) chunk pool over the same strong-tracking KMV
+                // ensemble; the failure budget splits over the chunk count,
+                // the smallest split of any pool route.
+                let schedule = DifferenceSchedule::for_flip_budget(lambda);
+                let per_copy_delta = (self.delta / schedule.chunks() as f64).max(1e-6);
+                let factory = self.f0_tracking_factory(per_copy_delta);
+                DifferenceEstimatorsStrategy::with_schedule(schedule)
+                    .wrap(factory, &plan, self.seed)
+            }
         };
         Ok(RobustF0::from_engine(engine))
     }
@@ -321,6 +373,20 @@ impl RobustBuilder {
 
     /// Robust `F_p` moment estimation for `0 < p ≤ 2`
     /// (Theorems 1.4 / 1.5).
+    ///
+    /// ```
+    /// use ars_core::{RobustBuilder, RobustEstimator};
+    ///
+    /// let mut f2 = RobustBuilder::new(0.3)
+    ///     .stream_length(1_000)
+    ///     .domain(1 << 10)
+    ///     .fp(2.0);
+    /// for i in 0..200u64 {
+    ///     f2.insert(i);
+    /// }
+    /// // 200 singletons: F2 = 200.
+    /// assert!((f2.query().value - 200.0).abs() <= 0.45 * 200.0);
+    /// ```
     #[must_use]
     pub fn fp(&self, p: f64) -> RobustFp {
         self.try_fp(p).unwrap_or_else(|err| panic!("{err}"))
@@ -371,6 +437,15 @@ impl RobustBuilder {
                     config: PStableConfig::for_tracking(p, self.epsilon / 2.0, per_copy_delta),
                 };
                 DpAggregationStrategy::default().wrap(factory, &plan, self.seed)
+            }
+            Strategy::DifferenceEstimators => {
+                let schedule = DifferenceSchedule::for_flip_budget(lambda);
+                let per_copy_delta = (self.delta / schedule.chunks() as f64).max(1e-4);
+                let factory = PStableFactory {
+                    config: PStableConfig::for_tracking(p, self.epsilon / 2.0, per_copy_delta),
+                };
+                DifferenceEstimatorsStrategy::with_schedule(schedule)
+                    .wrap(factory, &plan, self.seed)
             }
         };
         Ok(RobustFp::from_engine(engine, p))
@@ -598,7 +673,8 @@ impl RobustBuilder {
             Some(Strategy::Crypto(backend)) => backend,
             Some(Strategy::SketchSwitching)
             | Some(Strategy::ComputationPaths)
-            | Some(Strategy::DpAggregation) => {
+            | Some(Strategy::DpAggregation)
+            | Some(Strategy::DifferenceEstimators) => {
                 return Err(BuildError::StrategyMismatch {
                     problem: "crypto_f0",
                     detail: "crypto_f0 is the Theorem 10.1 construction; select the backend \
@@ -676,6 +752,8 @@ mod tests {
             Box::new(builder.strategy(Strategy::ComputationPaths).f0()),
             Box::new(builder.strategy(Strategy::DpAggregation).f0()),
             Box::new(builder.strategy(Strategy::DpAggregation).fp(2.0)),
+            Box::new(builder.strategy(Strategy::DifferenceEstimators).f0()),
+            Box::new(builder.strategy(Strategy::DifferenceEstimators).fp(2.0)),
             Box::new(builder.fp(1.0)),
             Box::new(builder.fp(2.0)),
             Box::new(builder.fp_large(3.0)),
@@ -723,6 +801,56 @@ mod tests {
                 .strategy_name(),
             "dp-aggregation"
         );
+        assert_eq!(
+            builder
+                .strategy(Strategy::DifferenceEstimators)
+                .f0()
+                .strategy_name(),
+            "difference-estimators"
+        );
+    }
+
+    #[test]
+    fn difference_estimator_pools_are_logarithmic_in_the_flip_budget() {
+        use crate::difference_estimators::DifferenceSchedule;
+
+        let builder = RobustBuilder::new(0.25)
+            .stream_length(2_000)
+            .domain(1 << 12);
+        let lambda = builder.f0_flip_number();
+        let schedule = DifferenceSchedule::for_flip_budget(lambda);
+        let de = builder.strategy(Strategy::DifferenceEstimators).f0();
+        assert_eq!(RobustEstimator::copies(&de), schedule.chunks());
+        assert!(
+            RobustEstimator::copies(&de) < DpAggregationConfig::copies_for_flip_budget(lambda),
+            "the chunk pool must undercut even the DP pool"
+        );
+        // Readings report the provisioned (improved) budget, >= analytic λ.
+        assert_eq!(
+            RobustEstimator::flip_budget(&de),
+            schedule.total_flip_budget()
+        );
+        assert!(RobustEstimator::flip_budget(&de) >= lambda);
+        // The same accounting holds for the Fp route.
+        let de2 = builder.strategy(Strategy::DifferenceEstimators).fp(2.0);
+        let fp_schedule = DifferenceSchedule::for_flip_budget(builder.fp_flip_number(2.0));
+        assert_eq!(RobustEstimator::copies(&de2), fp_schedule.chunks());
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch switching only")]
+    fn rejects_difference_estimators_for_entropy() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::DifferenceEstimators)
+            .entropy();
+    }
+
+    #[test]
+    #[should_panic(expected = "computation paths only")]
+    fn rejects_difference_estimators_for_turnstile() {
+        let _ = RobustBuilder::new(0.1)
+            .strategy(Strategy::DifferenceEstimators)
+            .turnstile_fp(2.0, 10);
     }
 
     #[test]

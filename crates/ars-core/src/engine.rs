@@ -21,9 +21,12 @@
 //! * the cryptographic route ([`crate::crypto_f0`]) masks items through a
 //!   PRF and publishes raw estimates ([`RoundingMode::Raw`]).
 //!
-//! New strategies (a differential-privacy wrapper, difference estimators)
-//! implement [`StrategyCore`] + [`crate::strategy::RobustStrategy`] and
-//! inherit the whole engine, builder and trait-object surface for free.
+//! New strategies implement [`StrategyCore`] +
+//! [`crate::strategy::RobustStrategy`] and inherit the whole engine,
+//! builder and trait-object surface for free — the differential-privacy
+//! wrapper ([`crate::dp_aggregation`]) and the difference estimators
+//! ([`crate::difference_estimators`]) both arrived exactly this way; see
+//! `docs/ARCHITECTURE.md` for the worked recipe.
 
 use ars_sketch::Estimator;
 use ars_stream::Update;
@@ -171,6 +174,11 @@ pub struct RobustPlan {
     /// rather than multiplicative. Shapes the interval
     /// [`crate::estimate::Estimate`] readings report.
     pub additive: bool,
+    /// Per-chunk flip-budget accounting, present only for the
+    /// difference-estimator strategy: the geometric chunk count and the
+    /// provisioned budget `Σ_j b_j` (which `lambda` is set to, so readings
+    /// report the improved budget). `None` for every other strategy.
+    pub difference_schedule: Option<crate::difference_estimators::ChunkScheduleInfo>,
 }
 
 impl RobustPlan {
@@ -189,6 +197,7 @@ impl RobustPlan {
             lambda: lambda.max(1),
             value_range: 1e18,
             additive: false,
+            difference_schedule: None,
         }
     }
 }

@@ -20,12 +20,16 @@
 //!   along which the constructions differ. Implemented by
 //!   [`sketch_switch::SketchSwitch`] (Algorithm 1 / Theorem 4.1),
 //!   [`computation_paths::ComputationPaths`] (Lemma 3.8), the PRF-masking
-//!   [`strategy::CryptoMaskStrategy`] (Theorem 10.1), and the
-//!   DP-aggregation wrapper [`dp_aggregation::DpAggregation`] of Hassidim
-//!   et al. 2020 (`O(√λ)` copies answering through a private median, built
-//!   on the `ars-dp` mechanism crate). Further follow-up frameworks — the
-//!   difference estimators of Attias et al. 2022 — are new implementations
-//!   of this trait, nothing more.
+//!   [`strategy::CryptoMaskStrategy`] (Theorem 10.1), the DP-aggregation
+//!   wrapper [`dp_aggregation::DpAggregation`] of Hassidim et al. 2020
+//!   (`O(√λ)` copies answering through a private median, built on the
+//!   `ars-dp` mechanism crate), and the difference estimators
+//!   [`difference_estimators::DifferenceEstimators`] of Attias et al. 2022
+//!   (`O(log λ)` copies on a geometric chunk schedule publishing telescoped
+//!   difference estimates, with per-chunk flip budgets). Further follow-up
+//!   frameworks are new implementations of this trait, nothing more — the
+//!   repo-level `docs/ARCHITECTURE.md` walks through the recipe with
+//!   difference estimators as the worked example.
 //! * [`builder::RobustBuilder`] — the single builder. Problem-specific
 //!   constructors (`.f0()`, `.fp(p)`, `.entropy()`, …) are thin factory
 //!   selections that compute the problem's flip number and pick the static
@@ -93,6 +97,8 @@
 //! | [`robust_entropy::RobustEntropy`] | Theorem 1.10 (entropy) |
 //! | [`robust_bounded_deletion::RobustBoundedDeletionFp`] | Theorem 1.11 (bounded deletions) |
 //! | [`crypto_f0::CryptoRobustF0`] | Theorem 10.1 (crypto / random oracle) |
+//! | [`dp_aggregation::DpAggregation`] | Hassidim et al. 2020 (`O(√λ)` DP pool) |
+//! | [`difference_estimators::DifferenceEstimators`] | Attias et al. 2022 (`O(log λ)` chunk pool) |
 //!
 //! Each of those modules is now a thin shim over the engine (the pre-engine
 //! per-problem builders remain as compatibility wrappers). The supporting
@@ -107,6 +113,7 @@ pub mod api;
 pub mod builder;
 pub mod computation_paths;
 pub mod crypto_f0;
+pub mod difference_estimators;
 pub mod dp_aggregation;
 pub mod engine;
 pub mod error;
@@ -128,6 +135,9 @@ pub use api::RobustEstimator;
 pub use builder::{RobustBuilder, Strategy};
 pub use computation_paths::{ComputationPaths, ComputationPathsConfig};
 pub use crypto_f0::{CryptoBackend, CryptoRobustF0, CryptoRobustF0Builder};
+pub use difference_estimators::{
+    ChunkScheduleInfo, DifferenceEstimators, DifferenceEstimatorsStrategy, DifferenceSchedule,
+};
 pub use dp_aggregation::{DpAggregation, DpAggregationConfig, DpAggregationStrategy};
 pub use engine::{DynRobust, RobustPlan, Robustify, RoundingMode, StrategyCore};
 pub use error::{ArsError, BuildError};

@@ -255,6 +255,26 @@ pub fn standard_registry(params: &RegistryParams) -> Vec<RegistryEntry> {
         estimator: Box::new(params.builder(5).strategy(Strategy::DpAggregation).f0()),
     });
 
+    entries.push(RegistryEntry {
+        id: "f0/difference-estimators",
+        label: "robust F0 (difference estimators, ACSS22)".to_string(),
+        query: Query::F0,
+        additive: false,
+        model: StreamModel::InsertionOnly,
+        workload: ReferenceWorkload::Uniform,
+        // Like the DP route, the chunked construction stacks telescoped
+        // per-chunk sketch errors on top of the rounding window, so its
+        // conformance budget is wider than the switching routes'.
+        error_budget: eps * 2.0,
+        min_truth: 300.0,
+        estimator: Box::new(
+            params
+                .builder(6)
+                .strategy(Strategy::DifferenceEstimators)
+                .f0(),
+        ),
+    });
+
     for (offset, p) in [(10u64, 1.0f64), (11, 2.0)] {
         entries.push(RegistryEntry {
             id: if p == 1.0 {
@@ -308,6 +328,26 @@ pub fn standard_registry(params: &RegistryParams) -> Vec<RegistryEntry> {
                 params
                     .builder(offset + 70)
                     .strategy(Strategy::DpAggregation)
+                    .fp(p),
+            ),
+        });
+        entries.push(RegistryEntry {
+            id: if p == 1.0 {
+                "fp1/difference-estimators"
+            } else {
+                "fp2/difference-estimators"
+            },
+            label: format!("robust F{p:.0} (difference estimators, ACSS22)"),
+            query: Query::Fp(p),
+            additive: false,
+            model: StreamModel::InsertionOnly,
+            workload: ReferenceWorkload::Uniform,
+            error_budget: eps * 2.0,
+            min_truth: 500.0,
+            estimator: Box::new(
+                params
+                    .builder(offset + 80)
+                    .strategy(Strategy::DifferenceEstimators)
                     .fp(p),
             ),
         });
@@ -413,12 +453,15 @@ mod tests {
             "f0/crypto-chacha",
             "f0/crypto-oracle",
             "f0/dp-aggregation",
+            "f0/difference-estimators",
             "fp1/sketch-switching",
             "fp1/computation-paths",
             "fp1/dp-aggregation",
+            "fp1/difference-estimators",
             "fp2/sketch-switching",
             "fp2/computation-paths",
             "fp2/dp-aggregation",
+            "fp2/difference-estimators",
             "fp3/computation-paths",
             "turnstile-f2/computation-paths",
             "bounded-deletion-f1/computation-paths",
@@ -436,11 +479,14 @@ mod tests {
         assert!(strategies.contains("computation-paths"));
         assert!(strategies.contains("crypto-mask"));
         assert!(strategies.contains("dp-aggregation"));
+        assert!(strategies.contains("difference-estimators"));
         // Copy metadata comes through as well: the DP pool is sub-linear
         // in the flip budget, single-copy strategies report 1.
         for entry in &entries {
             match entry.estimator.strategy_name() {
-                "dp-aggregation" => assert!(entry.copies() > 1, "{}", entry.id),
+                "dp-aggregation" | "difference-estimators" => {
+                    assert!(entry.copies() > 1, "{}", entry.id);
+                }
                 "computation-paths" | "crypto-mask" => {
                     assert_eq!(entry.copies(), 1, "{}", entry.id);
                 }

@@ -77,6 +77,22 @@ pub struct StreamSession {
 impl StreamSession {
     /// Opens a session enforcing `model` over `estimator`, with no
     /// magnitude or length bounds.
+    ///
+    /// ```
+    /// use ars_core::{Health, RobustBuilder, StreamSession};
+    /// use ars_stream::StreamModel;
+    ///
+    /// let mut session = StreamSession::new(
+    ///     StreamModel::InsertionOnly,
+    ///     Box::new(RobustBuilder::new(0.25).stream_length(1_000).domain(1 << 10).f0()),
+    /// );
+    /// for i in 0..200u64 {
+    ///     session.insert(i).unwrap();
+    /// }
+    /// let reading = session.query();
+    /// assert!((reading.value - 200.0).abs() <= 0.25 * 200.0);
+    /// assert_eq!(reading.health, Health::WithinGuarantee);
+    /// ```
     #[must_use]
     pub fn new(model: StreamModel, estimator: Box<dyn RobustEstimator>) -> Self {
         Self {

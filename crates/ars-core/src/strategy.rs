@@ -13,12 +13,17 @@
 //!   (Theorem 10.1; only sound for sketches that ignore duplicates, like
 //!   the `F₀` family).
 //!
-//! Follow-up frameworks are *exactly* new implementations of this trait:
-//! the differential-privacy wrapper of Hassidim–Kaplan–Mansour–Matias–
-//! Stemmer (NeurIPS 2020) aggregates copies through a DP median instead of
-//! switching, and the difference estimators of Attias–Cohen–Shechner–
-//! Stemmer (2022) split the stream into additive chunks. Both slot in
-//! without touching the engine, the builder surface, or any driver loop.
+//! Follow-up frameworks are *exactly* new implementations of this trait,
+//! and two have already landed this way: the differential-privacy wrapper
+//! of Hassidim–Kaplan–Mansour–Matias–Stemmer (NeurIPS 2020,
+//! [`crate::dp_aggregation::DpAggregationStrategy`]) aggregates copies
+//! through a DP median instead of switching, and the difference estimators
+//! of Attias–Cohen–Shechner–Stemmer (2022,
+//! [`crate::difference_estimators::DifferenceEstimatorsStrategy`]) split
+//! the stream into geometrically scheduled chunks whose telescoped
+//! difference estimates are summed at publication. Both slotted in without
+//! touching the engine, the builder surface, or any driver loop; the
+//! repo-level `docs/ARCHITECTURE.md` records the recipe.
 
 use ars_hash::prf::{ChaChaPrf, Prf, RandomOracle};
 use ars_sketch::{Estimator, EstimatorFactory};

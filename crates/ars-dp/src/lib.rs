@@ -32,6 +32,20 @@
 //! relies on. The mechanisms here are research-grade reproductions for the
 //! robustness application — *not* a hardened DP release library: floating-
 //! point side channels (Mironov 2012) are out of scope.
+//!
+//! # Paper map
+//!
+//! | Module | Result it reproduces / supports |
+//! |---|---|
+//! | [`laplace`] | Laplace mechanism (Dwork et al.; HKMMS20 §2 preliminaries) |
+//! | [`accountant`] | (ε, δ) basic + advanced composition, the `√λ` budget arithmetic of HKMMS20 |
+//! | [`svt`] | AboveThreshold / sparse vector — HKMMS20's "check free, charge on fire" gate |
+//! | [`median`] | exponential-mechanism private median over the ε-rounded grid (HKMMS20 §3) |
+//!
+//! Consumers: `ars-core::dp_aggregation` (the HKMMS20 strategy), and —
+//! per the ACSS22 composition (arXiv:2107.14527) — the recorded follow-up
+//! of charging this crate's [`PrivacyAccountant`] per chunk of
+//! `ars-core::difference_estimators`' geometric schedule.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

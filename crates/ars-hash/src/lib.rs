@@ -18,6 +18,16 @@
 //! * [`chacha`] / [`prf`] — a from-scratch ChaCha20 block function used as
 //!   the exponentially-secure PRF of Section 10, plus a [`prf::RandomOracle`]
 //!   abstraction for the random-oracle model results.
+//!
+//! # Paper map
+//!
+//! | Module | Paper section / result it supports |
+//! |---|---|
+//! | [`field`] | substrate for every polynomial hash family below |
+//! | [`kwise`] | Section 5.1 fast `F₀` (multipoint evaluation, Proposition 5.3's role) |
+//! | [`multiply_shift`] | 2-universal hashing wherever pairwise independence suffices |
+//! | [`tabulation`] | bucketing in the static sketches of Sections 5–6 |
+//! | [`chacha`], [`prf`] | Theorem 10.1 (crypto transformation; PRF and random-oracle halves) |
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -25,6 +25,14 @@
 //!
 //! Every sketch reports its memory footprint via [`Estimator::space_bytes`]
 //! so the benchmark harness can regenerate the space columns of Table 1.
+//!
+//! The pool-based robustification strategies in `ars-core` instantiate
+//! these sketches per copy through [`EstimatorFactory`]: sketch switching
+//! and DP aggregation feed every copy the whole stream, and the
+//! difference-estimator strategy (Attias et al. 2022) additionally reads
+//! *differences* of one copy's estimates at two stream points — sound for
+//! any tracking sketch here, since a single instance's readings all refer
+//! to the same prefix.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -17,9 +17,11 @@
 //! * [`robust`] — the paper's contribution as a *generic transformation*:
 //!   the [`robust::Robustify`] engine, the strategy seam
 //!   ([`robust::RobustStrategy`]: sketch switching, computation paths,
-//!   crypto masking, DP aggregation), the single [`robust::RobustBuilder`],
-//!   and the object-safe [`robust::RobustEstimator`] trait with a batched
-//!   update path ([`ars_core`]).
+//!   crypto masking, DP aggregation, difference estimators), the single
+//!   [`robust::RobustBuilder`], and the object-safe
+//!   [`robust::RobustEstimator`] trait with a batched update path
+//!   ([`ars_core`]). The repo-level `docs/ARCHITECTURE.md` is the guided
+//!   tour of how these layers fit.
 //! * [`adversary`] — the two-player adversarial game harness and the AMS
 //!   attack of Section 9 ([`ars_adversary`]).
 //!

@@ -1,0 +1,124 @@
+//! Offline docs check: every internal relative link in the repo's markdown
+//! documentation must resolve to a file or directory that actually exists.
+//!
+//! The check is deliberately network-free (external `http(s)` links are
+//! skipped), so it runs in the offline build container and in CI as part
+//! of `cargo test`; the CI workflow also invokes it by name so a dangling
+//! path fails the docs gate visibly rather than inside the test blob.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files whose internal links are part of the contract. Docs
+/// under `docs/` are picked up automatically; top-level files are listed
+/// explicitly so a renamed file cannot silently drop out of the check.
+fn documentation_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "CHANGES.md", "ROADMAP.md"]
+        .iter()
+        .map(|name| root.join(name))
+        .collect();
+    let docs_dir = root.join("docs");
+    if let Ok(entries) = std::fs::read_dir(&docs_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+/// Extracts the targets of inline markdown links `[label](target)` from
+/// `text`. A tiny hand-rolled scanner (no regex dependency offline):
+/// whenever `](` follows a `[label]`, the target runs to the next `)` —
+/// none of this repo's links contain nested parentheses.
+fn link_targets(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(rel_end) = text[i + 2..].find(')') {
+                targets.push(text[i + 2..i + 2 + rel_end].to_string());
+                i += 2 + rel_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Whether a link target is internal (a relative path this check owns).
+fn is_internal(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty())
+}
+
+#[test]
+fn internal_documentation_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = documentation_files(&root);
+    assert!(
+        files.iter().filter(|f| f.exists()).count() >= 3,
+        "the documentation set went missing: {files:?}"
+    );
+    let mut dangling = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let dir = file.parent().expect("markdown files live in a directory");
+        for target in link_targets(&text) {
+            if !is_internal(&target) {
+                continue;
+            }
+            // Strip a fragment (`path#section`) — the path is what must
+            // exist; section anchors are not versioned artifacts.
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                dangling.push(format!("{}: ({target})", file.display()));
+            }
+        }
+    }
+    assert!(
+        checked >= 2,
+        "the link scanner found almost no internal links; it is probably broken"
+    );
+    assert!(
+        dangling.is_empty(),
+        "dangling internal documentation links:\n{}",
+        dangling.join("\n")
+    );
+}
+
+#[test]
+fn link_scanner_catches_dangling_and_skips_external() {
+    let targets = link_targets(
+        "see [a](docs/ARCHITECTURE.md), [b](https://example.com), \
+         [c](#anchor), [d](missing-file.md)",
+    );
+    assert_eq!(
+        targets,
+        vec![
+            "docs/ARCHITECTURE.md",
+            "https://example.com",
+            "#anchor",
+            "missing-file.md"
+        ]
+    );
+    assert!(is_internal("docs/ARCHITECTURE.md"));
+    assert!(is_internal("missing-file.md"));
+    assert!(!is_internal("https://example.com"));
+    assert!(!is_internal("#anchor"));
+    assert!(!is_internal("mailto:x@example.com"));
+}

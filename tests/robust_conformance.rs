@@ -6,8 +6,8 @@
 
 use adversarial_robust_streaming::robust::registry::RegistryEntry;
 use adversarial_robust_streaming::robust::{
-    standard_registry, ArsError, DpAggregationConfig, FlipBudget, Health, RegistryParams,
-    RobustBuilder, RobustEstimator, SketchSwitchConfig, Strategy, StreamSession,
+    standard_registry, ArsError, DifferenceSchedule, DpAggregationConfig, FlipBudget, Health,
+    RegistryParams, RobustBuilder, RobustEstimator, SketchSwitchConfig, Strategy, StreamSession,
 };
 use adversarial_robust_streaming::stream::generator::Generator;
 use adversarial_robust_streaming::stream::{StreamModel, Update};
@@ -181,6 +181,83 @@ fn dp_aggregation_copy_count_grows_as_sqrt_lambda_not_lambda() {
         RobustEstimator::copies(&dp)
     );
     assert_eq!(RobustEstimator::flip_budget(&dp), lambda);
+}
+
+#[test]
+fn difference_estimator_copy_count_grows_as_log_lambda() {
+    // Config level: over a 16x range of flip budgets the chunk pool grows
+    // by an additive constant (log), while the DP pool grows by the square
+    // root and the exhaustible switching pool of Lemma 3.6 linearly.
+    for (lambda, log2) in [(256usize, 9usize), (1024, 11), (4096, 13)] {
+        let schedule = DifferenceSchedule::for_flip_budget(lambda);
+        assert_eq!(schedule.chunks(), log2, "lambda {lambda}");
+        assert!(schedule.total_flip_budget() >= lambda, "lambda {lambda}");
+        assert!(
+            schedule.chunks() < DpAggregationConfig::copies_for_flip_budget(lambda),
+            "lambda {lambda}: chunk pool not below the DP pool"
+        );
+        assert_eq!(SketchSwitchConfig::exhaustible(0.25, lambda).copies, lambda);
+    }
+
+    // Estimator level: a built difference estimator reports the log-sized
+    // pool through copies() and the provisioned chunk total — the improved
+    // budget — through flip_budget() and its typed readings.
+    let p = params();
+    let builder = RobustBuilder::new(p.epsilon)
+        .stream_length(p.stream_length)
+        .domain(p.domain)
+        .seed(p.seed);
+    let lambda = builder.f0_flip_number();
+    let schedule = DifferenceSchedule::for_flip_budget(lambda);
+    let de = builder.strategy(Strategy::DifferenceEstimators).f0();
+    assert_eq!(RobustEstimator::copies(&de), schedule.chunks());
+    assert!(
+        RobustEstimator::copies(&de) < DpAggregationConfig::copies_for_flip_budget(lambda),
+        "chunk pool {} not below the DP pool at lambda {lambda}",
+        RobustEstimator::copies(&de)
+    );
+    assert_eq!(
+        RobustEstimator::flip_budget(&de),
+        schedule.total_flip_budget()
+    );
+    assert!(RobustEstimator::flip_budget(&de) >= lambda);
+    assert_eq!(
+        de.query().flip_budget,
+        FlipBudget::Bounded(schedule.total_flip_budget())
+    );
+}
+
+#[test]
+fn difference_estimator_entries_conform_and_reject_model_violations() {
+    // The three registry entries the new strategy enrolls: ε-budget
+    // tracking on their reference stream (per-update AND batched), and —
+    // through their sessions — typed rejection of model-violating updates.
+    let p = params();
+    let mut seen = 0;
+    for mut entry in standard_registry(&p) {
+        if !entry.id.ends_with("/difference-estimators") {
+            continue;
+        }
+        seen += 1;
+        let worst = score_entry(&mut entry, None);
+        assert!(
+            worst <= entry.error_budget,
+            "{}: per-update error {worst} exceeds budget {}",
+            entry.id,
+            entry.error_budget
+        );
+        let id = entry.id;
+        let mut session = entry.into_session();
+        match session.update(Update::delete(7)) {
+            Err(ArsError::Stream(_)) => {}
+            other => panic!("{id}: expected ArsError::Stream, got {other:?}"),
+        }
+        assert_eq!(session.query().health, Health::PromiseViolated, "{id}");
+    }
+    assert_eq!(
+        seen, 3,
+        "expected f0/fp1/fp2 difference-estimator registry entries"
+    );
 }
 
 #[test]
