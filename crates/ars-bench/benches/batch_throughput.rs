@@ -9,15 +9,27 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use ars_core::{RobustBuilder, RobustEstimator, Strategy};
+use ars_core::{RobustBuilder, RobustEstimator, Strategy, StreamSession};
 use ars_stream::generator::{Generator, UniformGenerator, ZipfGenerator};
-use ars_stream::Update;
+use ars_stream::{StreamModel, Update, ValidationTier};
 
 const STREAM: usize = 4_096;
 /// The p-stable sketch-switching pool is far heavier per update than the
 /// F0 pool, so the Fp leg uses a shorter stream to keep the bench quick.
 const FP_STREAM: usize = 1_024;
 const BATCH: usize = 256;
+
+/// The exact-vs-tiered validation leg: a bounded-deletion stream wide
+/// enough that the pre-tiered `O(m·distinct)` validator visibly dominates.
+const BD_STREAM: usize = 100_000;
+const BD_DISTINCT: u64 = 20_000;
+/// The reference (seed) validator is `O(support)` per update — ~2 ms per
+/// update once the support reaches 20k — so it is timed on a window of
+/// this many updates at full support (after an incrementally-validated
+/// warmup), not on the whole stream. Its steady-state cost is what the
+/// window measures; the methodology is recorded in the JSON, never
+/// silently.
+const BD_REFERENCE_WINDOW: usize = 1_500;
 
 fn f0_updates() -> Vec<Update> {
     UniformGenerator::new(1 << 16, 7).take_updates(STREAM)
@@ -155,6 +167,63 @@ fn bench_batching(c: &mut Criterion) {
 
     group.finish();
 
+    // --- Exact-vs-tiered bounded-deletion session validation leg ---
+    // Three inserts then one delete per item stays exactly on the
+    // alpha = 2 boundary, so every update exercises the invariant check.
+    let bd_stream: Vec<Update> = (0..BD_STREAM as u64)
+        .map(|i| {
+            let item = (i / 4) % BD_DISTINCT;
+            if i % 4 == 3 {
+                Update::delete(item)
+            } else {
+                Update::insert(item)
+            }
+        })
+        .collect();
+    let bd_session = |tier: ValidationTier| {
+        StreamSession::new(
+            StreamModel::bounded_deletion(2.0, 1.0),
+            Box::new(
+                RobustBuilder::new(0.25)
+                    .stream_length(BD_STREAM as u64)
+                    .domain(1 << 16)
+                    .max_frequency(8)
+                    .seed(9)
+                    .bounded_deletion_fp(1.0, 2.0),
+            ),
+        )
+        .with_validator_tier(tier)
+    };
+    let ingest = |session: &mut StreamSession, updates: &[Update]| -> f64 {
+        let start = std::time::Instant::now();
+        for chunk in updates.chunks(BATCH) {
+            session
+                .update_batch(chunk)
+                .expect("the boundary pattern conforms to alpha = 2");
+        }
+        start.elapsed().as_nanos() as f64 / updates.len() as f64
+    };
+    // The tiered session ingests the whole 100k-update stream.
+    let incremental_ns = ingest(&mut bd_session(ValidationTier::Incremental), &bd_stream);
+    // The seed-validator session is timed on a window at full 20k support:
+    // the warmup prefix is validated incrementally (identical accept/reject
+    // semantics, conformance-tested), then the tier is switched to the
+    // reference oracle for the measured window.
+    let window_start = BD_STREAM - BD_REFERENCE_WINDOW;
+    let mut reference_session = bd_session(ValidationTier::Incremental);
+    ingest(&mut reference_session, &bd_stream[..window_start]);
+    let mut reference_session = reference_session.with_validator_tier(ValidationTier::Reference);
+    let reference_ns = ingest(&mut reference_session, &bd_stream[window_start..]);
+    let validator_speedup = reference_ns / incremental_ns.max(1e-9);
+    println!(
+        "bench: bounded_deletion_session/incremental ({BD_STREAM} updates, {BD_DISTINCT} distinct): \
+         {incremental_ns:.0} ns/update"
+    );
+    println!(
+        "bench: bounded_deletion_session/reference ({BD_REFERENCE_WINDOW}-update window at full \
+         support): {reference_ns:.0} ns/update  => tiered session speedup {validator_speedup:.1}x"
+    );
+
     // Persist the trajectory point: ns/update for each variant, plus the
     // batched-vs-per-update speedup per estimator.
     let mut json = String::from("{\"bench\":\"batch_throughput\",\"stream\":");
@@ -202,6 +271,14 @@ fn bench_batching(c: &mut Criterion) {
             json.push_str(&format!("\"{}\":{speedup:.2}", pair.0));
         }
     }
+    json.push_str("},\"validation\":{");
+    json.push_str(&format!(
+        "\"stream\":{BD_STREAM},\"distinct\":{BD_DISTINCT},\
+         \"incremental_ns_per_update\":{incremental_ns:.1},\
+         \"reference_ns_per_update\":{reference_ns:.1},\
+         \"reference_window\":{BD_REFERENCE_WINDOW},\
+         \"session_speedup\":{validator_speedup:.1}"
+    ));
     json.push_str("}}");
     println!("{json}");
     if std::env::var("ARS_BENCH_NO_WRITE").is_err() {

@@ -1,0 +1,17 @@
+//! `cargo bench --bench validator_tiers` regenerates experiment E16:
+//! validation tiers (stateless / incremental / reference) — enforcement
+//! cost and memory per tier — plus the multi-tenant `SessionManager`'s
+//! budget-exhaustion → doubled-λ re-provisioning loop.
+
+use ars_bench::{run_experiment, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::var("ARS_BENCH_FULL").is_ok() {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::quick()
+    };
+    let report = run_experiment("E16", scale, 42).expect("experiment E16 exists");
+    println!("{}", report.to_markdown());
+    eprintln!("{}", report.to_json());
+}

@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E12) and prints the full markdown report that
+//! Runs every experiment (E1–E16) and prints the full markdown report that
 //! EXPERIMENTS.md is built from.
 //!
 //! Usage:

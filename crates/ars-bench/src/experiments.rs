@@ -1450,6 +1450,181 @@ pub fn difference_estimators_experiment(scale: ExperimentScale, seed: u64) -> Ex
     report
 }
 
+/// E16 — validation tiers and the multi-tenant session manager: the cost
+/// of model enforcement per [`ars_stream::ValidationTier`], and the
+/// budget-exhaustion → re-provisioning loop of
+/// [`ars_core::manager::SessionManager`].
+///
+/// The first rows price the bounded-deletion invariant: the incremental
+/// tier (running moments, `O(1)` per update) against the pre-tiered
+/// reference oracle (clone both exact vectors, recompute `F_p` over the
+/// full support — `O(support)` per update, which made session ingestion
+/// `O(m·distinct)`). The reference leg is measured on a bounded prefix of
+/// the same stream — its cost *grows* with the support, so the reported
+/// speedup is a lower bound; the cap is recorded in the row notes, never
+/// silently. Then the stateless-vs-exact memory rows, and finally a
+/// manager tenant driven to `Health::BudgetExhausted` and automatically
+/// re-provisioned with a doubled λ.
+#[must_use]
+pub fn validator_tiers_experiment(scale: ExperimentScale, seed: u64) -> ExperimentReport {
+    use ars_core::SessionManager;
+    use ars_stream::{StreamModel, StreamValidator, ValidationTier};
+
+    let mut report = ExperimentReport::new(
+        "E16",
+        "Validation tiers and the session manager: enforcement cost, memory, re-provisioning",
+    );
+    let epsilon = 0.25;
+
+    // --- Tiered vs reference bounded-deletion validation throughput ---
+    let alpha = 2.0;
+    let updates = {
+        let mut g = BoundedDeletionGenerator::new(alpha, (scale.domain / 4).max(500), seed);
+        g.take_updates(scale.stream_length)
+    };
+    let distinct = updates.iter().copied().collect::<FrequencyVector>().f0();
+    let time_validator = |tier: ValidationTier, cap: usize| -> (f64, usize, usize) {
+        let mut v = StreamValidator::new(StreamModel::bounded_deletion(alpha, 1.0)).with_tier(tier);
+        let slice = &updates[..updates.len().min(cap)];
+        let start = Instant::now();
+        v.apply_all(slice)
+            .expect("the generator stays inside its own model");
+        let elapsed = start.elapsed();
+        (
+            elapsed.as_nanos() as f64 / slice.len() as f64,
+            v.state_bytes(),
+            slice.len(),
+        )
+    };
+    let (incremental_ns, incremental_bytes, _) =
+        time_validator(ValidationTier::Incremental, usize::MAX);
+    // The reference oracle is O(support) per update; a bounded prefix
+    // keeps the experiment finishable and only understates the speedup.
+    let reference_cap = 4_000;
+    let (reference_ns, reference_bytes, reference_len) =
+        time_validator(ValidationTier::Reference, reference_cap);
+    let speedup = reference_ns / incremental_ns.max(1e-9);
+    report.rows.push(Row {
+        algorithm: "bounded-deletion validator (incremental tier)".to_string(),
+        workload: format!(
+            "bounded-deletion(alpha={alpha}), m={}, distinct={distinct}",
+            updates.len()
+        ),
+        epsilon,
+        space_bytes: incremental_bytes,
+        max_error: 0.0,
+        within_guarantee: true,
+        notes: format!("{incremental_ns:.0} ns/update, O(1) per update"),
+    });
+    report.rows.push(Row {
+        algorithm: "bounded-deletion validator (reference oracle)".to_string(),
+        workload: format!(
+            "same stream, first {reference_len} updates (cost grows with support; speedup is a lower bound)"
+        ),
+        epsilon,
+        space_bytes: reference_bytes,
+        max_error: 0.0,
+        within_guarantee: true,
+        notes: format!(
+            "{reference_ns:.0} ns/update, O(support) per update; incremental speedup >= {speedup:.0}x"
+        ),
+    });
+
+    // --- Stateless vs exact validator memory on an insertion-only session ---
+    let b = builder(scale, epsilon, seed);
+    let inserts =
+        UniformGenerator::new(scale.domain, seed ^ 0xA11CE).take_updates(scale.stream_length);
+    for (label, exact) in [("stateless fast path", false), ("exact state opt-in", true)] {
+        let session = StreamSession::new(StreamModel::InsertionOnly, Box::new(b.f0()));
+        let mut session = if exact {
+            session.with_exact_state()
+        } else {
+            session
+        };
+        for chunk in inserts.chunks(512) {
+            session
+                .update_batch(chunk)
+                .expect("uniform insertions conform");
+        }
+        report.rows.push(Row {
+            algorithm: format!("insertion-only session validator ({label})"),
+            workload: format!("uniform(n={}), m={}", scale.domain, inserts.len()),
+            epsilon,
+            space_bytes: session.validator_bytes(),
+            max_error: 0.0,
+            within_guarantee: true,
+            notes: format!(
+                "tier {}, validator {} B vs sketch {} B",
+                session.validator_tier(),
+                session.validator_bytes(),
+                session.estimator().space_bytes()
+            ),
+        });
+    }
+
+    // --- SessionManager: exhaustion and automatic re-provisioning ---
+    let lambda0 = 2usize;
+    let mb = RobustBuilder::new(epsilon)
+        .stream_length(scale.stream_length as u64)
+        .domain(1 << 10)
+        .max_frequency(64)
+        .seed(seed ^ 0xBEE);
+    let mut manager = SessionManager::new();
+    manager.register(
+        "waves",
+        StreamSession::new(
+            StreamModel::Turnstile,
+            Box::new(mb.turnstile_fp(2.0, lambda0)),
+        )
+        .with_exact_state(),
+        Box::new(move |lambda| Box::new(mb.turnstile_fp(2.0, lambda))),
+    );
+    let waves = TurnstileWaveGenerator::new(400).take_updates(scale.stream_length.min(6_000));
+    for u in waves {
+        manager
+            .update("waves", u)
+            .expect("turnstile waves always conform");
+    }
+    // Land on a high plateau so the continuity check has a large truth.
+    for i in 0..200u64 {
+        for _ in 0..3 {
+            manager
+                .update("waves", Update::insert(10_000 + i))
+                .expect("insertions conform");
+        }
+    }
+    let tenant = &manager.health_report()[0];
+    let reading = manager.query("waves").expect("tenant registered");
+    let truth = manager
+        .session("waves")
+        .expect("tenant registered")
+        .frequency()
+        .expect("exact state requested")
+        .f2();
+    let continuity_error = if truth > 0.0 {
+        ((reading.value - truth) / truth).abs()
+    } else {
+        0.0
+    };
+    report.rows.push(Row {
+        algorithm: "session manager: auto re-provisioning (doubled lambda)".to_string(),
+        workload: "turnstile waves driving a 2-flip budget to exhaustion".to_string(),
+        epsilon,
+        space_bytes: tenant.space_bytes,
+        max_error: continuity_error,
+        within_guarantee: tenant.reprovisions > 0
+            && reading.health.is_trustworthy()
+            && continuity_error <= 2.0 * epsilon,
+        notes: format!(
+            "reprovisions {}, provisioned budget {}, {}",
+            tenant.reprovisions,
+            tenant.flip_budget,
+            reading_note(&reading)
+        ),
+    });
+    report
+}
+
 /// Runs a named experiment at the given scale (used by the bin targets).
 #[must_use]
 pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<ExperimentReport> {
@@ -1469,6 +1644,7 @@ pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<Exp
         "E13" => Some(registry_sweep(scale, seed)),
         "E14" => Some(dp_aggregation_experiment(scale, seed)),
         "E15" => Some(difference_estimators_experiment(scale, seed)),
+        "E16" => Some(validator_tiers_experiment(scale, seed)),
         _ => None,
     }
 }
@@ -1478,7 +1654,7 @@ pub fn run_experiment(id: &str, scale: ExperimentScale, seed: u64) -> Option<Exp
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-        "E15",
+        "E15", "E16",
     ]
 }
 
@@ -1513,7 +1689,7 @@ mod tests {
             // Only check dispatch, not execution (some experiments are slow).
             assert!([
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15"
+                "E14", "E15", "E16"
             ]
             .contains(&id));
         }
@@ -1583,6 +1759,65 @@ mod tests {
             .find(|r| r.algorithm.contains("F0 (difference estimators"))
             .expect("E15 has a difference-estimator F0 row");
         assert!(de_row.notes.contains("provisioned flips"));
+    }
+
+    #[test]
+    fn validator_tiers_experiment_records_speedup_memory_and_reprovisioning() {
+        let report = validator_tiers_experiment(tiny(), 9);
+        assert_eq!(report.rows.len(), 5);
+
+        // The incremental tier beats the reference oracle by at least an
+        // order of magnitude on a bounded-deletion stream (measured
+        // speedups sit far above 10x; the bound keeps the test robust).
+        let reference = report
+            .rows
+            .iter()
+            .find(|r| r.algorithm.contains("reference oracle"))
+            .expect("E16 has a reference-oracle row");
+        let speedup: f64 = reference
+            .notes
+            .split("speedup >= ")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('x').parse().ok())
+            .unwrap_or_else(|| panic!("no speedup note in {}", reference.notes));
+        assert!(
+            speedup >= 10.0,
+            "tiered validation speedup {speedup} below 10x: {}",
+            reference.notes
+        );
+
+        // Stateless sessions hold O(1) validator memory; the exact opt-in
+        // carries the support.
+        let stateless = report
+            .rows
+            .iter()
+            .find(|r| r.algorithm.contains("stateless fast path"))
+            .expect("E16 has a stateless row");
+        let exact = report
+            .rows
+            .iter()
+            .find(|r| r.algorithm.contains("exact state opt-in"))
+            .expect("E16 has an exact-state row");
+        assert!(
+            stateless.space_bytes * 10 < exact.space_bytes,
+            "stateless validator {} B not far below exact {} B",
+            stateless.space_bytes,
+            exact.space_bytes
+        );
+
+        // The manager row observed exhaustion, auto re-provisioning with a
+        // doubled budget, and post-rebuild continuity.
+        let manager = report
+            .rows
+            .iter()
+            .find(|r| r.algorithm.contains("re-provisioning"))
+            .expect("E16 has a manager row");
+        assert!(
+            manager.within_guarantee,
+            "manager row failed: {} (error {})",
+            manager.notes, manager.max_error
+        );
+        assert!(manager.notes.contains("reprovisions"));
     }
 
     #[test]

@@ -95,6 +95,23 @@ pub enum ArsError {
         /// The provisioned budget λ.
         budget: usize,
     },
+    /// A rebuild (re-provisioning) could not proceed: the session's
+    /// validation tier keeps no exact state to replay — the stateless fast
+    /// path trades exactly this away; open the session with
+    /// `with_exact_state()` if re-provisioning matters more than the
+    /// `O(1)` validator footprint — or the estimator's flip budget is
+    /// unbounded, so there is no λ to double (and nothing to recover
+    /// from: an unbounded budget can never exhaust).
+    StateUnavailable {
+        /// Why the rebuild could not proceed.
+        reason: &'static str,
+    },
+    /// A [`crate::manager::SessionManager`] operation referenced a tenant
+    /// name that is not registered.
+    UnknownSession {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for ArsError {
@@ -106,6 +123,12 @@ impl fmt::Display for ArsError {
                 f,
                 "flip budget exhausted: {flips} output changes against a budget of {budget}"
             ),
+            Self::StateUnavailable { reason } => {
+                write!(f, "cannot rebuild the estimator: {reason}")
+            }
+            Self::UnknownSession { name } => {
+                write!(f, "no session named {name:?} is registered")
+            }
         }
     }
 }
@@ -115,7 +138,9 @@ impl std::error::Error for ArsError {
         match self {
             Self::Stream(err) => Some(err),
             Self::Build(err) => Some(err),
-            Self::BudgetExhausted { .. } => None,
+            Self::BudgetExhausted { .. }
+            | Self::StateUnavailable { .. }
+            | Self::UnknownSession { .. } => None,
         }
     }
 }
@@ -175,5 +200,18 @@ mod tests {
         assert!(budget.source().is_none());
         assert!(budget.to_string().contains("11"));
         assert!(budget.to_string().contains("10"));
+
+        let state = ArsError::StateUnavailable {
+            reason: "the stateless validation tier keeps no exact state to replay",
+        };
+        assert!(state.source().is_none());
+        assert!(state.to_string().contains("stateless"));
+        assert!(state.to_string().contains("no exact state"));
+
+        let unknown = ArsError::UnknownSession {
+            name: "edge-7".to_string(),
+        };
+        assert!(unknown.source().is_none());
+        assert!(unknown.to_string().contains("edge-7"));
     }
 }

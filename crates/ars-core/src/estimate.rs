@@ -169,6 +169,18 @@ impl Health {
     pub fn is_trustworthy(self) -> bool {
         matches!(self, Self::WithinGuarantee)
     }
+
+    /// Parses the stable wire name produced by [`Health`]'s `Display`
+    /// (used by the JSON reading surface).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "within-guarantee" => Some(Self::WithinGuarantee),
+            "budget-exhausted" => Some(Self::BudgetExhausted),
+            "promise-violated" => Some(Self::PromiseViolated),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Health {
@@ -246,6 +258,76 @@ impl Estimate {
             FlipBudget::Bounded(lambda) => Some(lambda.saturating_sub(self.flips_used)),
             FlipBudget::Unbounded => None,
         }
+    }
+
+    /// Serializes the reading as one JSON object — the wire surface behind
+    /// [`crate::manager::SessionManager::readings_json`]. Hand-rolled (the
+    /// build environment vendors no serde), matching `ars-bench`'s report
+    /// JSON style: floats via `{:?}` so `f64` round-trips exactly, the
+    /// unbounded flip budget as the string `"unbounded"` (never the raw
+    /// `usize::MAX` sentinel), health as its stable `Display` name.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let flip_budget = match self.flip_budget {
+            FlipBudget::Bounded(lambda) => lambda.to_string(),
+            FlipBudget::Unbounded => "\"unbounded\"".to_string(),
+        };
+        format!(
+            "{{\"value\":{:?},\"epsilon\":{:?},\"guarantee\":{{\"lower\":{:?},\
+             \"upper\":{:?},\"additive\":{}}},\"flips_used\":{},\"flip_budget\":{},\
+             \"copies\":{},\"health\":\"{}\"}}",
+            self.value,
+            self.epsilon,
+            self.guarantee.lower,
+            self.guarantee.upper,
+            self.guarantee.additive,
+            self.flips_used,
+            flip_budget,
+            self.copies,
+            self.health,
+        )
+    }
+
+    /// Parses a reading serialized by [`Estimate::to_json`]. A minimal
+    /// reader for exactly that flat schema (keys may appear in any order;
+    /// unknown keys are ignored); returns `None` on anything malformed.
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<Self> {
+        fn field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+            let marker = format!("\"{key}\":");
+            let start = text.find(&marker)? + marker.len();
+            let rest = &text[start..];
+            // Every value in this schema is a number, a boolean, or a
+            // quoted token containing neither ',' nor '}', so the first
+            // delimiter ends it.
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].trim())
+        }
+        let value = field(text, "value")?.parse::<f64>().ok()?;
+        let epsilon = field(text, "epsilon")?.parse::<f64>().ok()?;
+        let lower = field(text, "lower")?.parse::<f64>().ok()?;
+        let upper = field(text, "upper")?.parse::<f64>().ok()?;
+        let additive = field(text, "additive")?.parse::<bool>().ok()?;
+        let flips_used = field(text, "flips_used")?.parse::<usize>().ok()?;
+        let flip_budget = match field(text, "flip_budget")? {
+            "\"unbounded\"" => FlipBudget::Unbounded,
+            raw => FlipBudget::Bounded(raw.parse::<usize>().ok()?),
+        };
+        let copies = field(text, "copies")?.parse::<usize>().ok()?;
+        let health = Health::parse(field(text, "health")?.trim_matches('"'))?;
+        Some(Self {
+            value,
+            epsilon,
+            guarantee: Guarantee {
+                lower,
+                upper,
+                additive,
+            },
+            flips_used,
+            flip_budget,
+            copies,
+            health,
+        })
     }
 }
 
@@ -339,6 +421,43 @@ mod tests {
         let crypto = Estimate::new(10.0, 0.1, false, 0, FlipBudget::Unbounded, 1);
         assert_eq!(crypto.health, Health::WithinGuarantee);
         assert_eq!(crypto.flips_remaining(), None);
+    }
+
+    #[test]
+    fn json_round_trips_every_field_exactly() {
+        let readings = [
+            Estimate::new(250.125, 0.1, false, 3, FlipBudget::Bounded(100), 2),
+            // Additive (entropy) reading with a budget-exhausted verdict.
+            Estimate::new(1.75, 0.3, true, 11, FlipBudget::Bounded(10), 4),
+            // The crypto route: unbounded budget must serialize as a name,
+            // not the usize::MAX sentinel.
+            Estimate::new(0.1 + 0.2, 0.05, false, 0, FlipBudget::Unbounded, 1),
+        ];
+        for reading in readings {
+            let json = reading.to_json();
+            assert!(!json.contains("18446744073709551615"), "{json}");
+            let parsed = Estimate::from_json(&json).expect("own output parses");
+            assert_eq!(parsed, reading, "round trip diverged on {json}");
+        }
+        // PromiseViolated survives too (constructed by sessions, not by
+        // Estimate::new).
+        let mut flagged = Estimate::new(5.0, 0.2, false, 1, FlipBudget::Bounded(9), 1);
+        flagged.health = Health::PromiseViolated;
+        assert_eq!(Estimate::from_json(&flagged.to_json()), Some(flagged));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert_eq!(Estimate::from_json(""), None);
+        assert_eq!(Estimate::from_json("{\"value\":1.0}"), None);
+        let good = Estimate::new(1.0, 0.1, false, 0, FlipBudget::Bounded(5), 1).to_json();
+        let bad_health = good.replace("within-guarantee", "fine-probably");
+        assert_eq!(Estimate::from_json(&bad_health), None);
+        assert_eq!(
+            Health::parse("within-guarantee"),
+            Some(Health::WithinGuarantee)
+        );
+        assert_eq!(Health::parse("nonsense"), None);
     }
 
     #[test]

@@ -42,13 +42,17 @@
 //! * [`registry`] — every problem × strategy as `Box<dyn RobustEstimator>`
 //!   plus scoring metadata, so benches, games and conformance tests drive
 //!   all of them through one generic loop.
-//! * [`estimate`] / [`error`] / [`session`] — the typed serving surface:
-//!   [`estimate::Estimate`] readings (value, guarantee interval, flip
-//!   accounting, [`estimate::Health`]) from
+//! * [`estimate`] / [`error`] / [`session`] / [`manager`] — the typed
+//!   serving surface: [`estimate::Estimate`] readings (value, guarantee
+//!   interval, flip accounting, [`estimate::Health`]) from
 //!   [`api::RobustEstimator::query`], typed [`error::ArsError`] failures
-//!   from the fallible `try_*` builder and ingestion paths, and the
+//!   from the fallible `try_*` builder and ingestion paths, the
 //!   [`session::StreamSession`] driver that enforces the declared
-//!   [`ars_stream::StreamModel`] on every update.
+//!   [`ars_stream::StreamModel`] on every update (at the cheapest
+//!   [`ars_stream::ValidationTier`] the model admits), and the
+//!   multi-tenant [`manager::SessionManager`] — named sessions, aggregate
+//!   health, JSON readings, automatic re-provisioning of budget-exhausted
+//!   estimators with a doubled λ.
 //!
 //! # Quickstart
 //!
@@ -119,6 +123,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod flip_number;
+pub mod manager;
 pub mod registry;
 pub mod robust_bounded_deletion;
 pub mod robust_entropy;
@@ -143,6 +148,7 @@ pub use engine::{DynRobust, RobustPlan, Robustify, RoundingMode, StrategyCore};
 pub use error::{ArsError, BuildError};
 pub use estimate::{Estimate, FlipBudget, Guarantee, Health};
 pub use flip_number::{empirical_flip_number, FlipNumberBound};
+pub use manager::{Provisioner, SessionManager, TenantHealth};
 pub use registry::{standard_registry, RegistryEntry, RegistryParams};
 pub use robust_bounded_deletion::{RobustBoundedDeletionFp, RobustBoundedDeletionFpBuilder};
 pub use robust_entropy::{EntropyMethod, RobustEntropy, RobustEntropyBuilder};

@@ -1,0 +1,582 @@
+//! [`SessionManager`]: a multi-tenant registry of named
+//! [`StreamSession`]s with aggregate health reporting, a JSON wire surface
+//! for readings, and automatic re-provisioning of budget-exhausted
+//! estimators.
+//!
+//! The paper's guarantee is provisioned, not perpetual: an estimator built
+//! for flip budget λ stops being covered once its published output has
+//! changed λ times ([`Health::BudgetExhausted`]). Attias–Cohen–Shechner–
+//! Stemmer 2022 (arXiv:2204.09136) frames robustness exactly as such a
+//! spendable budget; a serving system must therefore treat exhaustion as an
+//! operational event, not a terminal state. The manager's answer is the
+//! re-provisioning path: when a tenant's reading goes budget-exhausted, a
+//! fresh estimator is built with a **doubled λ** through the tenant's
+//! [`Provisioner`], the session's exact frequency state is replayed into it
+//! (one batch — at most one publication), and the estimator is swapped
+//! under the unchanged validator. Sessions on the stateless validation tier
+//! keep no exact state to replay; re-provisioning them fails with the typed
+//! [`ArsError::StateUnavailable`] — the documented price of the `O(1)`
+//! fast path.
+//!
+//! ```
+//! use ars_core::{RobustBuilder, SessionManager, StreamSession};
+//! use ars_stream::{StreamModel, Update};
+//!
+//! let builder = RobustBuilder::new(0.2).stream_length(10_000).seed(7);
+//! let mut manager = SessionManager::new();
+//! manager.register(
+//!     "edge-us",
+//!     StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.f0())),
+//!     Box::new(move |_lambda| Box::new(builder.f0())),
+//! );
+//! for i in 0..500u64 {
+//!     manager.update("edge-us", Update::insert(i)).unwrap();
+//! }
+//! let reading = manager.query("edge-us").unwrap();
+//! assert!((reading.value - 500.0).abs() <= 0.25 * 500.0);
+//! assert!(manager.readings_json().contains("\"edge-us\""));
+//! ```
+
+use std::collections::BTreeMap;
+
+use ars_stream::{Update, ValidationTier};
+
+use crate::api::RobustEstimator;
+use crate::error::ArsError;
+use crate::estimate::{Estimate, FlipBudget, Health};
+use crate::session::StreamSession;
+
+/// Factory a tenant re-provisions through: given the flip budget λ the
+/// manager wants provisioned, build a fresh estimator for the tenant's
+/// problem. For problems whose λ is an explicit promise (the turnstile
+/// route) the factory should pass it straight through; for problems whose
+/// λ is analytic the factory may incorporate it via
+/// [`crate::builder::RobustBuilder::custom`] or ignore the hint — a fresh
+/// pool with reset flip accounting is still a meaningful recovery.
+pub type Provisioner = Box<dyn FnMut(usize) -> Box<dyn RobustEstimator>>;
+
+struct Tenant {
+    session: StreamSession,
+    provision: Provisioner,
+    reprovisions: usize,
+}
+
+impl Tenant {
+    /// Cheap health verdict (no full [`Estimate`] assembly on the per-update
+    /// hot path): promise violations dominate, then budget exhaustion.
+    fn health(&self) -> Health {
+        if self.session.violation().is_some() {
+            Health::PromiseViolated
+        } else if self.session.estimator().budget_exceeded() {
+            Health::BudgetExhausted
+        } else {
+            Health::WithinGuarantee
+        }
+    }
+
+    /// Rebuilds the estimator with a doubled flip budget from the session's
+    /// exact state. Returns the λ provisioned.
+    fn reprovision(&mut self) -> Result<usize, ArsError> {
+        let raw = self.session.estimator().flip_budget();
+        let lambda = match FlipBudget::from_raw(raw) {
+            // An unbounded budget never exhausts: there is no lambda to
+            // double and nothing to recover from, and handing the factory
+            // the usize::MAX sentinel would let it size a pool by it.
+            FlipBudget::Unbounded => {
+                return Err(ArsError::StateUnavailable {
+                    reason: "the flip budget is unbounded and can never exhaust; \
+                             there is no lambda to double",
+                })
+            }
+            // Clamped below usize::MAX so repeated doubling can never
+            // saturate into the sentinel FlipBudget reads as Unbounded
+            // (and that the provisioner must never be handed).
+            FlipBudget::Bounded(lambda) => lambda.saturating_mul(2).clamp(1, usize::MAX - 1),
+        };
+        let Some(frequency) = self.session.frequency() else {
+            return Err(ArsError::StateUnavailable {
+                reason: "the stateless validation tier keeps no exact state to replay \
+                         (open the session with with_exact_state())",
+            });
+        };
+        // One reconstruction update per non-zero coordinate: for every
+        // linear or support-based sketch this reproduces the estimator
+        // state the true stream would have left (the exact vector is a
+        // sufficient statistic for the tracked quantity).
+        let replay: Vec<Update> = frequency.iter().map(|(i, c)| Update::new(i, c)).collect();
+        let mut fresh = (self.provision)(lambda);
+        // One batch: the engine publishes at most once, so the rebuilt
+        // estimator starts with its doubled budget essentially unspent.
+        fresh.update_batch(&replay);
+        self.session.replace_estimator(fresh);
+        self.reprovisions += 1;
+        Ok(lambda)
+    }
+}
+
+/// One tenant's row in [`SessionManager::health_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantHealth {
+    /// The tenant's registered name.
+    pub name: String,
+    /// Current health verdict of the tenant's readings.
+    pub health: Health,
+    /// Updates accepted and ingested.
+    pub accepted: u64,
+    /// Updates refused by the validator.
+    pub rejected: usize,
+    /// Batch-suffix updates dropped behind a refusal.
+    pub dropped: usize,
+    /// Times the estimator has been re-provisioned with a doubled λ.
+    pub reprovisions: usize,
+    /// The tenant's flip budget as currently provisioned.
+    pub flip_budget: FlipBudget,
+    /// End-to-end memory: sketch plus validator state.
+    pub space_bytes: usize,
+    /// The validator's share of that memory (O(1) on the stateless tier).
+    pub validator_bytes: usize,
+    /// The validation tier enforcing the tenant's model.
+    pub tier: ValidationTier,
+}
+
+/// A registry of named [`StreamSession`]s: one serving surface for many
+/// tenants, with aggregate health, JSON readings, and automatic
+/// re-provisioning (see the module docs).
+///
+/// Tenants are kept in name order, so reports and JSON output are
+/// deterministic.
+#[derive(Default)]
+pub struct SessionManager {
+    tenants: BTreeMap<String, Tenant>,
+    auto_reprovision: bool,
+}
+
+impl SessionManager {
+    /// Creates an empty manager with automatic re-provisioning enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tenants: BTreeMap::new(),
+            auto_reprovision: true,
+        }
+    }
+
+    /// Enables or disables the automatic re-provisioning of
+    /// budget-exhausted tenants on the ingestion path. Disabled, exhaustion
+    /// simply surfaces through readings and the health report, and
+    /// [`SessionManager::reprovision`] remains available manually.
+    #[must_use]
+    pub fn with_auto_reprovision(mut self, enabled: bool) -> Self {
+        self.auto_reprovision = enabled;
+        self
+    }
+
+    /// Registers a named session with its re-provisioning factory. A tenant
+    /// already registered under `name` is replaced and its session
+    /// returned.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        session: StreamSession,
+        provision: Provisioner,
+    ) -> Option<StreamSession> {
+        self.tenants
+            .insert(
+                name.into(),
+                Tenant {
+                    session,
+                    provision,
+                    reprovisions: 0,
+                },
+            )
+            .map(|t| t.session)
+    }
+
+    /// Removes a tenant, returning its session.
+    pub fn deregister(&mut self, name: &str) -> Option<StreamSession> {
+        self.tenants.remove(name).map(|t| t.session)
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenants are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Registered tenant names, in order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.tenants.keys().map(String::as_str).collect()
+    }
+
+    /// Read access to a tenant's session.
+    #[must_use]
+    pub fn session(&self, name: &str) -> Option<&StreamSession> {
+        self.tenants.get(name).map(|t| &t.session)
+    }
+
+    fn tenant_mut(&mut self, name: &str) -> Result<&mut Tenant, ArsError> {
+        self.tenants
+            .get_mut(name)
+            .ok_or_else(|| ArsError::UnknownSession {
+                name: name.to_string(),
+            })
+    }
+
+    /// Routes one update to the named tenant. Model violations surface as
+    /// [`ArsError::Stream`] exactly as on the session itself; on success
+    /// the tenant's health after the update is returned — and if that
+    /// health is [`Health::BudgetExhausted`] with automatic re-provisioning
+    /// enabled, the estimator is rebuilt first (λ doubled, state replayed)
+    /// and the post-rebuild health returned. A tenant whose tier keeps no
+    /// exact state cannot be auto-rebuilt; it stays degraded and reports
+    /// `BudgetExhausted`.
+    pub fn update(&mut self, name: &str, update: Update) -> Result<Health, ArsError> {
+        let auto = self.auto_reprovision;
+        let tenant = self.tenant_mut(name)?;
+        tenant.session.update(update)?;
+        if auto && tenant.health() == Health::BudgetExhausted {
+            // Best-effort: a stateless tenant keeps no state to replay;
+            // the degraded health below is the signal.
+            let _ = tenant.reprovision();
+        }
+        Ok(tenant.health())
+    }
+
+    /// Routes a batch to the named tenant through the session's amortized
+    /// hot path, with the same auto-re-provisioning contract as
+    /// [`SessionManager::update`]. Returns the number of updates ingested.
+    pub fn update_batch(&mut self, name: &str, updates: &[Update]) -> Result<usize, ArsError> {
+        let auto = self.auto_reprovision;
+        let tenant = self.tenant_mut(name)?;
+        let ingested = tenant.session.update_batch(updates)?;
+        if auto && tenant.health() == Health::BudgetExhausted {
+            let _ = tenant.reprovision();
+        }
+        Ok(ingested)
+    }
+
+    /// The named tenant's current typed reading.
+    pub fn query(&self, name: &str) -> Result<Estimate, ArsError> {
+        self.tenants
+            .get(name)
+            .map(|t| t.session.query())
+            .ok_or_else(|| ArsError::UnknownSession {
+                name: name.to_string(),
+            })
+    }
+
+    /// Manually re-provisions the named tenant: doubled λ, exact state
+    /// replayed, estimator swapped. Returns the λ provisioned. Fails with
+    /// [`ArsError::StateUnavailable`] when the tenant's validation tier
+    /// keeps no exact state, and [`ArsError::UnknownSession`] for unknown
+    /// names.
+    pub fn reprovision(&mut self, name: &str) -> Result<usize, ArsError> {
+        self.tenant_mut(name)?.reprovision()
+    }
+
+    /// Aggregate health: one [`TenantHealth`] row per tenant, in name
+    /// order.
+    #[must_use]
+    pub fn health_report(&self) -> Vec<TenantHealth> {
+        self.tenants
+            .iter()
+            .map(|(name, tenant)| TenantHealth {
+                name: name.clone(),
+                health: tenant.health(),
+                accepted: tenant.session.len(),
+                rejected: tenant.session.rejected(),
+                dropped: tenant.session.dropped(),
+                reprovisions: tenant.reprovisions,
+                flip_budget: FlipBudget::from_raw(tenant.session.estimator().flip_budget()),
+                space_bytes: tenant.session.space_bytes(),
+                validator_bytes: tenant.session.validator_bytes(),
+                tier: tenant.session.validator_tier(),
+            })
+            .collect()
+    }
+
+    /// Serializes every tenant's current reading as one JSON object — the
+    /// manager's wire surface. Hand-rolled like the rest of the repo's
+    /// JSON; each reading is [`Estimate::to_json`] and parses back with
+    /// [`Estimate::from_json`].
+    #[must_use]
+    pub fn readings_json(&self) -> String {
+        let mut out = String::from("{\"sessions\":[");
+        for (i, (name, tenant)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            for c in name.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str(&format!(
+                "\",\"tier\":\"{}\",\"reprovisions\":{},\"reading\":{}}}",
+                tenant.session.validator_tier(),
+                tenant.reprovisions,
+                tenant.session.query().to_json()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("tenants", &self.names())
+            .field("auto_reprovision", &self.auto_reprovision)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RobustBuilder;
+    use ars_stream::generator::{Generator, TurnstileWaveGenerator};
+    use ars_stream::StreamModel;
+
+    fn f0_builder() -> RobustBuilder {
+        RobustBuilder::new(0.2)
+            .stream_length(20_000)
+            .domain(1 << 12)
+            .seed(11)
+    }
+
+    fn manager_with_f0(name: &str) -> SessionManager {
+        let builder = f0_builder();
+        let mut manager = SessionManager::new();
+        manager.register(
+            name,
+            StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.f0())),
+            Box::new(move |_| Box::new(builder.f0())),
+        );
+        manager
+    }
+
+    #[test]
+    fn routes_updates_and_queries_by_name() {
+        let mut manager = manager_with_f0("tenant-a");
+        let builder = f0_builder().seed(13);
+        manager.register(
+            "tenant-b",
+            StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.f0())),
+            Box::new(move |_| Box::new(builder.f0())),
+        );
+        assert_eq!(manager.len(), 2);
+        assert_eq!(manager.names(), vec!["tenant-a", "tenant-b"]);
+
+        for i in 0..600u64 {
+            manager.update("tenant-a", Update::insert(i % 300)).unwrap();
+            manager.update("tenant-b", Update::insert(i % 150)).unwrap();
+        }
+        let a = manager.query("tenant-a").unwrap();
+        let b = manager.query("tenant-b").unwrap();
+        assert!((a.value - 300.0).abs() <= 0.25 * 300.0, "{a}");
+        assert!((b.value - 150.0).abs() <= 0.25 * 150.0, "{b}");
+
+        assert!(matches!(
+            manager.update("nobody", Update::insert(1)),
+            Err(ArsError::UnknownSession { .. })
+        ));
+        assert!(matches!(
+            manager.query("nobody"),
+            Err(ArsError::UnknownSession { .. })
+        ));
+        assert!(manager.deregister("tenant-b").is_some());
+        assert_eq!(manager.len(), 1);
+    }
+
+    #[test]
+    fn batch_routing_uses_the_session_hot_path() {
+        let mut manager = manager_with_f0("bulk");
+        let batch: Vec<Update> = (0..2_048u64).map(|i| Update::insert(i % 400)).collect();
+        assert_eq!(manager.update_batch("bulk", &batch).unwrap(), 2_048);
+        let reading = manager.query("bulk").unwrap();
+        assert!((reading.value - 400.0).abs() <= 0.25 * 400.0, "{reading}");
+    }
+
+    #[test]
+    fn health_report_covers_every_tenant_in_name_order() {
+        let mut manager = manager_with_f0("zeta");
+        let builder = f0_builder().seed(17);
+        manager.register(
+            "alpha",
+            StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.f0())),
+            Box::new(move |_| Box::new(builder.f0())),
+        );
+        manager.update("zeta", Update::insert(1)).unwrap();
+        // Violate alpha's promise so the report distinguishes the two.
+        let _ = manager.update("alpha", Update::delete(1));
+
+        let report = manager.health_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].name, "alpha");
+        assert_eq!(report[0].health, Health::PromiseViolated);
+        assert_eq!(report[0].rejected, 1);
+        assert_eq!(report[1].name, "zeta");
+        assert_eq!(report[1].health, Health::WithinGuarantee);
+        assert_eq!(report[1].accepted, 1);
+        for row in &report {
+            assert_eq!(row.tier, ValidationTier::Stateless);
+            assert!(row.space_bytes > row.validator_bytes);
+            assert!(matches!(row.flip_budget, FlipBudget::Bounded(_)));
+        }
+    }
+
+    #[test]
+    fn readings_json_round_trips_through_the_estimate_parser() {
+        let mut manager = manager_with_f0("edge \"eu\"");
+        for i in 0..300u64 {
+            manager.update("edge \"eu\"", Update::insert(i)).unwrap();
+        }
+        let json = manager.readings_json();
+        assert!(json.starts_with("{\"sessions\":["));
+        assert!(json.contains("edge \\\"eu\\\""), "{json}");
+        assert!(json.contains("\"tier\":\"stateless\""));
+        // The embedded reading parses back to exactly the live reading.
+        let start = json.find("\"reading\":").unwrap() + "\"reading\":".len();
+        let parsed = Estimate::from_json(&json[start..]).expect("embedded reading parses");
+        assert_eq!(parsed, manager.query("edge \"eu\"").unwrap());
+    }
+
+    #[test]
+    fn exhausted_tenants_are_reprovisioned_with_a_doubled_budget() {
+        // A turnstile F2 estimator promised a tiny flip budget, driven
+        // through insert/delete waves that blow it. The manager must
+        // rebuild it with doubled lambda from the session's exact state
+        // and keep the readings trustworthy.
+        let lambda0 = 2usize;
+        let builder = RobustBuilder::new(0.25)
+            .stream_length(20_000)
+            .domain(1 << 10)
+            .max_frequency(64)
+            .seed(23);
+        let session = StreamSession::new(
+            StreamModel::Turnstile,
+            Box::new(builder.turnstile_fp(2.0, lambda0)),
+        )
+        .with_exact_state();
+        let mut manager = SessionManager::new();
+        manager.register(
+            "waves",
+            session,
+            Box::new(move |lambda| Box::new(builder.turnstile_fp(2.0, lambda))),
+        );
+
+        let mut saw_exhaustion_heal = false;
+        for u in TurnstileWaveGenerator::new(400).take_updates(6_000) {
+            let health = manager.update("waves", u).unwrap();
+            if manager.health_report()[0].reprovisions > 0 {
+                saw_exhaustion_heal = true;
+                // Post-rebuild the reading is trustworthy again.
+                assert_eq!(health, Health::WithinGuarantee);
+                break;
+            }
+        }
+        assert!(
+            saw_exhaustion_heal,
+            "the waves never exhausted the {lambda0}-flip budget"
+        );
+        let report = &manager.health_report()[0];
+        assert_eq!(report.reprovisions, 1);
+        assert_eq!(report.flip_budget, FlipBudget::Bounded(2 * lambda0));
+
+        // State continuity: push a fresh block so the truth is large, then
+        // check the rebuilt estimator tracks the exact answer the session
+        // accumulated across the swap.
+        for i in 0..200u64 {
+            for _ in 0..3 {
+                manager.update("waves", Update::insert(600 + i)).unwrap();
+            }
+        }
+        let reading = manager.query("waves").unwrap();
+        let truth = manager.session("waves").unwrap().frequency().unwrap().f2();
+        assert!(
+            (reading.value - truth).abs() <= 0.5 * truth,
+            "post-rebuild reading {reading} far from exact F2 {truth}"
+        );
+    }
+
+    #[test]
+    fn stateless_tenants_report_typed_errors_on_reprovision() {
+        let mut manager = manager_with_f0("fast-path");
+        manager.update("fast-path", Update::insert(1)).unwrap();
+        match manager.reprovision("fast-path") {
+            Err(ArsError::StateUnavailable { reason }) => {
+                assert!(reason.contains("stateless"), "{reason}");
+            }
+            other => panic!("expected StateUnavailable, got {other:?}"),
+        }
+        assert!(matches!(
+            manager.reprovision("nobody"),
+            Err(ArsError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn unbounded_budget_tenants_refuse_reprovisioning_without_calling_the_factory() {
+        // The crypto route needs no flip budget; re-provisioning it is
+        // meaningless, and the factory must never be handed the usize::MAX
+        // sentinel as a lambda to size a pool by.
+        let builder = f0_builder();
+        let mut manager = SessionManager::new();
+        manager.register(
+            "crypto",
+            StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.crypto_f0()))
+                .with_exact_state(),
+            Box::new(|lambda| {
+                panic!("the provisioner must not be invoked (got lambda = {lambda})")
+            }),
+        );
+        manager.update("crypto", Update::insert(1)).unwrap();
+        match manager.reprovision("crypto") {
+            Err(ArsError::StateUnavailable { reason }) => {
+                assert!(reason.contains("unbounded"), "{reason}");
+            }
+            other => panic!("expected StateUnavailable, got {other:?}"),
+        }
+        assert_eq!(manager.health_report()[0].reprovisions, 0);
+    }
+
+    #[test]
+    fn manual_reprovision_replays_exact_state() {
+        let builder = f0_builder();
+        let session = StreamSession::new(StreamModel::InsertionOnly, Box::new(builder.f0()))
+            .with_exact_state();
+        let mut manager = SessionManager::new().with_auto_reprovision(false);
+        manager.register(
+            "replayed",
+            session,
+            Box::new(move |_| Box::new(builder.seed(77).f0())),
+        );
+        for i in 0..800u64 {
+            manager.update("replayed", Update::insert(i % 250)).unwrap();
+        }
+        let before = manager.query("replayed").unwrap();
+        let lambda = manager.reprovision("replayed").unwrap();
+        assert!(lambda >= 2, "doubling never provisions below 2");
+        let after = manager.query("replayed").unwrap();
+        // The rebuilt estimator saw the replayed support: same truth, same
+        // guarantee band (values may differ within it).
+        assert!(
+            (after.value - 250.0).abs() <= 0.25 * 250.0,
+            "replayed reading {after} lost the state (before: {before})"
+        );
+        assert_eq!(manager.health_report()[0].reprovisions, 1);
+    }
+}

@@ -39,7 +39,9 @@
 //! assert_eq!(session.query().health, Health::PromiseViolated);
 //! ```
 
-use ars_stream::{FrequencyVector, StreamError, StreamModel, StreamValidator, Update};
+use ars_stream::{
+    FrequencyVector, StreamError, StreamModel, StreamValidator, Update, ValidationTier,
+};
 
 use crate::api::RobustEstimator;
 use crate::error::ArsError;
@@ -53,18 +55,20 @@ use crate::estimate::{Estimate, Health};
 /// the evolving exact state first, then handed to
 /// [`RobustEstimator::update_batch`] in one amortized pass.
 ///
-/// # Memory
+/// # Memory and validation tiers
 ///
-/// Validation is exact: the session's [`StreamValidator`] maintains the
-/// signed and absolute frequency vectors of the accepted prefix, which is
-/// `O(distinct items)` memory on top of the estimator's sublinear sketch.
-/// That is the price of *enforcing* the α-bounded-deletion invariant and
-/// magnitude bounds (both are statements about the exact vector), and it
-/// is what [`StreamSession::frequency`] hands to scoring drivers. Callers
-/// who need the sketch's space story end-to-end should count
-/// `estimator().space_bytes()` *and* the validator state; a stateless
-/// fast-path validator for the models that allow one (insertion-only or
-/// unbounded turnstile) is future work recorded in ROADMAP.md.
+/// The session picks the cheapest [`ValidationTier`] its declared model
+/// admits: insertion-only and unbounded-turnstile sessions validate
+/// *statelessly* (`O(1)` validator memory — a sign check and a length
+/// counter), while α-bounded-deletion and magnitude-bounded sessions carry
+/// the exact signed/absolute frequency vectors the invariant is stated
+/// over, with the running `F_p` moments maintained incrementally in `O(1)`
+/// per update. [`StreamSession::space_bytes`] reports the estimator's
+/// sketch *plus* the validator state, so the end-to-end space story
+/// includes enforcement; [`StreamSession::validator_bytes`] breaks the
+/// validator share out. Drivers that score against ground truth (or want
+/// [`StreamSession::frequency`] on a stateless model) opt back into exact
+/// state with [`StreamSession::with_exact_state`].
 pub struct StreamSession {
     validator: StreamValidator,
     estimator: Box<dyn RobustEstimator>,
@@ -72,20 +76,24 @@ pub struct StreamSession {
     /// the guarantee's premise is void for the rest of the session.
     violation: Option<StreamError>,
     rejected: usize,
+    dropped: usize,
 }
 
 impl StreamSession {
     /// Opens a session enforcing `model` over `estimator`, with no
-    /// magnitude or length bounds.
+    /// magnitude or length bounds, on the cheapest validation tier the
+    /// model admits.
     ///
     /// ```
     /// use ars_core::{Health, RobustBuilder, StreamSession};
-    /// use ars_stream::StreamModel;
+    /// use ars_stream::{StreamModel, ValidationTier};
     ///
     /// let mut session = StreamSession::new(
     ///     StreamModel::InsertionOnly,
     ///     Box::new(RobustBuilder::new(0.25).stream_length(1_000).domain(1 << 10).f0()),
     /// );
+    /// // Insertion-only admits the O(1) stateless fast path.
+    /// assert_eq!(session.validator_tier(), ValidationTier::Stateless);
     /// for i in 0..200u64 {
     ///     session.insert(i).unwrap();
     /// }
@@ -100,10 +108,13 @@ impl StreamSession {
             estimator,
             violation: None,
             rejected: 0,
+            dropped: 0,
         }
     }
 
-    /// Additionally enforces `‖f‖_∞ ≤ bound` at every point of the stream.
+    /// Additionally enforces `‖f‖_∞ ≤ bound` at every point of the stream
+    /// (upgrades a stateless validator to the incremental tier — the bound
+    /// is a statement about the exact vector).
     #[must_use]
     pub fn with_magnitude_bound(mut self, bound: u64) -> Self {
         self.validator = self.validator.with_magnitude_bound(bound);
@@ -117,10 +128,49 @@ impl StreamSession {
         self
     }
 
+    /// Upgrades the session's validator to keep the exact frequency
+    /// vectors even where the model admits a stateless check, so
+    /// [`StreamSession::frequency`] is available for scoring and
+    /// re-provisioning replay. Must be called before ingestion begins.
+    #[must_use]
+    pub fn with_exact_state(mut self) -> Self {
+        self.validator = self.validator.with_exact_state();
+        self
+    }
+
+    /// Overrides the validation tier — chiefly to pin
+    /// [`ValidationTier::Reference`], the clone-and-recompute oracle, for
+    /// conformance tests and the exact-vs-tiered benchmark leg.
+    #[must_use]
+    pub fn with_validator_tier(mut self, tier: ValidationTier) -> Self {
+        self.validator = self.validator.with_tier(tier);
+        self
+    }
+
     /// The stream model this session enforces.
     #[must_use]
     pub fn model(&self) -> StreamModel {
         self.validator.model()
+    }
+
+    /// The tier the session's validator enforces the model with.
+    #[must_use]
+    pub fn validator_tier(&self) -> ValidationTier {
+        self.validator.tier()
+    }
+
+    /// Memory held by the validator: `O(1)` on the stateless tier,
+    /// `O(distinct)` where the model needs the exact vectors.
+    #[must_use]
+    pub fn validator_bytes(&self) -> usize {
+        self.validator.state_bytes()
+    }
+
+    /// End-to-end memory of the session: the estimator's sketch state plus
+    /// the validator state enforcing the model over it.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        self.estimator.space_bytes() + self.validator.state_bytes()
     }
 
     /// Validates and ingests one update. On a model violation the update
@@ -152,17 +202,52 @@ impl StreamSession {
     /// `i`, the valid prefix `updates[..i]` *is* ingested (one batch), the
     /// violation is recorded, and [`ArsError::Stream`] is returned — the
     /// offending update and everything after it never reach the sketch.
-    /// The error itself names the offending update but not `i`; recover
-    /// the ingested count as the change in [`StreamSession::len`] across
-    /// the call. In particular, do **not** re-submit the same batch after
-    /// an error — its accepted prefix is already in the sketch; resume
-    /// from `updates[ingested + 1..]` (skipping the refused update) if you
-    /// intend to drop the violation and continue.
+    /// The refused update counts towards [`StreamSession::rejected`]; the
+    /// unexamined suffix after it counts towards
+    /// [`StreamSession::dropped`], so every submitted update is accounted
+    /// for as ingested, rejected or dropped.
+    ///
+    /// The error names the offending update but not its index; recover the
+    /// ingested count as the change in [`StreamSession::len`] across the
+    /// call. Do **not** re-submit the same batch after an error — its
+    /// accepted prefix is already in the sketch. The refused update sits at
+    /// `updates[ingested]`, so to drop the violation and continue, resume
+    /// from `updates[ingested + 1..]`:
+    ///
+    /// ```
+    /// use ars_core::{ArsError, RobustBuilder, StreamSession};
+    /// use ars_stream::{StreamModel, Update};
+    ///
+    /// let mut session = StreamSession::new(
+    ///     StreamModel::InsertionOnly,
+    ///     Box::new(RobustBuilder::new(0.2).stream_length(1_000).f0()),
+    /// );
+    /// // 10 valid insertions, one violating deletion, 5 more insertions.
+    /// let mut batch: Vec<Update> = (0..10u64).map(Update::insert).collect();
+    /// batch.push(Update::delete(3));
+    /// batch.extend((10..15u64).map(Update::insert));
+    ///
+    /// let before = session.len();
+    /// assert!(matches!(
+    ///     session.update_batch(&batch),
+    ///     Err(ArsError::Stream(_))
+    /// ));
+    /// // The valid prefix was ingested; the refused update and the
+    /// // dropped suffix are both accounted for.
+    /// let ingested = (session.len() - before) as usize;
+    /// assert_eq!(ingested, 10);
+    /// assert_eq!(session.rejected(), 1);
+    /// assert_eq!(session.dropped(), batch.len() - ingested - 1); // = 5
+    /// // Resume past the refused update at batch[ingested]:
+    /// assert_eq!(session.update_batch(&batch[ingested + 1..]).unwrap(), 5);
+    /// assert_eq!(session.len(), 15);
+    /// ```
     pub fn update_batch(&mut self, updates: &[Update]) -> Result<usize, ArsError> {
         for (i, &u) in updates.iter().enumerate() {
             if let Err(err) = self.validator.apply(u) {
                 self.estimator.update_batch(&updates[..i]);
                 self.record(&err);
+                self.dropped += updates.len() - i - 1;
                 return Err(ArsError::Stream(err));
             }
         }
@@ -202,6 +287,14 @@ impl StreamSession {
         self.rejected
     }
 
+    /// Number of batch-suffix updates never examined because an earlier
+    /// update in their batch was refused (see
+    /// [`StreamSession::update_batch`]).
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
     /// Number of updates accepted and ingested so far.
     #[must_use]
     pub fn len(&self) -> u64 {
@@ -214,11 +307,11 @@ impl StreamSession {
         self.validator.is_empty()
     }
 
-    /// The exact signed frequency vector of the accepted prefix (the
-    /// validator maintains it for model enforcement; drivers reuse it for
-    /// scoring).
+    /// The exact signed frequency vector of the accepted prefix, when the
+    /// validation tier keeps one — `None` on the stateless fast path (opt
+    /// in with [`StreamSession::with_exact_state`]).
     #[must_use]
-    pub fn frequency(&self) -> &FrequencyVector {
+    pub fn frequency(&self) -> Option<&FrequencyVector> {
         self.validator.frequency()
     }
 
@@ -226,6 +319,19 @@ impl StreamSession {
     #[must_use]
     pub fn estimator(&self) -> &dyn RobustEstimator {
         self.estimator.as_ref()
+    }
+
+    /// Swaps in a replacement estimator, returning the old one. The
+    /// validator state, violation record and rejection accounting are
+    /// untouched: the stream's history (and its promise status) belongs to
+    /// the session, not to the estimator. This is the re-provisioning seam
+    /// used by [`crate::manager::SessionManager`] — build a fresh estimator
+    /// with a larger budget, replay the exact state into it, swap.
+    pub fn replace_estimator(
+        &mut self,
+        estimator: Box<dyn RobustEstimator>,
+    ) -> Box<dyn RobustEstimator> {
+        std::mem::replace(&mut self.estimator, estimator)
     }
 
     /// Consumes the session, returning the estimator.
@@ -246,9 +352,11 @@ impl std::fmt::Debug for StreamSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamSession")
             .field("model", &self.model())
+            .field("tier", &self.validator_tier())
             .field("strategy", &self.estimator.strategy_name())
             .field("accepted", &self.len())
             .field("rejected", &self.rejected)
+            .field("dropped", &self.dropped)
             .field("violation", &self.violation)
             .finish_non_exhaustive()
     }
@@ -274,7 +382,7 @@ mod tests {
 
     #[test]
     fn accepts_model_conforming_streams_and_tracks() {
-        let mut session = f0_session();
+        let mut session = f0_session().with_exact_state();
         for i in 0..2_000u64 {
             session.update(Update::insert(i % 500)).unwrap();
         }
@@ -286,12 +394,40 @@ mod tests {
             (reading.value - 500.0).abs() <= 0.25 * 500.0,
             "reading {reading}"
         );
-        assert!(reading.guarantee.contains(session.frequency().f0() as f64));
+        assert!(reading
+            .guarantee
+            .contains(session.frequency().unwrap().f0() as f64));
+    }
+
+    #[test]
+    fn insertion_only_sessions_default_to_the_stateless_tier() {
+        let mut session = f0_session();
+        assert_eq!(session.validator_tier(), ValidationTier::Stateless);
+        assert!(session.frequency().is_none());
+        let fixed = session.validator_bytes();
+        for i in 0..5_000u64 {
+            session.insert(i).unwrap();
+        }
+        assert_eq!(
+            session.validator_bytes(),
+            fixed,
+            "stateless session validator memory must stay O(1)"
+        );
+        // Model enforcement is intact on the fast path.
+        assert!(matches!(
+            session.update(Update::delete(1)),
+            Err(ArsError::Stream(StreamError::NonPositiveInsertion { .. }))
+        ));
+        // End-to-end space = sketch + validator.
+        assert_eq!(
+            session.space_bytes(),
+            session.estimator().space_bytes() + session.validator_bytes()
+        );
     }
 
     #[test]
     fn rejects_deletions_on_insertion_only_sessions() {
-        let mut session = f0_session();
+        let mut session = f0_session().with_exact_state();
         session.insert(1).unwrap();
         let before = session.estimate();
         let err = session.update(Update::delete(1));
@@ -301,7 +437,7 @@ mod tests {
         assert_eq!(session.len(), 1);
         assert_eq!(session.rejected(), 1);
         assert_eq!(session.estimate(), before);
-        assert_eq!(session.frequency().get(1), 1);
+        assert_eq!(session.frequency().unwrap().get(1), 1);
         // The reading is flagged, permanently.
         assert_eq!(session.query().health, Health::PromiseViolated);
         session.insert(2).unwrap();
@@ -311,7 +447,7 @@ mod tests {
 
     #[test]
     fn batch_ingestion_stops_at_the_first_violation() {
-        let mut session = f0_session();
+        let mut session = f0_session().with_exact_state();
         let batch: Vec<Update> = (0..10u64)
             .map(Update::insert)
             .chain(std::iter::once(Update::delete(3)))
@@ -320,18 +456,22 @@ mod tests {
         let before = session.len();
         let err = session.update_batch(&batch);
         assert!(matches!(err, Err(ArsError::Stream(_))));
-        // Exactly the valid prefix was ingested, and the documented
-        // recovery recipe works: the ingested count is the len() delta,
-        // so a caller resumes from batch[ingested + 1..].
+        // Exactly the valid prefix was ingested, and every submitted
+        // update is accounted for: ingested + rejected + dropped.
         let ingested = (session.len() - before) as usize;
         assert_eq!(ingested, 10);
-        assert_eq!(session.frequency().f0(), 10);
+        assert_eq!(session.rejected(), 1);
+        assert_eq!(session.dropped(), batch.len() - ingested - 1);
+        assert_eq!(session.frequency().unwrap().f0(), 10);
         assert_eq!(session.query().health, Health::PromiseViolated);
         assert_eq!(
             session.update_batch(&batch[ingested + 1..]).unwrap(),
             batch.len() - ingested - 1
         );
-        assert_eq!(session.frequency().f0(), 20);
+        assert_eq!(session.frequency().unwrap().f0(), 20);
+        // The resumed suffix was examined (and accepted), so the dropped
+        // count did not move.
+        assert_eq!(session.dropped(), 10);
     }
 
     #[test]
@@ -355,6 +495,8 @@ mod tests {
             .turnstile_fp(2.0, 50);
         let mut session =
             StreamSession::new(StreamModel::Turnstile, Box::new(estimator)).with_magnitude_bound(4);
+        // The magnitude bound needs the exact vector: the tier upgrades.
+        assert_eq!(session.validator_tier(), ValidationTier::Incremental);
         for _ in 0..4 {
             session.update(Update::insert(9)).unwrap();
         }
@@ -385,5 +527,25 @@ mod tests {
         }
         assert_eq!(session.estimate(), session.query().value);
         assert_eq!(session.estimate(), session.estimator().estimate());
+    }
+
+    #[test]
+    fn replace_estimator_keeps_the_stream_history() {
+        let mut session = f0_session().with_exact_state();
+        for i in 0..500u64 {
+            session.insert(i).unwrap();
+        }
+        assert!(session.update(Update::delete(1)).is_err());
+        let fresh = RobustBuilder::new(0.2)
+            .stream_length(10_000)
+            .domain(1 << 12)
+            .seed(99)
+            .f0();
+        let old = session.replace_estimator(Box::new(fresh));
+        assert!(old.estimate() > 0.0);
+        // History survives the swap: length, exact state, violation flag.
+        assert_eq!(session.len(), 500);
+        assert_eq!(session.frequency().unwrap().f0(), 500);
+        assert_eq!(session.query().health, Health::PromiseViolated);
     }
 }

@@ -234,6 +234,16 @@ impl FrequencyVector {
         self.heavy_hitters(epsilon * self.l1())
     }
 
+    /// Approximate memory footprint of the vector in bytes: the stored
+    /// `(item, count)` pairs plus a per-entry table-slot overhead and the
+    /// struct header. Allocator slack is not modelled, matching the
+    /// accounting convention of `ars_sketch::Estimator::space_bytes`.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.counts.len() * (std::mem::size_of::<Item>() + std::mem::size_of::<Delta>() + 8)
+    }
+
     /// Returns the dense representation over the domain `[0, n)`.
     ///
     /// Intended for tests and small domains; panics if any item is ≥ `n`.

@@ -11,7 +11,9 @@
 //!   entropy, heavy hitters) used as ground truth by tests and benches.
 //! * [`StreamModel`] / [`StreamValidator`] — the insertion-only, turnstile
 //!   and α-bounded-deletion models and per-update validation of the model
-//!   constraints.
+//!   constraints, priced per model through [`ValidationTier`]s: `O(1)`
+//!   stateless checks where the model admits them, coordinate-incremental
+//!   exact moments where it does not.
 //! * [`generator`] — synthetic workload generators (uniform, Zipfian,
 //!   bursty, sliding-window distinct, bounded-deletion, …) used by the
 //!   example applications and by the benchmark harness that regenerates the
@@ -43,7 +45,7 @@ pub mod update;
 
 pub use exact::{ExactOracle, TrackingOracle};
 pub use frequency::FrequencyVector;
-pub use model::{StreamError, StreamModel, StreamValidator};
+pub use model::{StreamError, StreamModel, StreamValidator, ValidationTier};
 pub use update::{Delta, Item, Update};
 
 /// Convenience result alias for stream-model operations.

@@ -13,11 +13,34 @@
 //! [`StreamValidator`] enforces the chosen model update-by-update so
 //! adversaries and workload generators cannot silently escape the regime an
 //! algorithm was analysed in.
+//!
+//! # Validation tiers
+//!
+//! Enforcement is priced per model through [`ValidationTier`]s:
+//!
+//! * [`ValidationTier::Stateless`] — insertion-only is a sign check and an
+//!   unbounded turnstile promise is vacuous, so those validators keep `O(1)`
+//!   state (a length counter when `max_length` is set) and do `O(1)` work
+//!   per update.
+//! * [`ValidationTier::Incremental`] — the α-bounded-deletion invariant and
+//!   the magnitude bound are statements about the exact frequency vector,
+//!   so those validators must carry it; the running `F_p` moments of both
+//!   the signed and the absolute-value stream are maintained **incrementally**
+//!   — `O(1)` work per update, adjusting only the touched coordinate's
+//!   contribution — instead of the pre-tiered clone-and-recompute.
+//! * [`ValidationTier::Reference`] — the original clone-both-vectors,
+//!   recompute-`F_p`-over-the-full-support implementation, `O(support)` per
+//!   update. Kept as the semantic oracle the cheap tiers are conformance-
+//!   tested against (and benchmarked against); never selected automatically.
+//!
+//! [`StreamValidator::new`] picks the cheapest tier the model admits;
+//! [`StreamValidator::with_exact_state`] upgrades a stateless validator when
+//! a driver needs the exact vectors (scoring, re-provisioning replay).
 
 use std::fmt;
 
 use crate::frequency::FrequencyVector;
-use crate::update::Update;
+use crate::update::{Delta, Update};
 
 /// Errors produced when an update violates the declared stream model.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +74,14 @@ pub enum StreamError {
     LengthExceeded {
         /// The declared maximum stream length.
         max_length: u64,
+    },
+    /// The update's frequency arithmetic overflows the signed 64-bit delta
+    /// domain (an adversarial `Δ_t` near `i64::MIN`/`i64::MAX`). Rejected
+    /// with a typed error instead of panicking in debug or silently
+    /// wrapping — and thereby passing the bound — in release.
+    FrequencyOverflow {
+        /// The offending update.
+        update: Update,
     },
 }
 
@@ -90,6 +121,11 @@ impl fmt::Display for StreamError {
                     "stream exceeded its declared maximum length {max_length}"
                 )
             }
+            Self::FrequencyOverflow { update } => write!(
+                f,
+                "update ({}, {}) overflows the signed 64-bit frequency domain",
+                update.item, update.delta
+            ),
         }
     }
 }
@@ -129,43 +165,238 @@ impl StreamModel {
     pub fn allows_deletions(&self) -> bool {
         !matches!(self, Self::InsertionOnly)
     }
+
+    /// The cheapest [`ValidationTier`] that can enforce this model (before
+    /// any magnitude bound is imposed; a magnitude bound always requires
+    /// exact state).
+    #[must_use]
+    pub fn minimal_tier(&self) -> ValidationTier {
+        match self {
+            Self::InsertionOnly | Self::Turnstile => ValidationTier::Stateless,
+            Self::BoundedDeletion { .. } => ValidationTier::Incremental,
+        }
+    }
 }
 
-/// Validates a stream against a [`StreamModel`] update-by-update while
-/// maintaining the exact signed and absolute frequency vectors.
+/// The backend a [`StreamValidator`] enforces its model with — the price
+/// axis of validation (see the module docs for the full story).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationTier {
+    /// `O(1)` state and work: a sign check (insertion-only) or nothing at
+    /// all (unbounded turnstile), plus a length counter.
+    Stateless,
+    /// Exact signed/absolute frequency vectors with running `F_p` moments
+    /// adjusted by the single touched coordinate — `O(1)` work per update,
+    /// `O(distinct)` state.
+    Incremental,
+    /// The pre-tiered oracle: clone both vectors and recompute `F_p` over
+    /// the full support on every check — `O(support)` per update. For
+    /// conformance testing and benchmarking only.
+    Reference,
+}
+
+impl ValidationTier {
+    /// Whether this tier maintains the exact frequency vectors.
+    #[must_use]
+    pub fn keeps_exact_state(self) -> bool {
+        !matches!(self, Self::Stateless)
+    }
+
+    /// Short stable name for reports and typed errors.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Stateless => "stateless",
+            Self::Incremental => "incremental",
+            Self::Reference => "reference",
+        }
+    }
+}
+
+impl fmt::Display for ValidationTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `|c|^p` as the `F_p` moment contribution of one coordinate.
+fn moment(c: Delta, p: f64) -> f64 {
+    let magnitude = c.unsigned_abs() as f64;
+    if magnitude == 0.0 {
+        // powf(0, 0) = 1; the paper's convention is 0^0 = 0.
+        0.0
+    } else {
+        magnitude.powf(p)
+    }
+}
+
+/// Exact validator state: the signed vector `f`, plus — for
+/// bounded-deletion models only — the absolute-value stream `h` and the
+/// running `F_p` moments of both. Other models never consult `h` or the
+/// moments, so exact-state validators for them carry only the signed
+/// vector (half the memory, no per-update `powf` work).
+#[derive(Debug, Clone, Default)]
+struct ExactState {
+    signed: FrequencyVector,
+    absolute: FrequencyVector,
+    /// Running `Σ_i |f_i|^p`, maintained coordinate-incrementally.
+    fp_signed: f64,
+    /// Running `Σ_i h_i^p`, maintained coordinate-incrementally.
+    fp_absolute: f64,
+    /// `Some(p)` exactly when the model is bounded deletion: maintain `h`
+    /// and the moments.
+    moment_p: Option<f64>,
+}
+
+/// The per-coordinate transition an update would cause, with all the
+/// arithmetic checked: old/new signed count and old/new absolute count
+/// (the absolute pair is zeroed when `h` is not tracked).
+struct Transition {
+    old_signed: Delta,
+    new_signed: Delta,
+    old_absolute: Delta,
+    new_absolute: Delta,
+}
+
+/// Everything an admission decision computed that the apply path can
+/// commit without re-deriving: the checked transition (present exactly
+/// when the tier keeps exact state) and, for the incremental
+/// bounded-deletion check, the touched coordinate's `(Δ F_p(f), Δ F_p(h))`
+/// moment deltas.
+struct Admission {
+    transition: Option<Transition>,
+    moment_deltas: Option<(f64, f64)>,
+}
+
+impl ExactState {
+    fn for_model(model: &StreamModel) -> Self {
+        Self {
+            moment_p: match model {
+                StreamModel::BoundedDeletion { p, .. } => Some(*p),
+                _ => None,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Computes the checked coordinate transition for `update`, or the
+    /// typed overflow error if any tracked count would leave the `i64`
+    /// domain. This is the overflow gate every exact-state tier runs
+    /// before an update may be applied, whatever the model.
+    fn transition(&self, update: Update) -> Result<Transition, StreamError> {
+        let overflow = || StreamError::FrequencyOverflow { update };
+        let old_signed = self.signed.get(update.item);
+        let new_signed = old_signed.checked_add(update.delta).ok_or_else(overflow)?;
+        let (old_absolute, new_absolute) = if self.moment_p.is_some() {
+            // |i64::MIN| does not fit in i64: the absolute-value stream h
+            // would overflow even though the signed count might not.
+            let magnitude = Delta::try_from(update.magnitude()).map_err(|_| overflow())?;
+            let old = self.absolute.get(update.item);
+            (old, old.checked_add(magnitude).ok_or_else(overflow)?)
+        } else {
+            (0, 0)
+        };
+        Ok(Transition {
+            old_signed,
+            new_signed,
+            old_absolute,
+            new_absolute,
+        })
+    }
+
+    /// Commits an admitted update; for bounded-deletion models the running
+    /// moments move by the touched coordinate's old/new contribution —
+    /// `O(1)`, the whole point of the incremental tier. The transition and
+    /// (on the incremental tier) the moment deltas come precomputed from
+    /// the admission; only the reference tier re-derives its deltas here,
+    /// keeping its running moments warm for a later tier switch.
+    fn apply(&mut self, update: Update, admission: Admission) {
+        let t = admission
+            .transition
+            .expect("exact-state tiers always produce a transition");
+        if let Some(p) = self.moment_p {
+            let (d_signed, d_absolute) = admission.moment_deltas.unwrap_or_else(|| {
+                (
+                    moment(t.new_signed, p) - moment(t.old_signed, p),
+                    moment(t.new_absolute, p) - moment(t.old_absolute, p),
+                )
+            });
+            // Floating-point cancellation can leave a tiny negative residue
+            // when a moment returns to zero; the invariant is about exact
+            // non-negative sums.
+            self.fp_signed = (self.fp_signed + d_signed).max(0.0);
+            self.fp_absolute = (self.fp_absolute + d_absolute).max(0.0);
+            self.absolute
+                .apply(Update::new(update.item, t.new_absolute - t.old_absolute));
+        }
+        self.signed.apply(update);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.signed.state_bytes()
+            + if self.moment_p.is_some() {
+                self.absolute.state_bytes()
+            } else {
+                0
+            }
+    }
+}
+
+/// Validates a stream against a [`StreamModel`] update-by-update.
 ///
 /// The validator is used by the adversarial game harness to guarantee that
 /// an adaptive adversary plays inside the model the algorithm under test was
-/// analysed for, and by workload generators as a self-check.
+/// analysed for, by workload generators as a self-check, and by
+/// [`StreamSession`](https://docs.rs/ars-core)-style serving drivers at
+/// ingestion. Enforcement cost is tiered per model — see [`ValidationTier`]
+/// and the module docs.
 #[derive(Debug, Clone)]
 pub struct StreamValidator {
     model: StreamModel,
+    tier: ValidationTier,
     /// Optional bound `M` on `‖f‖_∞` (`log(mM) = O(log n)` in the paper).
     magnitude_bound: Option<u64>,
     /// Optional bound on the stream length `m`.
     max_length: Option<u64>,
-    signed: FrequencyVector,
-    absolute: FrequencyVector,
+    /// Number of accepted updates (the stream position `t`).
+    accepted: u64,
+    /// Exact vectors + running moments; `None` exactly for the stateless
+    /// tier.
+    exact: Option<ExactState>,
 }
 
 impl StreamValidator {
     /// Creates a validator for the given model with no magnitude or length
-    /// bounds.
+    /// bounds, on the cheapest [`ValidationTier`] the model admits:
+    /// stateless for insertion-only and unbounded turnstile, incremental
+    /// for bounded deletion.
     #[must_use]
     pub fn new(model: StreamModel) -> Self {
+        let tier = model.minimal_tier();
         Self {
             model,
+            tier,
             magnitude_bound: None,
             max_length: None,
-            signed: FrequencyVector::new(),
-            absolute: FrequencyVector::new(),
+            accepted: 0,
+            exact: tier
+                .keeps_exact_state()
+                .then(|| ExactState::for_model(&model)),
         }
     }
 
-    /// Enforces `‖f‖_∞ ≤ bound` at every point of the stream.
+    /// Enforces `‖f‖_∞ ≤ bound` at every point of the stream. The bound is
+    /// a statement about the exact vector, so a stateless validator is
+    /// upgraded to the incremental tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if updates were already accepted on a tier that kept no exact
+    /// state (the bound could not be enforced over the unseen prefix).
     #[must_use]
     pub fn with_magnitude_bound(mut self, bound: u64) -> Self {
         self.magnitude_bound = Some(bound);
+        self.ensure_exact_state();
         self
     }
 
@@ -176,46 +407,146 @@ impl StreamValidator {
         self
     }
 
+    /// Upgrades a stateless validator to the incremental tier so the exact
+    /// signed frequency vector is available through
+    /// [`StreamValidator::frequency`] — for drivers that score against
+    /// ground truth or replay state into a rebuilt estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if updates were already accepted statelessly (the exact
+    /// prefix is unrecoverable).
+    #[must_use]
+    pub fn with_exact_state(mut self) -> Self {
+        self.ensure_exact_state();
+        self
+    }
+
+    /// Selects a validation tier explicitly — chiefly
+    /// [`ValidationTier::Reference`], the clone-and-recompute oracle the
+    /// cheap tiers are conformance-tested and benchmarked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier cannot enforce the model (stateless for bounded
+    /// deletion or under a magnitude bound), or if updates were already
+    /// accepted on a stateless validator being upgraded.
+    #[must_use]
+    pub fn with_tier(mut self, tier: ValidationTier) -> Self {
+        if tier.keeps_exact_state() {
+            self.ensure_exact_state();
+            self.tier = tier;
+        } else {
+            assert!(
+                self.model.minimal_tier() == ValidationTier::Stateless
+                    && self.magnitude_bound.is_none(),
+                "the {} model{} needs exact state; the stateless tier cannot enforce it",
+                match self.model {
+                    StreamModel::BoundedDeletion { .. } => "bounded-deletion",
+                    _ => "magnitude-bounded",
+                },
+                if self.magnitude_bound.is_some() {
+                    " with a magnitude bound"
+                } else {
+                    ""
+                },
+            );
+            self.tier = ValidationTier::Stateless;
+            self.exact = None;
+        }
+        self
+    }
+
+    fn ensure_exact_state(&mut self) {
+        if self.exact.is_none() {
+            assert!(
+                self.accepted == 0,
+                "cannot add exact state after {} updates were accepted statelessly",
+                self.accepted
+            );
+            self.exact = Some(ExactState::for_model(&self.model));
+            self.tier = ValidationTier::Incremental;
+        }
+    }
+
     /// The model being enforced.
     #[must_use]
     pub fn model(&self) -> StreamModel {
         self.model
     }
 
-    /// The exact signed frequency vector of the accepted prefix.
+    /// The tier this validator enforces its model with.
     #[must_use]
-    pub fn frequency(&self) -> &FrequencyVector {
-        &self.signed
+    pub fn tier(&self) -> ValidationTier {
+        self.tier
     }
 
-    /// The exact absolute-value frequency vector `h` of the accepted prefix.
+    /// Memory held by the validator itself: `O(1)` for the stateless tier,
+    /// the exact vector(s) otherwise — signed only, unless the model is
+    /// bounded deletion, which also tracks the absolute-value stream.
+    /// Serving drivers report this alongside the estimator's
+    /// `space_bytes()` so the end-to-end space story includes enforcement.
     #[must_use]
-    pub fn absolute_frequency(&self) -> &FrequencyVector {
-        &self.absolute
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.exact.as_ref().map_or(0, ExactState::state_bytes)
+    }
+
+    /// The exact signed frequency vector of the accepted prefix, when the
+    /// tier keeps one (`None` on the stateless fast path — opt in with
+    /// [`StreamValidator::with_exact_state`]).
+    #[must_use]
+    pub fn frequency(&self) -> Option<&FrequencyVector> {
+        self.exact.as_ref().map(|state| &state.signed)
+    }
+
+    /// The exact absolute-value frequency vector `h` of the accepted
+    /// prefix. Only bounded-deletion models track `h` (no other model
+    /// consults it); everything else returns `None`.
+    #[must_use]
+    pub fn absolute_frequency(&self) -> Option<&FrequencyVector> {
+        self.exact
+            .as_ref()
+            .filter(|state| state.moment_p.is_some())
+            .map(|state| &state.absolute)
     }
 
     /// Number of accepted updates so far.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.signed.updates_applied()
+        self.accepted
     }
 
     /// Whether no updates have been accepted yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.accepted == 0
     }
 
     /// Checks whether an update is admissible *without* applying it.
     ///
     /// Returns `Ok(())` if applying `update` next would keep the stream
-    /// inside the model.
+    /// inside the model. `O(1)` on the stateless and incremental tiers;
+    /// `O(support)` on the reference tier.
     pub fn check(&self, update: Update) -> Result<(), StreamError> {
+        self.admit(update).map(|_| ())
+    }
+
+    /// The shared admission decision behind [`StreamValidator::check`] and
+    /// [`StreamValidator::apply`]: the verdict plus everything the apply
+    /// path needs to commit the update without recomputing it.
+    fn admit(&self, update: Update) -> Result<Admission, StreamError> {
         if let Some(m) = self.max_length {
-            if self.len() >= m {
+            if self.accepted >= m {
                 return Err(StreamError::LengthExceeded { max_length: m });
             }
         }
+        // The overflow gate runs on every exact-state tier, whatever the
+        // model: apply() must never wrap a tracked count.
+        let transition = match &self.exact {
+            Some(state) => Some(state.transition(update)?),
+            None => None,
+        };
+        let mut moment_deltas = None;
         match self.model {
             StreamModel::InsertionOnly => {
                 if update.delta <= 0 {
@@ -224,14 +555,40 @@ impl StreamValidator {
             }
             StreamModel::Turnstile => {}
             StreamModel::BoundedDeletion { alpha, p } => {
-                // Simulate the update on both vectors and verify the invariant.
-                let mut signed = self.signed.clone();
-                let mut absolute = self.absolute.clone();
-                signed.apply(update);
-                absolute.apply(update.absolute());
-                let fp_signed = signed.fp(p);
-                let fp_absolute = absolute.fp(p);
-                if fp_signed + 1e-9 < fp_absolute / alpha {
+                let state = self
+                    .exact
+                    .as_ref()
+                    .expect("bounded-deletion tiers always keep exact state");
+                let (fp_signed, fp_absolute) = if self.tier == ValidationTier::Reference {
+                    // The pre-tiered oracle: simulate on clones, recompute
+                    // both moments over the full support.
+                    let mut signed = state.signed.clone();
+                    let mut absolute = state.absolute.clone();
+                    signed.apply(update);
+                    absolute.apply(update.absolute());
+                    (signed.fp(p), absolute.fp(p))
+                } else {
+                    // Incremental: only the touched coordinate's
+                    // contribution moves; the deltas are computed once and
+                    // reused by apply().
+                    let t = transition
+                        .as_ref()
+                        .expect("exact state produced a transition above");
+                    let d_signed = moment(t.new_signed, p) - moment(t.old_signed, p);
+                    let d_absolute = moment(t.new_absolute, p) - moment(t.old_absolute, p);
+                    moment_deltas = Some((d_signed, d_absolute));
+                    (
+                        (state.fp_signed + d_signed).max(0.0),
+                        (state.fp_absolute + d_absolute).max(0.0),
+                    )
+                };
+                // The slack has a relative component: the incremental
+                // tier's running sums carry f64 rounding drift that grows
+                // with the stream and the moment magnitude, and an honest
+                // violation clears the boundary by far more than one part
+                // in 10^9. Applied identically to both exact tiers, so
+                // tier verdicts cannot diverge on the tolerance itself.
+                if fp_signed + 1e-9 + 1e-9 * fp_absolute < fp_absolute / alpha {
                     return Err(StreamError::BoundedDeletionViolated {
                         update,
                         alpha,
@@ -242,7 +599,11 @@ impl StreamValidator {
             }
         }
         if let Some(bound) = self.magnitude_bound {
-            let resulting = (self.signed.get(update.item) + update.delta).unsigned_abs();
+            let resulting = transition
+                .as_ref()
+                .expect("magnitude-bounded validators always keep exact state")
+                .new_signed
+                .unsigned_abs();
             if resulting > bound {
                 return Err(StreamError::MagnitudeBoundExceeded {
                     update,
@@ -251,14 +612,21 @@ impl StreamValidator {
                 });
             }
         }
-        Ok(())
+        Ok(Admission {
+            transition,
+            moment_deltas,
+        })
     }
 
-    /// Validates and applies an update, updating the internal exact state.
+    /// Validates and applies an update, updating the internal state. The
+    /// admission's transition and moment deltas are computed once and
+    /// committed directly — the exact hot path does not re-derive them.
     pub fn apply(&mut self, update: Update) -> Result<(), StreamError> {
-        self.check(update)?;
-        self.signed.apply(update);
-        self.absolute.apply(update.absolute());
+        let admission = self.admit(update)?;
+        self.accepted += 1;
+        if let Some(state) = &mut self.exact {
+            state.apply(update, admission);
+        }
         Ok(())
     }
 
@@ -278,7 +646,7 @@ mod tests {
 
     #[test]
     fn insertion_only_rejects_deletions_and_zero_updates() {
-        let mut v = StreamValidator::new(StreamModel::InsertionOnly);
+        let mut v = StreamValidator::new(StreamModel::InsertionOnly).with_exact_state();
         assert!(v.apply(Update::insert(1)).is_ok());
         assert!(matches!(
             v.apply(Update::delete(1)),
@@ -289,21 +657,22 @@ mod tests {
             Err(StreamError::NonPositiveInsertion { .. })
         ));
         // Rejected updates do not change the exact state.
-        assert_eq!(v.frequency().get(1), 1);
+        assert_eq!(v.frequency().unwrap().get(1), 1);
         assert_eq!(v.len(), 1);
     }
 
     #[test]
     fn turnstile_accepts_signed_updates() {
-        let mut v = StreamValidator::new(StreamModel::Turnstile);
+        let mut v = StreamValidator::new(StreamModel::Turnstile).with_exact_state();
         assert!(v.apply(Update::new(1, 5)).is_ok());
         assert!(v.apply(Update::new(1, -7)).is_ok());
-        assert_eq!(v.frequency().get(1), -2);
+        assert_eq!(v.frequency().unwrap().get(1), -2);
     }
 
     #[test]
     fn magnitude_bound_is_enforced() {
         let mut v = StreamValidator::new(StreamModel::Turnstile).with_magnitude_bound(3);
+        assert_eq!(v.tier(), ValidationTier::Incremental);
         assert!(v.apply(Update::new(9, 3)).is_ok());
         assert!(matches!(
             v.apply(Update::new(9, 1)),
@@ -314,6 +683,99 @@ mod tests {
             v.apply(Update::new(9, -7)),
             Err(StreamError::MagnitudeBoundExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn magnitude_bound_rejects_overflowing_deltas_with_typed_errors() {
+        // Adversarial deltas near i64::MAX/MIN: the pre-tiered check
+        // computed `current + delta` unchecked, which panics in debug and
+        // wraps (silently passing the bound) in release.
+        let mut v = StreamValidator::new(StreamModel::Turnstile).with_magnitude_bound(10);
+        assert!(v.apply(Update::new(3, 5)).is_ok());
+        // 5 + i64::MAX wraps to i64::MIN + 4 in release — whose
+        // unsigned_abs is huge, but a wrap in the other direction would
+        // land back inside the bound; the typed error fires before any
+        // arithmetic wraps.
+        assert!(matches!(
+            v.check(Update::new(3, i64::MAX)),
+            Err(StreamError::FrequencyOverflow { .. })
+        ));
+        // 5 + i64::MIN stays representable: that one is an honest (huge)
+        // excursion the bound itself rejects.
+        assert!(matches!(
+            v.check(Update::new(3, i64::MIN)),
+            Err(StreamError::MagnitudeBoundExceeded { .. })
+        ));
+        // From a negative count, i64::MIN is the overflowing direction.
+        let mut negative = StreamValidator::new(StreamModel::Turnstile).with_magnitude_bound(10);
+        assert!(negative.apply(Update::new(3, -5)).is_ok());
+        assert!(matches!(
+            negative.check(Update::new(3, i64::MIN)),
+            Err(StreamError::FrequencyOverflow { .. })
+        ));
+        assert_eq!(v.frequency().unwrap().get(3), 5);
+        assert_eq!(v.len(), 1);
+        // Overflow errors display informatively.
+        let err = StreamError::FrequencyOverflow {
+            update: Update::new(3, i64::MAX),
+        };
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn exact_state_turnstile_rejects_overflow_with_typed_errors_not_panics() {
+        // Regression: the overflow gate must run on every exact-state
+        // tier, not only where a bounded-deletion or magnitude-bound
+        // branch happens to need the transition — otherwise apply()'s
+        // internal expect() panics instead of returning the typed error.
+        let mut v = StreamValidator::new(StreamModel::Turnstile).with_exact_state();
+        assert!(v.apply(Update::new(1, i64::MAX)).is_ok());
+        assert!(matches!(
+            v.apply(Update::new(1, 1)),
+            Err(StreamError::FrequencyOverflow { .. })
+        ));
+        // i64::MIN is representable in the signed count from zero (no
+        // absolute-value stream is tracked outside bounded deletion)...
+        assert!(v.apply(Update::new(2, i64::MIN)).is_ok());
+        // ...but one more step down overflows, again as a typed error.
+        assert!(matches!(
+            v.apply(Update::new(2, -1)),
+            Err(StreamError::FrequencyOverflow { .. })
+        ));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn absolute_stream_is_tracked_only_for_bounded_deletion() {
+        let mut turnstile = StreamValidator::new(StreamModel::Turnstile).with_exact_state();
+        turnstile.apply(Update::new(1, -3)).unwrap();
+        assert!(turnstile.frequency().is_some());
+        assert!(
+            turnstile.absolute_frequency().is_none(),
+            "no model but bounded deletion consults h; it is not maintained"
+        );
+        let mut bounded = StreamValidator::new(StreamModel::bounded_deletion(2.0, 1.0));
+        bounded.apply(Update::insert(1)).unwrap();
+        assert_eq!(bounded.absolute_frequency().unwrap().get(1), 1);
+    }
+
+    #[test]
+    fn bounded_deletion_rejects_overflowing_deltas() {
+        // |i64::MIN| does not fit in i64, so the absolute-value stream h
+        // would overflow; the validator refuses instead of panicking.
+        let mut v = StreamValidator::new(StreamModel::bounded_deletion(1e9, 1.0));
+        assert!(v.apply(Update::new(1, 100)).is_ok());
+        for tier in [ValidationTier::Incremental, ValidationTier::Reference] {
+            let v = v.clone().with_tier(tier);
+            assert!(matches!(
+                v.check(Update::new(1, i64::MIN)),
+                Err(StreamError::FrequencyOverflow { .. })
+            ));
+            assert!(matches!(
+                v.check(Update::new(1, i64::MAX)),
+                Err(StreamError::FrequencyOverflow { .. })
+            ));
+        }
     }
 
     #[test]
@@ -362,6 +824,136 @@ mod tests {
     }
 
     #[test]
+    fn tiers_are_selected_per_model_and_reported() {
+        let insertion = StreamValidator::new(StreamModel::InsertionOnly);
+        assert_eq!(insertion.tier(), ValidationTier::Stateless);
+        assert!(insertion.frequency().is_none());
+
+        let turnstile = StreamValidator::new(StreamModel::Turnstile);
+        assert_eq!(turnstile.tier(), ValidationTier::Stateless);
+
+        let bounded = StreamValidator::new(StreamModel::bounded_deletion(2.0, 1.0));
+        assert_eq!(bounded.tier(), ValidationTier::Incremental);
+        assert!(bounded.frequency().is_some());
+
+        let upgraded = StreamValidator::new(StreamModel::InsertionOnly).with_exact_state();
+        assert_eq!(upgraded.tier(), ValidationTier::Incremental);
+        assert!(upgraded.frequency().is_some());
+
+        assert_eq!(ValidationTier::Stateless.to_string(), "stateless");
+        assert!(!ValidationTier::Stateless.keeps_exact_state());
+        assert!(ValidationTier::Reference.keeps_exact_state());
+    }
+
+    #[test]
+    fn stateless_tier_memory_is_constant_while_exact_tiers_grow() {
+        let mut stateless = StreamValidator::new(StreamModel::InsertionOnly);
+        let mut exact = StreamValidator::new(StreamModel::InsertionOnly).with_exact_state();
+        let fixed = stateless.state_bytes();
+        for i in 0..5_000u64 {
+            stateless.apply(Update::insert(i)).unwrap();
+            exact.apply(Update::insert(i)).unwrap();
+        }
+        assert_eq!(
+            stateless.state_bytes(),
+            fixed,
+            "stateless validator memory must not grow with the support"
+        );
+        assert!(
+            exact.state_bytes() > fixed + 5_000 * 8,
+            "exact validator memory must reflect the 5000-item support, got {}",
+            exact.state_bytes()
+        );
+    }
+
+    #[test]
+    fn incremental_tier_agrees_with_the_reference_oracle() {
+        // A deletion-heavy sequence that repeatedly straddles the
+        // alpha-boundary: every check verdict must agree between the O(1)
+        // incremental tier and the clone-and-recompute reference.
+        for (alpha, p) in [(2.0, 1.0), (1.5, 2.0), (4.0, 1.0)] {
+            let model = StreamModel::bounded_deletion(alpha, p);
+            let mut fast = StreamValidator::new(model);
+            let mut oracle = StreamValidator::new(model).with_tier(ValidationTier::Reference);
+            let mut state = 0x9E37_79B9_u64;
+            let mut agreed_rejections = 0usize;
+            for step in 0..4_000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let item = (state >> 33) % 64;
+                // Bias towards deletions so the invariant boundary is hit
+                // often.
+                let delta: i64 = if state % 5 < 2 { 2 } else { -1 };
+                let u = Update::new(item, delta);
+                let fast_verdict = fast.check(u);
+                let oracle_verdict = oracle.check(u);
+                assert_eq!(
+                    fast_verdict.is_ok(),
+                    oracle_verdict.is_ok(),
+                    "tier disagreement at step {step} on {u:?}: \
+                     incremental {fast_verdict:?} vs reference {oracle_verdict:?}"
+                );
+                if fast_verdict.is_ok() {
+                    fast.apply(u).unwrap();
+                    oracle.apply(u).unwrap();
+                } else {
+                    agreed_rejections += 1;
+                }
+            }
+            assert!(
+                agreed_rejections > 10,
+                "the adversarial sequence never straddled the alpha = {alpha} boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_deletion_validation_cost_is_independent_of_support_size() {
+        // Regression for the pre-tiered quadratic validator: per-update
+        // cost must not scale with the number of distinct items. A
+        // 60k-update stream over 15k distinct items must validate in the
+        // same order of time as one over 10 distinct items (the reference
+        // tier is ~1000x apart on these; a factor-25 band catches any
+        // reintroduced O(support) work while tolerating timer noise).
+        fn stream(distinct: u64) -> Vec<Update> {
+            (0..60_000u64)
+                .map(|i| {
+                    // Three inserts then one delete per item keeps the
+                    // stream exactly on the alpha = 2 boundary (f = h/2
+                    // after every delete) while exercising both signs.
+                    let item = (i / 4) % distinct;
+                    if i % 4 == 3 {
+                        Update::delete(item)
+                    } else {
+                        Update::insert(item)
+                    }
+                })
+                .collect()
+        }
+        fn time(updates: &[Update]) -> std::time::Duration {
+            // Best of three to damp scheduler noise.
+            (0..3)
+                .map(|_| {
+                    let mut v = StreamValidator::new(StreamModel::bounded_deletion(2.0, 1.0));
+                    let start = std::time::Instant::now();
+                    v.apply_all(updates)
+                        .expect("the pattern stays within alpha");
+                    start.elapsed()
+                })
+                .min()
+                .unwrap()
+        }
+        let narrow = time(&stream(10));
+        let wide = time(&stream(15_000));
+        assert!(
+            wide < narrow * 25 + std::time::Duration::from_millis(50),
+            "validation cost grew with support size: 10-distinct {narrow:?} vs \
+             15k-distinct {wide:?}"
+        );
+    }
+
+    #[test]
     fn error_display_is_informative() {
         let err = StreamError::NonPositiveInsertion {
             update: Update::new(3, -1),
@@ -375,5 +967,20 @@ mod tests {
     #[should_panic(expected = "alpha must be at least 1")]
     fn bounded_deletion_rejects_alpha_below_one() {
         let _ = StreamModel::bounded_deletion(0.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs exact state")]
+    fn stateless_tier_cannot_be_forced_onto_bounded_deletion() {
+        let _ = StreamValidator::new(StreamModel::bounded_deletion(2.0, 1.0))
+            .with_tier(ValidationTier::Stateless);
+    }
+
+    #[test]
+    #[should_panic(expected = "accepted statelessly")]
+    fn exact_state_cannot_be_added_mid_stream() {
+        let mut v = StreamValidator::new(StreamModel::InsertionOnly);
+        v.apply(Update::insert(1)).unwrap();
+        let _ = v.with_exact_state();
     }
 }

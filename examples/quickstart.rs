@@ -24,8 +24,11 @@ fn main() {
 
     // The session enforces the stream model the guarantee assumes
     // (insertion-only here) on every update: a violating update is refused
-    // with a typed error and never reaches the sketch.
-    let mut session = StreamSession::new(StreamModel::InsertionOnly, Box::new(robust));
+    // with a typed error and never reaches the sketch. Insertion-only
+    // validation is a stateless O(1) sign check by default; this demo
+    // opts into exact state so it can print the true F0 next to readings.
+    let mut session =
+        StreamSession::new(StreamModel::InsertionOnly, Box::new(robust)).with_exact_state();
 
     // Any stream source works; here, 50k uniformly random 20-bit items.
     let mut generator = UniformGenerator::new(1 << 20, 42);
@@ -43,7 +46,7 @@ fn main() {
             // `query()` returns the full reading; `estimate()` is just its
             // `.value` for callers that only want the float.
             let reading = session.query();
-            let truth = session.frequency().f0() as f64;
+            let truth = session.frequency().expect("exact state requested").f0() as f64;
             println!(
                 "{step:>10} {truth:>12.0} {:>12.0} {:>26} {:>7}/{}",
                 reading.value,
@@ -96,5 +99,14 @@ fn main() {
         "\nbatched run (512-update chunks) agrees: {:.0} vs {:.0}",
         batched.query().value,
         reading.value,
+    );
+    // This second session kept the default stateless fast path: O(1)
+    // validator memory next to the exact-state session's O(distinct).
+    println!(
+        "validator memory: {} B ({} tier) vs {} KiB ({} tier)",
+        batched.validator_bytes(),
+        batched.validator_tier(),
+        session.validator_bytes() / 1024,
+        session.validator_tier(),
     );
 }

@@ -18,10 +18,12 @@
 //!   the [`robust::Robustify`] engine, the strategy seam
 //!   ([`robust::RobustStrategy`]: sketch switching, computation paths,
 //!   crypto masking, DP aggregation, difference estimators), the single
-//!   [`robust::RobustBuilder`], and the object-safe
-//!   [`robust::RobustEstimator`] trait with a batched update path
-//!   ([`ars_core`]). The repo-level `docs/ARCHITECTURE.md` is the guided
-//!   tour of how these layers fit.
+//!   [`robust::RobustBuilder`], the object-safe
+//!   [`robust::RobustEstimator`] trait with a batched update path, and the
+//!   typed serving layer — model-enforcing [`robust::StreamSession`]s over
+//!   tiered validators and the multi-tenant [`robust::SessionManager`]
+//!   with automatic re-provisioning ([`ars_core`]). The repo-level
+//!   `docs/ARCHITECTURE.md` is the guided tour of how these layers fit.
 //! * [`adversary`] — the two-player adversarial game harness and the AMS
 //!   attack of Section 9 ([`ars_adversary`]).
 //!

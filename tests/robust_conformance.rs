@@ -6,11 +6,12 @@
 
 use adversarial_robust_streaming::robust::registry::RegistryEntry;
 use adversarial_robust_streaming::robust::{
-    standard_registry, ArsError, DifferenceSchedule, DpAggregationConfig, FlipBudget, Health,
-    RegistryParams, RobustBuilder, RobustEstimator, SketchSwitchConfig, Strategy, StreamSession,
+    standard_registry, ArsError, DifferenceSchedule, DpAggregationConfig, Estimate, FlipBudget,
+    Health, RegistryParams, RobustBuilder, RobustEstimator, SketchSwitchConfig, Strategy,
+    StreamSession,
 };
 use adversarial_robust_streaming::stream::generator::Generator;
-use adversarial_robust_streaming::stream::{StreamModel, Update};
+use adversarial_robust_streaming::stream::{StreamModel, StreamValidator, Update, ValidationTier};
 
 fn params() -> RegistryParams {
     RegistryParams {
@@ -449,7 +450,10 @@ fn sessions_expose_the_batched_hot_path_with_validation() {
                 .seed(11)
                 .f0(),
         ),
-    );
+    )
+    // Scoring against ground truth needs the exact vectors the stateless
+    // fast path trades away.
+    .with_exact_state();
     let updates =
         adversarial_robust_streaming::stream::generator::UniformGenerator::new(p.domain, 13)
             .take_updates(4_000);
@@ -458,7 +462,7 @@ fn sessions_expose_the_batched_hot_path_with_validation() {
         assert_eq!(accepted, chunk.len());
     }
     let reading = session.query();
-    let truth = session.frequency().f0() as f64;
+    let truth = session.frequency().expect("exact state requested").f0() as f64;
     assert!(
         reading.guarantee.contains(truth) || (reading.value - truth).abs() <= 0.3 * truth,
         "session reading {reading} far from truth {truth}"
@@ -541,6 +545,162 @@ fn try_build_surfaces_structured_errors_for_every_rejected_range() {
     assert!(b.try_entropy().is_ok());
     assert!(b.try_heavy_hitters().is_ok());
     assert!(b.try_crypto_f0().is_ok());
+}
+
+/// A deterministic adversarial sequence for `model`: seeded, biased
+/// towards deletions and magnitude excursions so it repeatedly straddles
+/// the α-bounded-deletion boundary and the magnitude bound.
+fn adversarial_sequence(model: StreamModel, seed: u64, len: usize) -> Vec<Update> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let item = (state >> 33) % 48;
+            let delta: i64 = match model {
+                // Insertion-only sequences mix in the violations the model
+                // must refuse.
+                StreamModel::InsertionOnly => {
+                    if state.is_multiple_of(11) {
+                        -1
+                    } else {
+                        1 + (state % 3) as i64
+                    }
+                }
+                // Turnstile sequences push |f_i| around so a magnitude
+                // bound is hit from both sides.
+                StreamModel::Turnstile => ((state % 7) as i64) - 3,
+                // Bounded-deletion sequences bias deletions to graze the
+                // alpha boundary.
+                StreamModel::BoundedDeletion { .. } => {
+                    if state % 5 < 2 {
+                        2
+                    } else {
+                        -1
+                    }
+                }
+            };
+            Update::new(item, delta)
+        })
+        .collect()
+}
+
+/// Streams `updates` through a validator, recording each check verdict and
+/// applying accepted updates (rejected ones are skipped, as a session
+/// would).
+fn verdicts(mut validator: StreamValidator, updates: &[Update]) -> Vec<bool> {
+    updates
+        .iter()
+        .map(|&u| match validator.apply(u) {
+            Ok(()) => true,
+            Err(_) => false,
+        })
+        .collect()
+}
+
+#[test]
+fn every_tier_accepts_and_rejects_exactly_like_the_reference_validator() {
+    // The tier-equivalence contract behind the whole refactor: for every
+    // model (with and without bounds), the cheap tier the session would
+    // pick must accept/reject exactly the same update sequences as the
+    // clone-and-recompute reference oracle.
+    let models = [
+        StreamModel::InsertionOnly,
+        StreamModel::Turnstile,
+        StreamModel::bounded_deletion(2.0, 1.0),
+        StreamModel::bounded_deletion(1.5, 2.0),
+        StreamModel::bounded_deletion(4.0, 1.0),
+    ];
+    for model in models {
+        for seed in [3u64, 1337, 0xDEAD_BEEF] {
+            let updates = adversarial_sequence(model, seed, 3_000);
+            for magnitude_bound in [None, Some(3u64)] {
+                let build = |tier: Option<ValidationTier>| {
+                    let mut v = StreamValidator::new(model);
+                    if let Some(bound) = magnitude_bound {
+                        v = v.with_magnitude_bound(bound);
+                    }
+                    match tier {
+                        Some(tier) => v.with_tier(tier),
+                        None => v,
+                    }
+                };
+                let cheap = verdicts(build(None), &updates);
+                let reference = verdicts(build(Some(ValidationTier::Reference)), &updates);
+                assert_eq!(
+                    cheap, reference,
+                    "{model:?} (bound {magnitude_bound:?}, seed {seed}): the session's \
+                     default tier diverged from the reference oracle"
+                );
+                let rejected = cheap.iter().filter(|ok| !**ok).count();
+                // An unbounded turnstile promise is vacuous — zero
+                // rejections is the correct answer there; every other
+                // configuration must actually straddle its boundary.
+                let can_reject = model != StreamModel::Turnstile || magnitude_bound.is_some();
+                assert!(
+                    !can_reject || rejected > 0,
+                    "{model:?} (bound {magnitude_bound:?}, seed {seed}): the adversarial \
+                     sequence never straddled a model boundary; the test exercises nothing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_registry_entry_session_validates_identically_on_every_tier() {
+    // Session level: each registry entry's declared model, driven through
+    // its cheapest-tier session and a reference-tier session, must produce
+    // identical accept/reject traces and identical accepted counts.
+    let p = params();
+    for entry in standard_registry(&p) {
+        let id = entry.id;
+        let model = entry.model;
+        let updates = adversarial_sequence(model, p.seed ^ 0x7135, 1_200);
+        let mut cheap = entry.into_session();
+        let mut reference = StreamValidator::new(model).with_tier(ValidationTier::Reference);
+        let mut reference_accepted = 0u64;
+        for (i, &u) in updates.iter().enumerate() {
+            let oracle_ok = reference.apply(u).is_ok();
+            if oracle_ok {
+                reference_accepted += 1;
+            }
+            assert_eq!(
+                cheap.update(u).is_ok(),
+                oracle_ok,
+                "{id}: tier verdicts diverged at update {i} ({u:?})"
+            );
+        }
+        assert_eq!(cheap.len(), reference_accepted, "{id}");
+        // The cheapest tier for the entry's model is what the session
+        // actually picked.
+        assert_eq!(cheap.validator_tier(), model.minimal_tier(), "{id}");
+    }
+}
+
+#[test]
+fn estimate_json_round_trips_for_every_registry_entry() {
+    let p = params();
+    for mut entry in standard_registry(&p) {
+        let updates = entry.reference_stream(&p, p.seed ^ 0x1A7E);
+        for &u in updates.iter().take(1_000) {
+            entry.estimator.update(u);
+        }
+        let reading = entry.estimator.query();
+        let json = reading.to_json();
+        assert!(
+            !json.contains("18446744073709551615"),
+            "{}: the raw sentinel leaked into the wire format: {json}",
+            entry.id
+        );
+        assert_eq!(
+            Estimate::from_json(&json),
+            Some(reading),
+            "{}: reading did not round-trip through JSON: {json}",
+            entry.id
+        );
+    }
 }
 
 #[test]
