@@ -1,5 +1,7 @@
 //! Result rows and table rendering for the experiment harness.
 
+use ars_core::json::escape_into;
+
 /// One measured row of an experiment (one algorithm × workload × parameter
 /// point).
 #[derive(Debug, Clone, PartialEq)]
@@ -99,20 +101,11 @@ fn json_number(x: f64) -> String {
     }
 }
 
-/// Appends `s` as a JSON string literal, escaping per RFC 8259.
+/// Appends `s` as a JSON string literal; the escaping lives once, in
+/// [`ars_core::json::escape_into`].
 fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
+    escape_into(out, s);
     out.push('"');
 }
 

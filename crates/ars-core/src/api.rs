@@ -8,6 +8,7 @@
 use ars_sketch::Estimator;
 use ars_stream::Update;
 
+use crate::engine::PublicationState;
 use crate::error::ArsError;
 use crate::estimate::{Estimate, FlipBudget};
 
@@ -18,6 +19,11 @@ use crate::estimate::{Estimate, FlipBudget};
 /// was configured for, flip-number budget accounting, and a batched update
 /// path for throughput-oriented callers.
 ///
+/// `Send` is a supertrait: estimators are owned data (the engine already
+/// stores its strategy cores as `Box<dyn StrategyCore + Send>`), and the
+/// serving layer moves whole sessions behind a mutex shared by HTTP
+/// worker threads.
+///
 /// # Batched updates and adaptivity
 ///
 /// [`RobustEstimator::update_batch`] defaults to calling
@@ -27,7 +33,7 @@ use crate::estimate::{Estimate, FlipBudget};
 /// is published mid-batch, so an adversary — who by definition only adapts
 /// to *published* outputs — gains nothing from the coarser granularity, and
 /// the estimate read after the batch still carries the `(1 ± ε)` guarantee.
-pub trait RobustEstimator: Estimator {
+pub trait RobustEstimator: Estimator + Send {
     /// Processes a batch of updates. The estimate is only specified at
     /// batch boundaries; see the trait docs for the adaptivity argument.
     fn update_batch(&mut self, updates: &[Update]) {
@@ -120,6 +126,24 @@ pub trait RobustEstimator: Estimator {
     /// The robustification strategy that produced this estimator, for
     /// reports (e.g. `"sketch-switching"`, `"computation-paths"`).
     fn strategy_name(&self) -> &'static str;
+
+    /// The estimator's publication accounting for snapshot/restore, when
+    /// it supports the seam. Engine-backed estimators return it (and
+    /// restored readings are bitwise-identical after a frequency replay
+    /// plus [`RobustEstimator::restore_publication`]); the default is
+    /// `None` for bespoke estimators that keep their own rounding state.
+    fn publication_state(&self) -> Option<PublicationState> {
+        None
+    }
+
+    /// Restores publication accounting captured by
+    /// [`RobustEstimator::publication_state`]: the published anchor, the
+    /// flip ledger, and the provisioned λ. A no-op by default (estimators
+    /// without the seam fall back to replay-derived publication, which is
+    /// within-guarantee but not bitwise-stable).
+    fn restore_publication(&mut self, state: &PublicationState) {
+        let _ = state;
+    }
 }
 
 /// Forwards the whole [`RobustEstimator`] surface of a wrapper struct to an
@@ -170,6 +194,14 @@ macro_rules! delegate_robust_estimator {
 
             fn strategy_name(&self) -> &'static str {
                 $crate::api::RobustEstimator::strategy_name(&self.$field)
+            }
+
+            fn publication_state(&self) -> Option<$crate::engine::PublicationState> {
+                $crate::api::RobustEstimator::publication_state(&self.$field)
+            }
+
+            fn restore_publication(&mut self, state: &$crate::engine::PublicationState) {
+                $crate::api::RobustEstimator::restore_publication(&mut self.$field, state);
             }
         }
     };

@@ -47,6 +47,32 @@ pub(crate) fn derive_seed(seed: u64, index: u64) -> u64 {
         .wrapping_mul(0xBF58_476D_1CE4_E5B9)
 }
 
+/// The engine's publication accounting, as captured for (and restored
+/// from) a snapshot: the raw published anchor, the flip ledger, and the
+/// provisioned λ.
+///
+/// In [`RoundingMode::Windowed`] a reading is a pure function of this
+/// state (plus the deterministic plan and copy count) — the published
+/// value is a *path-dependent* rounding anchor, so replaying the exact
+/// frequency vector into a fresh estimator reproduces the sketch state but
+/// **not** the anchor or the ledger. Restoring this state alongside the
+/// replay is what makes a restored reading bitwise-identical; see
+/// [`crate::manager::SessionManager::restore_json`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublicationState {
+    /// The raw published value (pre any additive/log transform), `None` if
+    /// nothing has been published yet or the mode is [`RoundingMode::Raw`]
+    /// (where readings are recomputed from the sketch, not anchored).
+    pub published: Option<f64>,
+    /// Output changes spent so far against the budget.
+    pub flips: usize,
+    /// The provisioned flip budget λ, raw (`usize::MAX` = unbounded). Kept
+    /// here because re-provisioning doubles λ in place: a snapshot taken
+    /// after a rebuild must restore the doubled budget, not the spec's
+    /// original one.
+    pub lambda: usize,
+}
+
 /// How the engine publishes outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RoundingMode {
@@ -387,6 +413,24 @@ impl<C: StrategyCore> RobustEstimator for Robustify<C> {
 
     fn strategy_name(&self) -> &'static str {
         self.core.strategy_name()
+    }
+
+    fn publication_state(&self) -> Option<PublicationState> {
+        Some(PublicationState {
+            published: match self.mode {
+                RoundingMode::Raw => None,
+                RoundingMode::Windowed => self.rounder.published(),
+            },
+            flips: self.output_changes(),
+            lambda: self.plan.lambda,
+        })
+    }
+
+    fn restore_publication(&mut self, state: &PublicationState) {
+        self.plan.lambda = state.lambda.max(1);
+        if self.mode == RoundingMode::Windowed {
+            self.rounder.restore(state.published, state.flips);
+        }
     }
 }
 

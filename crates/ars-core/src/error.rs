@@ -112,6 +112,15 @@ pub enum ArsError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A wire-format payload (a JSON reading, a provisioner spec, a
+    /// snapshot, an HTTP body) failed to parse or failed semantic
+    /// validation. Carried by [`crate::estimate::Estimate::try_from_json`]
+    /// and the snapshot/serving surfaces so a 400 response can name the
+    /// reason instead of a bare `None`.
+    Wire {
+        /// What was malformed, human-readable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ArsError {
@@ -129,6 +138,7 @@ impl fmt::Display for ArsError {
             Self::UnknownSession { name } => {
                 write!(f, "no session named {name:?} is registered")
             }
+            Self::Wire { reason } => write!(f, "malformed wire payload: {reason}"),
         }
     }
 }
@@ -140,7 +150,8 @@ impl std::error::Error for ArsError {
             Self::Build(err) => Some(err),
             Self::BudgetExhausted { .. }
             | Self::StateUnavailable { .. }
-            | Self::UnknownSession { .. } => None,
+            | Self::UnknownSession { .. }
+            | Self::Wire { .. } => None,
         }
     }
 }
@@ -213,5 +224,12 @@ mod tests {
         };
         assert!(unknown.source().is_none());
         assert!(unknown.to_string().contains("edge-7"));
+
+        let wire = ArsError::Wire {
+            reason: "expected ',' or '}' at byte 12".to_string(),
+        };
+        assert!(wire.source().is_none());
+        assert!(wire.to_string().contains("malformed wire payload"));
+        assert!(wire.to_string().contains("byte 12"));
     }
 }

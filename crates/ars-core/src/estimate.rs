@@ -17,6 +17,9 @@
 
 use std::fmt;
 
+use crate::error::ArsError;
+use crate::json::{JsonValue, JsonWriter};
+
 /// The flip-number budget λ an estimator was provisioned for.
 ///
 /// Replaces the old `usize::MAX` sentinel: the cryptographic route of
@@ -261,61 +264,102 @@ impl Estimate {
     }
 
     /// Serializes the reading as one JSON object — the wire surface behind
-    /// [`crate::manager::SessionManager::readings_json`]. Hand-rolled (the
-    /// build environment vendors no serde), matching `ars-bench`'s report
-    /// JSON style: floats via `{:?}` so `f64` round-trips exactly, the
-    /// unbounded flip budget as the string `"unbounded"` (never the raw
-    /// `usize::MAX` sentinel), health as its stable `Display` name.
+    /// [`crate::manager::SessionManager::readings_json`]. Hand-rolled on
+    /// the shared [`JsonWriter`] (the build environment vendors no serde):
+    /// floats via `{:?}` so `f64` round-trips exactly, the unbounded flip
+    /// budget as the string `"unbounded"` (never the raw `usize::MAX`
+    /// sentinel), health as its stable `Display` name.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let flip_budget = match self.flip_budget {
-            FlipBudget::Bounded(lambda) => lambda.to_string(),
-            FlipBudget::Unbounded => "\"unbounded\"".to_string(),
-        };
-        format!(
-            "{{\"value\":{:?},\"epsilon\":{:?},\"guarantee\":{{\"lower\":{:?},\
-             \"upper\":{:?},\"additive\":{}}},\"flips_used\":{},\"flip_budget\":{},\
-             \"copies\":{},\"health\":\"{}\"}}",
-            self.value,
-            self.epsilon,
-            self.guarantee.lower,
-            self.guarantee.upper,
-            self.guarantee.additive,
-            self.flips_used,
-            flip_budget,
-            self.copies,
-            self.health,
-        )
+        let mut w = JsonWriter::with_capacity(160);
+        w.raw("{")
+            .key("value")
+            .number(self.value)
+            .raw(",")
+            .key("epsilon")
+            .number(self.epsilon)
+            .raw(",")
+            .key("guarantee")
+            .raw("{")
+            .key("lower")
+            .number(self.guarantee.lower)
+            .raw(",")
+            .key("upper")
+            .number(self.guarantee.upper)
+            .raw(",")
+            .key("additive")
+            .boolean(self.guarantee.additive)
+            .raw("},")
+            .key("flips_used")
+            .uint(self.flips_used as u64)
+            .raw(",")
+            .key("flip_budget");
+        match self.flip_budget {
+            FlipBudget::Bounded(lambda) => {
+                w.uint(lambda as u64);
+            }
+            FlipBudget::Unbounded => {
+                w.string("unbounded");
+            }
+        }
+        w.raw(",")
+            .key("copies")
+            .uint(self.copies as u64)
+            .raw(",")
+            .key("health")
+            .string(&self.health.to_string())
+            .raw("}");
+        w.finish()
     }
 
-    /// Parses a reading serialized by [`Estimate::to_json`]. A minimal
-    /// reader for exactly that flat schema (keys may appear in any order;
-    /// unknown keys are ignored); returns `None` on anything malformed.
-    #[must_use]
-    pub fn from_json(text: &str) -> Option<Self> {
-        fn field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
-            let marker = format!("\"{key}\":");
-            let start = text.find(&marker)? + marker.len();
-            let rest = &text[start..];
-            // Every value in this schema is a number, a boolean, or a
-            // quoted token containing neither ',' nor '}', so the first
-            // delimiter ends it.
-            let end = rest.find([',', '}'])?;
-            Some(rest[..end].trim())
+    /// Parses a reading serialized by [`Estimate::to_json`], reporting
+    /// *why* a malformed payload was rejected through
+    /// [`ArsError::Wire`] — the serving layer turns that reason into a 400
+    /// body. Keys may appear in any order, unknown keys are ignored, and
+    /// trailing content after the object is tolerated (a reading embedded
+    /// in a larger document parses from its start offset).
+    pub fn try_from_json(text: &str) -> Result<Self, ArsError> {
+        fn wire(reason: String) -> ArsError {
+            ArsError::Wire { reason }
         }
-        let value = field(text, "value")?.parse::<f64>().ok()?;
-        let epsilon = field(text, "epsilon")?.parse::<f64>().ok()?;
-        let lower = field(text, "lower")?.parse::<f64>().ok()?;
-        let upper = field(text, "upper")?.parse::<f64>().ok()?;
-        let additive = field(text, "additive")?.parse::<bool>().ok()?;
-        let flips_used = field(text, "flips_used")?.parse::<usize>().ok()?;
-        let flip_budget = match field(text, "flip_budget")? {
-            "\"unbounded\"" => FlipBudget::Unbounded,
-            raw => FlipBudget::Bounded(raw.parse::<usize>().ok()?),
+        let doc = JsonValue::parse(text).map_err(|err| wire(format!("reading: {err}")))?;
+        let num = |node: &JsonValue, key: &str| -> Result<f64, ArsError> {
+            node.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| wire(format!("reading: missing or non-numeric {key:?}")))
         };
-        let copies = field(text, "copies")?.parse::<usize>().ok()?;
-        let health = Health::parse(field(text, "health")?.trim_matches('"'))?;
-        Some(Self {
+        let value = num(&doc, "value")?;
+        let epsilon = num(&doc, "epsilon")?;
+        let guarantee = doc
+            .get("guarantee")
+            .ok_or_else(|| wire("reading: missing \"guarantee\"".to_string()))?;
+        let lower = num(guarantee, "lower")?;
+        let upper = num(guarantee, "upper")?;
+        let additive = guarantee
+            .get("additive")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| wire("reading: missing or non-boolean \"additive\"".to_string()))?;
+        let flips_used = doc
+            .get("flips_used")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| wire("reading: missing or non-integer \"flips_used\"".to_string()))?;
+        let flip_budget = match doc.get("flip_budget") {
+            Some(JsonValue::String(s)) if s == "unbounded" => FlipBudget::Unbounded,
+            Some(node) => FlipBudget::Bounded(node.as_usize().ok_or_else(|| {
+                wire("reading: \"flip_budget\" must be an integer or \"unbounded\"".to_string())
+            })?),
+            None => return Err(wire("reading: missing \"flip_budget\"".to_string())),
+        };
+        let copies = doc
+            .get("copies")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| wire("reading: missing or non-integer \"copies\"".to_string()))?;
+        let health = doc
+            .get("health")
+            .and_then(JsonValue::as_str)
+            .and_then(Health::parse)
+            .ok_or_else(|| wire("reading: missing or unknown \"health\"".to_string()))?;
+        Ok(Self {
             value,
             epsilon,
             guarantee: Guarantee {
@@ -328,6 +372,14 @@ impl Estimate {
             copies,
             health,
         })
+    }
+
+    /// Parses a reading serialized by [`Estimate::to_json`]; a thin
+    /// `Option` shim over [`Estimate::try_from_json`] for callers that do
+    /// not need the reason.
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<Self> {
+        Self::try_from_json(text).ok()
     }
 }
 
@@ -458,6 +510,32 @@ mod tests {
             Some(Health::WithinGuarantee)
         );
         assert_eq!(Health::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn try_from_json_names_the_reason() {
+        match Estimate::try_from_json("not json at all") {
+            Err(ArsError::Wire { reason }) => assert!(reason.contains("reading"), "{reason}"),
+            other => panic!("expected Wire, got {other:?}"),
+        }
+        match Estimate::try_from_json("{\"value\":1.0}") {
+            Err(ArsError::Wire { reason }) => {
+                assert!(reason.contains("epsilon"), "{reason}");
+            }
+            other => panic!("expected Wire, got {other:?}"),
+        }
+        let good = Estimate::new(1.0, 0.1, false, 0, FlipBudget::Bounded(5), 1).to_json();
+        match Estimate::try_from_json(&good.replace("within-guarantee", "meh")) {
+            Err(ArsError::Wire { reason }) => assert!(reason.contains("health"), "{reason}"),
+            other => panic!("expected Wire, got {other:?}"),
+        }
+        // Embedded readings still parse from their start offset (trailing
+        // content tolerated), as the manager's wire surface relies on.
+        let embedded = format!("{good}]}} trailing");
+        assert_eq!(
+            Estimate::try_from_json(&embedded).unwrap(),
+            Estimate::try_from_json(&good).unwrap()
+        );
     }
 
     #[test]

@@ -123,6 +123,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod flip_number;
+pub mod json;
 pub mod manager;
 pub mod registry;
 pub mod robust_bounded_deletion;
@@ -134,6 +135,7 @@ pub mod robust_turnstile;
 pub mod rounding;
 pub mod session;
 pub mod sketch_switch;
+pub mod spec;
 pub mod strategy;
 
 pub use api::RobustEstimator;
@@ -144,10 +146,11 @@ pub use difference_estimators::{
     ChunkScheduleInfo, DifferenceEstimators, DifferenceEstimatorsStrategy, DifferenceSchedule,
 };
 pub use dp_aggregation::{DpAggregation, DpAggregationConfig, DpAggregationStrategy};
-pub use engine::{DynRobust, RobustPlan, Robustify, RoundingMode, StrategyCore};
+pub use engine::{DynRobust, PublicationState, RobustPlan, Robustify, RoundingMode, StrategyCore};
 pub use error::{ArsError, BuildError};
 pub use estimate::{Estimate, FlipBudget, Guarantee, Health};
 pub use flip_number::{empirical_flip_number, FlipNumberBound};
+pub use json::{escape_into, JsonError, JsonValue, JsonWriter};
 pub use manager::{Provisioner, SessionManager, TenantHealth};
 pub use registry::{standard_registry, RegistryEntry, RegistryParams};
 pub use robust_bounded_deletion::{RobustBoundedDeletionFp, RobustBoundedDeletionFpBuilder};
@@ -159,6 +162,7 @@ pub use robust_turnstile::{RobustTurnstileFp, RobustTurnstileFpBuilder};
 pub use rounding::{round_to_power, EpsilonRounder};
 pub use session::StreamSession;
 pub use sketch_switch::{SketchSwitch, SketchSwitchConfig, SwitchStrategy};
+pub use spec::{ProblemSpec, ProvisionerSpec};
 pub use strategy::{
     ComputationPathsStrategy, CryptoMaskStrategy, PoolPolicy, RobustStrategy, SketchSwitchStrategy,
 };

@@ -42,9 +42,12 @@ use std::collections::BTreeMap;
 use ars_stream::{Update, ValidationTier};
 
 use crate::api::RobustEstimator;
+use crate::engine::PublicationState;
 use crate::error::ArsError;
 use crate::estimate::{Estimate, FlipBudget, Health};
+use crate::json::{JsonValue, JsonWriter};
 use crate::session::StreamSession;
+use crate::spec::ProvisionerSpec;
 
 /// Factory a tenant re-provisions through: given the flip budget λ the
 /// manager wants provisioned, build a fresh estimator for the tenant's
@@ -53,12 +56,16 @@ use crate::session::StreamSession;
 /// λ is analytic the factory may incorporate it via
 /// [`crate::builder::RobustBuilder::custom`] or ignore the hint — a fresh
 /// pool with reset flip accounting is still a meaningful recovery.
-pub type Provisioner = Box<dyn FnMut(usize) -> Box<dyn RobustEstimator>>;
+pub type Provisioner = Box<dyn FnMut(usize) -> Box<dyn RobustEstimator> + Send>;
 
 struct Tenant {
     session: StreamSession,
     provision: Provisioner,
     reprovisions: usize,
+    /// The declarative spec the tenant was registered from, when there is
+    /// one. Closure-registered tenants have none — they serve and
+    /// re-provision normally but cannot be carried through a snapshot.
+    spec: Option<ProvisionerSpec>,
 }
 
 impl Tenant {
@@ -129,6 +136,9 @@ pub struct TenantHealth {
     pub dropped: usize,
     /// Times the estimator has been re-provisioned with a doubled λ.
     pub reprovisions: usize,
+    /// Times the published output has changed — the spent part of the flip
+    /// budget.
+    pub flips_used: usize,
     /// The tenant's flip budget as currently provisioned.
     pub flip_budget: FlipBudget,
     /// End-to-end memory: sketch plus validator state.
@@ -187,9 +197,49 @@ impl SessionManager {
                     session,
                     provision,
                     reprovisions: 0,
+                    spec: None,
                 },
             )
             .map(|t| t.session)
+    }
+
+    /// Registers a tenant from a declarative [`ProvisionerSpec`]: the spec
+    /// is validated by building the initial estimator, the session enforces
+    /// [`ProvisionerSpec::model`] (with exact state unless the spec opted
+    /// out), and the spec itself becomes the re-provisioning factory. Spec
+    /// tenants — unlike closure-registered ones — survive
+    /// [`SessionManager::snapshot_json`] / [`SessionManager::restore_json`].
+    /// A tenant already registered under `name` is replaced and its session
+    /// returned.
+    pub fn register_spec(
+        &mut self,
+        name: impl Into<String>,
+        spec: ProvisionerSpec,
+    ) -> Result<Option<StreamSession>, ArsError> {
+        let estimator = spec.build(None)?;
+        let mut session = StreamSession::new(spec.model(), estimator);
+        if spec.exact_state {
+            session = session.with_exact_state();
+        }
+        Ok(self
+            .tenants
+            .insert(
+                name.into(),
+                Tenant {
+                    session,
+                    provision: spec.provisioner(),
+                    reprovisions: 0,
+                    spec: Some(spec),
+                },
+            )
+            .map(|t| t.session))
+    }
+
+    /// The declarative spec the named tenant was registered from, if it was
+    /// registered through [`SessionManager::register_spec`].
+    #[must_use]
+    pub fn spec(&self, name: &str) -> Option<&ProvisionerSpec> {
+        self.tenants.get(name).and_then(|t| t.spec.as_ref())
     }
 
     /// Removes a tenant, returning its session.
@@ -294,6 +344,7 @@ impl SessionManager {
                 rejected: tenant.session.rejected(),
                 dropped: tenant.session.dropped(),
                 reprovisions: tenant.reprovisions,
+                flips_used: tenant.session.estimator().output_changes(),
                 flip_budget: FlipBudget::from_raw(tenant.session.estimator().flip_budget()),
                 space_bytes: tenant.session.space_bytes(),
                 validator_bytes: tenant.session.validator_bytes(),
@@ -303,34 +354,267 @@ impl SessionManager {
     }
 
     /// Serializes every tenant's current reading as one JSON object — the
-    /// manager's wire surface. Hand-rolled like the rest of the repo's
-    /// JSON; each reading is [`Estimate::to_json`] and parses back with
-    /// [`Estimate::from_json`].
+    /// manager's wire surface. Built on [`crate::json::JsonWriter`] like
+    /// the rest of the repo's JSON; each reading is [`Estimate::to_json`]
+    /// and parses back with [`Estimate::try_from_json`].
     #[must_use]
     pub fn readings_json(&self) -> String {
-        let mut out = String::from("{\"sessions\":[");
+        let mut w = JsonWriter::with_capacity(64 + 256 * self.tenants.len());
+        w.raw("{").key("sessions").raw("[");
         for (i, (name, tenant)) in self.tenants.iter().enumerate() {
             if i > 0 {
-                out.push(',');
+                w.raw(",");
             }
-            out.push_str("{\"name\":\"");
-            for c in name.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
+            w.raw("{")
+                .key("name")
+                .string(name)
+                .raw(",")
+                .key("tier")
+                .string(tenant.session.validator_tier().as_str())
+                .raw(",")
+                .key("reprovisions")
+                .uint(tenant.reprovisions as u64)
+                .raw(",")
+                .key("reading")
+                .raw(&tenant.session.query().to_json())
+                .raw("}");
+        }
+        w.raw("]}");
+        w.finish()
+    }
+
+    /// Serializes the whole fleet for snapshot/restore: for every tenant
+    /// its name, registration spec (or `null` for closure-registered
+    /// tenants, which cannot be carried across), provisioned λ, publication
+    /// accounting (flip ledger and the ε-rounding anchor, when the
+    /// estimator exposes the [`PublicationState`] seam), re-provision
+    /// count, exact frequency state (item-sorted for determinism; `null`
+    /// on stateless sessions) and the current reading.
+    ///
+    /// [`SessionManager::restore_json`] rebuilds a manager from this
+    /// document; for spec-registered tenants with exact state the restored
+    /// readings are **bitwise identical** for every estimator exposing the
+    /// publication seam (the engine-backed ones — the bespoke heavy-hitters
+    /// structure restores to a within-guarantee reading instead).
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(128 + 512 * self.tenants.len());
+        w.raw("{")
+            .key("version")
+            .uint(1)
+            .raw(",")
+            .key("tenants")
+            .raw("[");
+        for (i, (name, tenant)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            let estimator = tenant.session.estimator();
+            w.raw("{").key("name").string(name).raw(",").key("spec");
+            match &tenant.spec {
+                Some(spec) => {
+                    w.raw(&spec.to_json());
+                }
+                None => {
+                    w.null();
                 }
             }
-            out.push_str(&format!(
-                "\",\"tier\":\"{}\",\"reprovisions\":{},\"reading\":{}}}",
-                tenant.session.validator_tier(),
-                tenant.reprovisions,
-                tenant.session.query().to_json()
+            // Raw-token integer: λ may be the usize::MAX - 1 doubling clamp,
+            // which does not survive an f64 round trip.
+            w.raw(",")
+                .key("lambda")
+                .uint(estimator.flip_budget() as u64)
+                .raw(",")
+                .key("flips_used")
+                .uint(estimator.output_changes() as u64)
+                .raw(",")
+                .key("published");
+            match estimator.publication_state().and_then(|s| s.published) {
+                Some(anchor) => {
+                    w.number(anchor);
+                }
+                None => {
+                    w.null();
+                }
+            }
+            w.raw(",")
+                .key("reprovisions")
+                .uint(tenant.reprovisions as u64)
+                .raw(",")
+                .key("tier")
+                .string(tenant.session.validator_tier().as_str())
+                .raw(",")
+                .key("frequency");
+            match tenant.session.frequency() {
+                Some(frequency) => {
+                    let mut coords: Vec<(u64, i64)> = frequency.iter().collect();
+                    coords.sort_unstable();
+                    w.raw("[");
+                    for (j, (item, count)) in coords.into_iter().enumerate() {
+                        if j > 0 {
+                            w.raw(",");
+                        }
+                        w.raw("[").uint(item).raw(",").int(count).raw("]");
+                    }
+                    w.raw("]");
+                }
+                None => {
+                    w.null();
+                }
+            }
+            w.raw(",")
+                .key("reading")
+                .raw(&tenant.session.query().to_json())
+                .raw("}");
+        }
+        w.raw("]}");
+        w.finish()
+    }
+
+    /// Rebuilds tenants from a [`SessionManager::snapshot_json`] document,
+    /// merging them into this manager by name (an existing tenant under the
+    /// same name is replaced). Returns the number of tenants restored.
+    ///
+    /// Restoration is two-phase: every tenant is parsed, rebuilt from its
+    /// spec (at the snapshotted λ, so a doubled budget survives), replayed
+    /// from its exact frequency state and handed its publication accounting
+    /// back **before** the manager is touched — a malformed snapshot is a
+    /// typed [`ArsError::Wire`] with the manager unchanged. A snapshot row
+    /// with `"spec": null` (a closure-registered tenant) cannot be rebuilt
+    /// and is reported the same way.
+    pub fn restore_json(&mut self, text: &str) -> Result<usize, ArsError> {
+        fn wire(reason: String) -> ArsError {
+            ArsError::Wire { reason }
+        }
+        let doc = JsonValue::parse_strict(text).map_err(|err| wire(format!("snapshot: {err}")))?;
+        match doc.get("version").and_then(JsonValue::as_u64) {
+            Some(1) => {}
+            Some(v) => return Err(wire(format!("snapshot: unsupported version {v}"))),
+            None => return Err(wire("snapshot: missing integer \"version\"".to_string())),
+        }
+        let rows = doc
+            .get("tenants")
+            .and_then(JsonValue::items)
+            .ok_or_else(|| wire("snapshot: missing \"tenants\" array".to_string()))?;
+
+        let mut restored: Vec<(String, Tenant)> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let name = row
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| wire("snapshot: tenant without a \"name\"".to_string()))?
+                .to_string();
+            let spec = match row.get("spec") {
+                Some(JsonValue::Null) | None => {
+                    return Err(wire(format!(
+                        "snapshot: tenant {name:?} was registered from a closure, not a \
+                         provisioner spec; it cannot be restored"
+                    )))
+                }
+                Some(node) => ProvisionerSpec::from_value(node)
+                    .map_err(|err| wire(format!("snapshot: tenant {name:?}: {err}")))?,
+            };
+            let lambda = row
+                .get("lambda")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| {
+                    wire(format!(
+                        "snapshot: tenant {name:?}: missing integer \"lambda\""
+                    ))
+                })?;
+            let flips = row
+                .get("flips_used")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0);
+            let published = match row.get("published") {
+                Some(JsonValue::Null) | None => None,
+                Some(node) => Some(node.as_f64().ok_or_else(|| {
+                    wire(format!(
+                        "snapshot: tenant {name:?}: non-numeric \"published\""
+                    ))
+                })?),
+            };
+            let reprovisions = row
+                .get("reprovisions")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0);
+
+            // Rebuild at the snapshotted budget, not the spec's base one:
+            // a re-provisioned tenant keeps its doubled λ across restore.
+            let hint = match FlipBudget::from_raw(lambda) {
+                FlipBudget::Bounded(l) => Some(l),
+                FlipBudget::Unbounded => None,
+            };
+            let estimator = spec
+                .build(hint)
+                .map_err(|err| wire(format!("snapshot: tenant {name:?}: {err}")))?;
+            let mut session = StreamSession::new(spec.model(), estimator);
+            if spec.exact_state {
+                session = session.with_exact_state();
+            }
+            match row.get("frequency") {
+                Some(JsonValue::Null) | None => {}
+                Some(node) => {
+                    let coords = node.items().ok_or_else(|| {
+                        wire(format!(
+                            "snapshot: tenant {name:?}: \"frequency\" is not an array"
+                        ))
+                    })?;
+                    let mut replay = Vec::with_capacity(coords.len());
+                    for coord in coords {
+                        let pair = coord.items().filter(|p| p.len() == 2).ok_or_else(|| {
+                            wire(format!(
+                                "snapshot: tenant {name:?}: frequency entries must be \
+                                 [item, count] pairs"
+                            ))
+                        })?;
+                        let item = pair[0].as_u64();
+                        let count = pair[1].as_i64();
+                        match (item, count) {
+                            (Some(item), Some(count)) => replay.push(Update::new(item, count)),
+                            _ => {
+                                return Err(wire(format!(
+                                    "snapshot: tenant {name:?}: non-integer frequency entry"
+                                )))
+                            }
+                        }
+                    }
+                    // One batch — at most one publication, which the anchor
+                    // restore below overwrites anyway.
+                    session.update_batch(&replay).map_err(|err| {
+                        wire(format!(
+                            "snapshot: tenant {name:?}: frequency replay violates the \
+                             spec's stream model: {err}"
+                        ))
+                    })?;
+                }
+            }
+            // Hand the publication accounting back so restored readings
+            // reproduce the snapshot bitwise (a no-op on estimators without
+            // the seam, which fall back to the replay-derived publication).
+            session
+                .estimator_mut()
+                .restore_publication(&PublicationState {
+                    published,
+                    flips,
+                    lambda,
+                });
+            restored.push((
+                name,
+                Tenant {
+                    session,
+                    provision: spec.provisioner(),
+                    reprovisions,
+                    spec: Some(spec),
+                },
             ));
         }
-        out.push_str("]}");
-        out
+
+        let count = restored.len();
+        for (name, tenant) in restored {
+            self.tenants.insert(name, tenant);
+        }
+        Ok(count)
     }
 }
 
@@ -551,6 +835,155 @@ mod tests {
             other => panic!("expected StateUnavailable, got {other:?}"),
         }
         assert_eq!(manager.health_report()[0].reprovisions, 0);
+    }
+
+    #[test]
+    fn spec_tenants_snapshot_and_restore_bitwise() {
+        use crate::spec::{ProblemSpec, ProvisionerSpec};
+
+        // A spec-registered turnstile tenant driven past exhaustion (so the
+        // snapshot carries a doubled lambda and a non-trivial flip ledger)
+        // plus a spec-registered F0 tenant.
+        let mut manager = SessionManager::new();
+        let waves_spec = ProvisionerSpec::new(ProblemSpec::TurnstileFp { p: 2.0, lambda: 2 }, 0.25)
+            .stream_length(20_000)
+            .domain(1 << 10)
+            .max_frequency(64)
+            .seed(23);
+        manager.register_spec("waves", waves_spec).unwrap();
+        let f0_spec = ProvisionerSpec::new(ProblemSpec::F0, 0.2)
+            .stream_length(20_000)
+            .domain(1 << 12)
+            .seed(11);
+        manager.register_spec("edge", f0_spec).unwrap();
+
+        for u in TurnstileWaveGenerator::new(400).take_updates(6_000) {
+            manager.update("waves", u).unwrap();
+            if manager.health_report()[1].reprovisions > 0 {
+                break;
+            }
+        }
+        assert!(
+            manager.health_report()[1].reprovisions > 0,
+            "the waves never exhausted the budget"
+        );
+        for i in 0..500u64 {
+            manager.update("edge", Update::insert(i % 250)).unwrap();
+        }
+
+        let snapshot = manager.snapshot_json();
+        let mut restored = SessionManager::new();
+        assert_eq!(restored.restore_json(&snapshot).unwrap(), 2);
+
+        // Bitwise-identical readings and identical wire surface.
+        for name in ["edge", "waves"] {
+            assert_eq!(
+                restored.query(name).unwrap().to_json(),
+                manager.query(name).unwrap().to_json(),
+                "restored reading for {name} diverged"
+            );
+        }
+        assert_eq!(restored.readings_json(), manager.readings_json());
+        // Operational state survives: the doubled budget, the ledger, the
+        // re-provision count, and the spec itself.
+        let (orig, back) = (&manager.health_report()[1], &restored.health_report()[1]);
+        assert_eq!(back.flip_budget, orig.flip_budget);
+        assert_eq!(back.flips_used, orig.flips_used);
+        assert_eq!(back.reprovisions, orig.reprovisions);
+        assert_eq!(restored.spec("waves"), manager.spec("waves"));
+        // And a snapshot of the restored manager round-trips to the same
+        // document (modulo the accepted counter, which restarts at the
+        // replayed support size — so compare a second-generation restore).
+        let second = {
+            let mut m = SessionManager::new();
+            m.restore_json(&restored.snapshot_json()).unwrap();
+            m
+        };
+        assert_eq!(second.readings_json(), restored.readings_json());
+    }
+
+    #[test]
+    fn restored_tenants_keep_serving_and_reprovisioning() {
+        use crate::spec::{ProblemSpec, ProvisionerSpec};
+
+        let mut manager = SessionManager::new();
+        let spec = ProvisionerSpec::new(ProblemSpec::TurnstileFp { p: 2.0, lambda: 2 }, 0.25)
+            .stream_length(40_000)
+            .domain(1 << 10)
+            .max_frequency(64)
+            .seed(23);
+        manager.register_spec("waves", spec).unwrap();
+        let mut wave = TurnstileWaveGenerator::new(400);
+        for u in wave.take_updates(1_000) {
+            manager.update("waves", u).unwrap();
+        }
+
+        let mut restored = SessionManager::new();
+        restored.restore_json(&manager.snapshot_json()).unwrap();
+        // The restored tenant ingests the rest of the stream and heals
+        // itself through its spec-derived provisioner when the budget blows.
+        for u in wave.take_updates(8_000) {
+            restored.update("waves", u).unwrap();
+        }
+        let report = &restored.health_report()[0];
+        assert!(
+            report.reprovisions > 0,
+            "restored tenant never re-provisioned"
+        );
+        assert_eq!(report.health, Health::WithinGuarantee);
+    }
+
+    #[test]
+    fn closure_tenants_do_not_survive_a_snapshot() {
+        let manager = manager_with_f0("legacy");
+        let snapshot = manager.snapshot_json();
+        assert!(snapshot.contains("\"spec\":null"), "{snapshot}");
+        let mut restored = SessionManager::new();
+        match restored.restore_json(&snapshot) {
+            Err(ArsError::Wire { reason }) => {
+                assert!(reason.contains("legacy"), "{reason}");
+                assert!(reason.contains("closure"), "{reason}");
+            }
+            other => panic!("expected Wire, got {other:?}"),
+        }
+        assert!(
+            restored.is_empty(),
+            "a failed restore must not insert tenants"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots_without_touching_the_manager() {
+        use crate::spec::{ProblemSpec, ProvisionerSpec};
+
+        let mut manager = SessionManager::new();
+        manager
+            .register_spec("keep", ProvisionerSpec::new(ProblemSpec::F0, 0.2))
+            .unwrap();
+        for (snapshot, needle) in [
+            ("not json", "snapshot"),
+            ("{\"tenants\":[]}", "version"),
+            ("{\"version\":2,\"tenants\":[]}", "unsupported version"),
+            ("{\"version\":1}", "tenants"),
+            ("{\"version\":1,\"tenants\":[{\"spec\":null}]}", "name"),
+            (
+                "{\"version\":1,\"tenants\":[{\"name\":\"x\",\"spec\":{\"problem\":\"f0\",\
+                 \"epsilon\":0.2}}]}",
+                "lambda",
+            ),
+        ] {
+            match manager.restore_json(snapshot) {
+                Err(ArsError::Wire { reason }) => {
+                    assert!(reason.contains(needle), "{snapshot}: {reason}");
+                }
+                other => panic!("{snapshot}: expected Wire, got {other:?}"),
+            }
+            assert_eq!(
+                manager.len(),
+                1,
+                "manager must be unchanged after {snapshot}"
+            );
+        }
     }
 
     #[test]

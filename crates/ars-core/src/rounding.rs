@@ -96,6 +96,18 @@ impl EpsilonRounder {
     pub fn changes(&self) -> usize {
         self.changes
     }
+
+    /// Restores a previously observed publication state: the published
+    /// value and the change count, exactly as another rounder reported
+    /// them. This is the snapshot/restore seam — the published value is a
+    /// *path-dependent* rounding anchor (it depends on when past raw
+    /// estimates crossed their windows, not just on the final one), so a
+    /// restored estimator can only reproduce its reading bitwise if the
+    /// anchor itself is restored rather than re-derived.
+    pub fn restore(&mut self, published: Option<f64>, changes: usize) {
+        self.published = published;
+        self.changes = changes;
+    }
 }
 
 /// Whether `value` lies in the closed window `[(1−ε)·center, (1+ε)·center]`
@@ -228,5 +240,25 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn zero_epsilon_is_rejected() {
         let _ = EpsilonRounder::new(0.0);
+    }
+
+    #[test]
+    fn restore_reproduces_the_publication_anchor() {
+        let mut original = EpsilonRounder::new(0.2);
+        for v in [10.0, 11.0, 40.0, 42.0] {
+            original.round(v);
+        }
+        // A fresh rounder fed only the final raw value lands on a different
+        // anchor — publication is path-dependent.
+        let mut rederived = EpsilonRounder::new(0.2);
+        rederived.round(42.0);
+        assert_ne!(rederived.changes(), original.changes());
+        // Restoring the anchor reproduces both the value and the ledger.
+        let mut restored = EpsilonRounder::new(0.2);
+        restored.restore(original.published(), original.changes());
+        assert_eq!(restored.published(), original.published());
+        assert_eq!(restored.changes(), original.changes());
+        // And it keeps rounding from the restored window.
+        assert_eq!(restored.round(42.0), original.round(42.0));
     }
 }

@@ -321,6 +321,15 @@ impl StreamSession {
         self.estimator.as_ref()
     }
 
+    /// Mutable access to the estimator — the restore seam: after replaying
+    /// a snapshot's exact state, [`crate::manager::SessionManager`] pushes
+    /// the captured publication accounting back into the estimator so
+    /// restored readings match the snapshot bitwise. Crate-private: the
+    /// public mutation surface stays the validated ingestion path.
+    pub(crate) fn estimator_mut(&mut self) -> &mut dyn RobustEstimator {
+        self.estimator.as_mut()
+    }
+
     /// Swaps in a replacement estimator, returning the old one. The
     /// validator state, violation record and rejection accounting are
     /// untouched: the stream's history (and its promise status) belongs to

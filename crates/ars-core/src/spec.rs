@@ -1,0 +1,582 @@
+//! Declarative provisioner specs: [`ProblemSpec`] and [`ProvisionerSpec`].
+//!
+//! A [`crate::manager::SessionManager`] tenant re-provisions through a
+//! boxed closure ([`crate::manager::Provisioner`]) — flexible, but a
+//! closure cannot be serialized, so a manager built from closures cannot
+//! be snapshotted and restored, and a remote client cannot register a
+//! tenant at all. A [`ProvisionerSpec`] is the declarative equivalent: the
+//! problem, every builder knob, and the strategy override as plain data
+//! with a JSON wire form. From a spec the manager can derive everything a
+//! tenant needs — the [`ars_stream::StreamModel`] the session must
+//! enforce, a fresh estimator at any flip budget λ, and a
+//! [`crate::manager::Provisioner`] closure for the re-provisioning path —
+//! and a snapshot can embed the spec so a restored manager rebuilds the
+//! identical estimator (same seed, same parameters, hence the same
+//! deterministic sketch randomness).
+
+use ars_stream::StreamModel;
+
+use crate::api::RobustEstimator;
+use crate::builder::{RobustBuilder, Strategy};
+use crate::error::ArsError;
+use crate::json::{JsonValue, JsonWriter};
+use crate::manager::Provisioner;
+use crate::strategy::CryptoBackend;
+
+/// Which problem a [`ProvisionerSpec`] provisions, with the per-problem
+/// parameters that are not shared builder knobs. Mirrors the constructors
+/// on [`RobustBuilder`] one-for-one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProblemSpec {
+    /// Distinct elements (Theorems 1.1/1.2) — [`RobustBuilder::f0`].
+    F0,
+    /// `F_p`, `0 < p ≤ 2` (Theorems 1.4/1.5) — [`RobustBuilder::fp`].
+    Fp {
+        /// The moment order.
+        p: f64,
+    },
+    /// `F_p`, `p > 2` (Theorem 1.7) — [`RobustBuilder::fp_large`].
+    FpLarge {
+        /// The moment order.
+        p: f64,
+    },
+    /// λ-flip turnstile `F_p` (Theorem 1.6) —
+    /// [`RobustBuilder::turnstile_fp`]. The λ here is the *initial*
+    /// promise; re-provisioning doubles it through the build hint.
+    TurnstileFp {
+        /// The moment order.
+        p: f64,
+        /// The promised flip budget λ.
+        lambda: usize,
+    },
+    /// α-bounded-deletion `F_p` (Theorem 1.11) —
+    /// [`RobustBuilder::bounded_deletion_fp`].
+    BoundedDeletionFp {
+        /// The moment order.
+        p: f64,
+        /// The deletion parameter α ≥ 1.
+        alpha: f64,
+    },
+    /// Empirical Shannon entropy (Theorem 1.10) —
+    /// [`RobustBuilder::entropy`].
+    Entropy,
+    /// `L₂` heavy hitters (Theorem 1.9) —
+    /// [`RobustBuilder::heavy_hitters`]. Note the heavy-hitters structure
+    /// is bespoke (no engine publication seam), so its restored readings
+    /// are within-guarantee rather than bitwise-stable.
+    HeavyHitters,
+    /// The cryptographic `F₀` route (Theorem 10.1) —
+    /// [`RobustBuilder::crypto_f0`].
+    CryptoF0,
+}
+
+impl ProblemSpec {
+    /// The stable wire name of the problem.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::F0 => "f0",
+            Self::Fp { .. } => "fp",
+            Self::FpLarge { .. } => "fp-large",
+            Self::TurnstileFp { .. } => "turnstile-fp",
+            Self::BoundedDeletionFp { .. } => "bounded-deletion-fp",
+            Self::Entropy => "entropy",
+            Self::HeavyHitters => "heavy-hitters",
+            Self::CryptoF0 => "crypto-f0",
+        }
+    }
+
+    /// The stream model the problem's theorem is stated over — what a
+    /// session provisioned from this spec must enforce.
+    #[must_use]
+    pub fn model(&self) -> StreamModel {
+        match *self {
+            Self::TurnstileFp { .. } => StreamModel::Turnstile,
+            Self::BoundedDeletionFp { p, alpha } => StreamModel::BoundedDeletion { alpha, p },
+            _ => StreamModel::InsertionOnly,
+        }
+    }
+}
+
+/// The stable wire name of a [`Strategy`] (used by specs and snapshots).
+#[must_use]
+pub fn strategy_wire_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::SketchSwitching => "sketch-switching",
+        Strategy::ComputationPaths => "computation-paths",
+        Strategy::Crypto(CryptoBackend::ChaChaPrf) => "crypto-chacha",
+        Strategy::Crypto(CryptoBackend::RandomOracle) => "crypto-random-oracle",
+        Strategy::DpAggregation => "dp-aggregation",
+        Strategy::DifferenceEstimators => "difference-estimators",
+    }
+}
+
+/// Parses a [`Strategy`] wire name written by [`strategy_wire_name`].
+#[must_use]
+pub fn strategy_from_wire_name(name: &str) -> Option<Strategy> {
+    match name {
+        "sketch-switching" => Some(Strategy::SketchSwitching),
+        "computation-paths" => Some(Strategy::ComputationPaths),
+        "crypto-chacha" => Some(Strategy::Crypto(CryptoBackend::ChaChaPrf)),
+        "crypto-random-oracle" => Some(Strategy::Crypto(CryptoBackend::RandomOracle)),
+        "dp-aggregation" => Some(Strategy::DpAggregation),
+        "difference-estimators" => Some(Strategy::DifferenceEstimators),
+        _ => None,
+    }
+}
+
+/// A declarative, serializable provisioner: a [`ProblemSpec`] plus every
+/// shared [`RobustBuilder`] knob. See the module docs for why this exists
+/// next to the closure-based [`Provisioner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProvisionerSpec {
+    /// The problem to provision.
+    pub problem: ProblemSpec,
+    /// Approximation parameter ε.
+    pub epsilon: f64,
+    /// Failure probability δ (builder default: 10⁻³).
+    pub delta: f64,
+    /// Maximum stream length `m` (builder default: 2²⁰).
+    pub stream_length: u64,
+    /// Domain size `n` (builder default: 2²⁰).
+    pub domain: u64,
+    /// Frequency magnitude bound `M` (builder default: 2²⁰).
+    pub max_frequency: u64,
+    /// Seed for all randomness. Two builds from the same spec produce
+    /// identical sketch randomness — the property snapshot restore relies
+    /// on.
+    pub seed: u64,
+    /// Strategy override (`None` = the problem's default route).
+    pub strategy: Option<Strategy>,
+    /// Whether sessions provisioned from this spec keep exact state
+    /// (default `true`: re-provisioning and snapshot replay both need it;
+    /// opt out for the `O(1)` stateless validator footprint).
+    pub exact_state: bool,
+}
+
+impl ProvisionerSpec {
+    /// A spec for `problem` at approximation ε, with the builder defaults
+    /// for every other knob and exact state retained.
+    #[must_use]
+    pub fn new(problem: ProblemSpec, epsilon: f64) -> Self {
+        Self {
+            problem,
+            epsilon,
+            delta: 1e-3,
+            stream_length: 1 << 20,
+            domain: 1 << 20,
+            max_frequency: 1 << 20,
+            seed: 0,
+            strategy: None,
+            exact_state: true,
+        }
+    }
+
+    /// Sets the failure probability δ.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the maximum stream length `m`.
+    #[must_use]
+    pub fn stream_length(mut self, m: u64) -> Self {
+        self.stream_length = m;
+        self
+    }
+
+    /// Sets the domain size `n`.
+    #[must_use]
+    pub fn domain(mut self, n: u64) -> Self {
+        self.domain = n;
+        self
+    }
+
+    /// Sets the frequency magnitude bound `M`.
+    #[must_use]
+    pub fn max_frequency(mut self, max_frequency: u64) -> Self {
+        self.max_frequency = max_frequency;
+        self
+    }
+
+    /// Sets the randomness seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects a robustification route (default: per-problem).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Opts the provisioned sessions out of exact state (stateless
+    /// validators where the model admits them; re-provisioning and
+    /// snapshot replay become unavailable).
+    #[must_use]
+    pub fn stateless(mut self) -> Self {
+        self.exact_state = false;
+        self
+    }
+
+    /// The stream model sessions from this spec must enforce.
+    #[must_use]
+    pub fn model(&self) -> StreamModel {
+        self.problem.model()
+    }
+
+    /// The configured [`RobustBuilder`] (not yet bound to a problem).
+    fn builder(&self) -> Result<RobustBuilder, ArsError> {
+        let mut builder = RobustBuilder::try_new(self.epsilon)?
+            .try_delta(self.delta)?
+            .stream_length(self.stream_length)
+            .domain(self.domain)
+            .max_frequency(self.max_frequency)
+            .seed(self.seed);
+        if let Some(strategy) = self.strategy {
+            builder = builder.strategy(strategy);
+        }
+        Ok(builder)
+    }
+
+    /// Builds a fresh estimator from the spec. `lambda` is the
+    /// re-provisioning hint: problems whose λ is an explicit promise (the
+    /// turnstile route) build at that budget; problems whose λ is analytic
+    /// ignore it (a fresh pool with reset flip accounting is the recovery).
+    pub fn build(&self, lambda: Option<usize>) -> Result<Box<dyn RobustEstimator>, ArsError> {
+        let builder = self.builder()?;
+        Ok(match self.problem {
+            ProblemSpec::F0 => Box::new(builder.try_f0()?),
+            ProblemSpec::Fp { p } => Box::new(builder.try_fp(p)?),
+            ProblemSpec::FpLarge { p } => Box::new(builder.try_fp_large(p)?),
+            ProblemSpec::TurnstileFp { p, lambda: base } => {
+                Box::new(builder.try_turnstile_fp(p, lambda.unwrap_or(base))?)
+            }
+            ProblemSpec::BoundedDeletionFp { p, alpha } => {
+                Box::new(builder.try_bounded_deletion_fp(p, alpha)?)
+            }
+            ProblemSpec::Entropy => Box::new(builder.try_entropy()?),
+            ProblemSpec::HeavyHitters => Box::new(builder.try_heavy_hitters()?),
+            ProblemSpec::CryptoF0 => Box::new(builder.try_crypto_f0()?),
+        })
+    }
+
+    /// The spec as a [`Provisioner`] closure for the manager's
+    /// re-provisioning path. Call [`ProvisionerSpec::build`] once first to
+    /// surface validation errors; the closure itself is infallible by
+    /// construction (build failures depend only on the spec's parameters,
+    /// which a successful validation build has already accepted).
+    #[must_use]
+    pub fn provisioner(&self) -> Provisioner {
+        let spec = *self;
+        Box::new(move |lambda| {
+            spec.build(Some(lambda))
+                .expect("spec was validated at registration")
+        })
+    }
+
+    /// Serializes the spec as one JSON object (the wire form `POST
+    /// /tenants/{name}` accepts and snapshots embed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(192);
+        w.raw("{").key("problem").string(self.problem.name());
+        match self.problem {
+            ProblemSpec::Fp { p } | ProblemSpec::FpLarge { p } => {
+                w.raw(",").key("p").number(p);
+            }
+            ProblemSpec::TurnstileFp { p, lambda } => {
+                w.raw(",").key("p").number(p);
+                w.raw(",").key("lambda").uint(lambda as u64);
+            }
+            ProblemSpec::BoundedDeletionFp { p, alpha } => {
+                w.raw(",").key("p").number(p);
+                w.raw(",").key("alpha").number(alpha);
+            }
+            ProblemSpec::F0
+            | ProblemSpec::Entropy
+            | ProblemSpec::HeavyHitters
+            | ProblemSpec::CryptoF0 => {}
+        }
+        w.raw(",")
+            .key("epsilon")
+            .number(self.epsilon)
+            .raw(",")
+            .key("delta")
+            .number(self.delta)
+            .raw(",")
+            .key("stream_length")
+            .uint(self.stream_length)
+            .raw(",")
+            .key("domain")
+            .uint(self.domain)
+            .raw(",")
+            .key("max_frequency")
+            .uint(self.max_frequency)
+            .raw(",")
+            .key("seed")
+            .uint(self.seed)
+            .raw(",")
+            .key("strategy");
+        match self.strategy {
+            Some(strategy) => {
+                w.string(strategy_wire_name(strategy));
+            }
+            None => {
+                w.null();
+            }
+        }
+        w.raw(",")
+            .key("exact_state")
+            .boolean(self.exact_state)
+            .raw("}");
+        w.finish()
+    }
+
+    /// Parses a spec serialized by [`ProvisionerSpec::to_json`]. Only
+    /// `problem` and `epsilon` (plus the problem's own parameters) are
+    /// required; omitted knobs take the builder defaults, so a minimal
+    /// registration body is `{"problem":"f0","epsilon":0.2}`.
+    pub fn try_from_json(text: &str) -> Result<Self, ArsError> {
+        let doc = JsonValue::parse(text).map_err(|err| ArsError::Wire {
+            reason: format!("provisioner spec: {err}"),
+        })?;
+        Self::from_value(&doc)
+    }
+
+    /// Parses a spec from an already-parsed [`JsonValue`] (snapshots embed
+    /// specs inside a larger document).
+    pub fn from_value(doc: &JsonValue) -> Result<Self, ArsError> {
+        fn wire(reason: String) -> ArsError {
+            ArsError::Wire { reason }
+        }
+        let req_num = |key: &str| -> Result<f64, ArsError> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| wire(format!("provisioner spec: missing or non-numeric {key:?}")))
+        };
+        let name = doc
+            .get("problem")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| wire("provisioner spec: missing \"problem\"".to_string()))?;
+        let problem = match name {
+            "f0" => ProblemSpec::F0,
+            "fp" => ProblemSpec::Fp { p: req_num("p")? },
+            "fp-large" => ProblemSpec::FpLarge { p: req_num("p")? },
+            "turnstile-fp" => ProblemSpec::TurnstileFp {
+                p: req_num("p")?,
+                lambda: doc
+                    .get("lambda")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| {
+                        wire(
+                            "provisioner spec: turnstile-fp needs an integer \"lambda\""
+                                .to_string(),
+                        )
+                    })?,
+            },
+            "bounded-deletion-fp" => ProblemSpec::BoundedDeletionFp {
+                p: req_num("p")?,
+                alpha: req_num("alpha")?,
+            },
+            "entropy" => ProblemSpec::Entropy,
+            "heavy-hitters" => ProblemSpec::HeavyHitters,
+            "crypto-f0" => ProblemSpec::CryptoF0,
+            other => {
+                return Err(wire(format!(
+                    "provisioner spec: unknown problem {other:?} (expected one of f0, fp, \
+                     fp-large, turnstile-fp, bounded-deletion-fp, entropy, heavy-hitters, \
+                     crypto-f0)"
+                )))
+            }
+        };
+        let mut spec = Self::new(problem, req_num("epsilon")?);
+        let opt_uint = |key: &str, default: u64| -> Result<u64, ArsError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(node) => node
+                    .as_u64()
+                    .ok_or_else(|| wire(format!("provisioner spec: non-integer {key:?}"))),
+            }
+        };
+        if let Some(node) = doc.get("delta") {
+            spec.delta = node
+                .as_f64()
+                .ok_or_else(|| wire("provisioner spec: non-numeric \"delta\"".to_string()))?;
+        }
+        spec.stream_length = opt_uint("stream_length", spec.stream_length)?;
+        spec.domain = opt_uint("domain", spec.domain)?;
+        spec.max_frequency = opt_uint("max_frequency", spec.max_frequency)?;
+        spec.seed = opt_uint("seed", spec.seed)?;
+        match doc.get("strategy") {
+            None => {}
+            Some(JsonValue::Null) => spec.strategy = None,
+            Some(node) => {
+                let name = node.as_str().ok_or_else(|| {
+                    wire("provisioner spec: \"strategy\" must be a string or null".to_string())
+                })?;
+                spec.strategy =
+                    Some(strategy_from_wire_name(name).ok_or_else(|| {
+                        wire(format!("provisioner spec: unknown strategy {name:?}"))
+                    })?);
+            }
+        }
+        if let Some(node) = doc.get("exact_state") {
+            spec.exact_state = node
+                .as_bool()
+                .ok_or_else(|| wire("provisioner spec: non-boolean \"exact_state\"".to_string()))?;
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::Update;
+
+    fn all_specs() -> Vec<ProvisionerSpec> {
+        vec![
+            ProvisionerSpec::new(ProblemSpec::F0, 0.25)
+                .domain(1 << 12)
+                .stream_length(8_000)
+                .seed(42),
+            ProvisionerSpec::new(ProblemSpec::Fp { p: 2.0 }, 0.25)
+                .strategy(Strategy::ComputationPaths)
+                .seed(7),
+            ProvisionerSpec::new(ProblemSpec::FpLarge { p: 3.0 }, 0.3).seed(9),
+            ProvisionerSpec::new(ProblemSpec::TurnstileFp { p: 2.0, lambda: 4 }, 0.25)
+                .max_frequency(64),
+            ProvisionerSpec::new(ProblemSpec::BoundedDeletionFp { p: 2.0, alpha: 2.0 }, 0.3),
+            ProvisionerSpec::new(ProblemSpec::Entropy, 0.4),
+            ProvisionerSpec::new(ProblemSpec::HeavyHitters, 0.25).stateless(),
+            ProvisionerSpec::new(ProblemSpec::CryptoF0, 0.25)
+                .delta(0.25)
+                .strategy(Strategy::Crypto(CryptoBackend::RandomOracle)),
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_problem() {
+        for spec in all_specs() {
+            let json = spec.to_json();
+            let back =
+                ProvisionerSpec::try_from_json(&json).unwrap_or_else(|err| panic!("{json}: {err}"));
+            assert_eq!(back, spec, "round trip diverged on {json}");
+        }
+    }
+
+    #[test]
+    fn minimal_body_takes_builder_defaults() {
+        let spec = ProvisionerSpec::try_from_json("{\"problem\":\"f0\",\"epsilon\":0.2}").unwrap();
+        assert_eq!(spec.problem, ProblemSpec::F0);
+        assert_eq!(spec.epsilon, 0.2);
+        assert_eq!(spec.delta, 1e-3);
+        assert_eq!(spec.stream_length, 1 << 20);
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.strategy, None);
+        assert!(spec.exact_state);
+    }
+
+    #[test]
+    fn malformed_specs_name_the_reason() {
+        for (body, needle) in [
+            ("{\"epsilon\":0.2}", "problem"),
+            ("{\"problem\":\"f9\",\"epsilon\":0.2}", "unknown problem"),
+            ("{\"problem\":\"fp\",\"epsilon\":0.2}", "\"p\""),
+            (
+                "{\"problem\":\"turnstile-fp\",\"p\":2.0,\"epsilon\":0.2}",
+                "lambda",
+            ),
+            (
+                "{\"problem\":\"f0\",\"epsilon\":0.2,\"strategy\":\"quantum\"}",
+                "unknown strategy",
+            ),
+            ("{\"problem\":\"f0\"}", "epsilon"),
+            ("not json", "provisioner spec"),
+        ] {
+            match ProvisionerSpec::try_from_json(body) {
+                Err(ArsError::Wire { reason }) => {
+                    assert!(reason.contains(needle), "{body}: {reason}");
+                }
+                other => panic!("{body}: expected Wire, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn build_validates_through_the_fallible_builders() {
+        // An invalid epsilon is a typed Build error, not a panic.
+        let bad = ProvisionerSpec::new(ProblemSpec::F0, 1.5);
+        assert!(matches!(bad.build(None), Err(ArsError::Build(_))));
+        // A strategy/problem mismatch surfaces too: Fp has no crypto route.
+        let mismatched = ProvisionerSpec::new(ProblemSpec::Fp { p: 2.0 }, 0.2)
+            .strategy(Strategy::Crypto(CryptoBackend::ChaChaPrf));
+        assert!(matches!(mismatched.build(None), Err(ArsError::Build(_))));
+    }
+
+    #[test]
+    fn model_matches_the_problem() {
+        assert_eq!(
+            ProvisionerSpec::new(ProblemSpec::F0, 0.2).model(),
+            StreamModel::InsertionOnly
+        );
+        assert_eq!(
+            ProvisionerSpec::new(ProblemSpec::TurnstileFp { p: 2.0, lambda: 2 }, 0.2).model(),
+            StreamModel::Turnstile
+        );
+        assert_eq!(
+            ProvisionerSpec::new(ProblemSpec::BoundedDeletionFp { p: 2.0, alpha: 2.0 }, 0.2)
+                .model(),
+            StreamModel::BoundedDeletion { alpha: 2.0, p: 2.0 }
+        );
+    }
+
+    #[test]
+    fn same_spec_builds_identical_estimators() {
+        let spec = ProvisionerSpec::new(ProblemSpec::F0, 0.25)
+            .domain(1 << 10)
+            .stream_length(4_000)
+            .seed(11);
+        let mut a = spec.build(None).unwrap();
+        let mut b = spec.build(None).unwrap();
+        let batch: Vec<Update> = (0..2_000u64).map(|i| Update::insert(i % 300)).collect();
+        a.update_batch(&batch);
+        b.update_batch(&batch);
+        assert_eq!(a.query(), b.query(), "same seed must mean same reading");
+    }
+
+    #[test]
+    fn turnstile_builds_take_the_lambda_hint() {
+        let spec = ProvisionerSpec::new(ProblemSpec::TurnstileFp { p: 2.0, lambda: 2 }, 0.25)
+            .max_frequency(64);
+        assert_eq!(spec.build(None).unwrap().flip_budget(), 2);
+        assert_eq!(spec.build(Some(8)).unwrap().flip_budget(), 8);
+        // Problems with an analytic lambda ignore the hint.
+        let f0 = ProvisionerSpec::new(ProblemSpec::F0, 0.25);
+        let analytic = f0.build(None).unwrap().flip_budget();
+        assert_eq!(f0.build(Some(999)).unwrap().flip_budget(), analytic);
+    }
+
+    #[test]
+    fn strategy_wire_names_round_trip() {
+        for strategy in [
+            Strategy::SketchSwitching,
+            Strategy::ComputationPaths,
+            Strategy::Crypto(CryptoBackend::ChaChaPrf),
+            Strategy::Crypto(CryptoBackend::RandomOracle),
+            Strategy::DpAggregation,
+            Strategy::DifferenceEstimators,
+        ] {
+            assert_eq!(
+                strategy_from_wire_name(strategy_wire_name(strategy)),
+                Some(strategy)
+            );
+        }
+        assert_eq!(strategy_from_wire_name("quantum"), None);
+    }
+}

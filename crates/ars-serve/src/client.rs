@@ -1,0 +1,78 @@
+//! A minimal blocking HTTP/1.1 client for tests, examples and benches.
+//!
+//! Speaks exactly the dialect [`crate::server::FleetServer`] serves — one
+//! request per connection, `Content-Length` framing, `Connection: close`
+//! — so the e2e tests exercise the real socket path without an external
+//! HTTP tool.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Sends one request and returns `(status, body)`. A non-empty `body`
+/// is framed with `Content-Length`; responses are read to EOF (the server
+/// always closes).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Splits a raw HTTP/1.1 response into (status, body).
+fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let status_line = head.lines().next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+/// Percent-encodes a tenant name for use as one path segment: everything
+/// outside RFC 3986 unreserved characters is `%XX`-escaped.
+#[must_use]
+pub fn encode_segment(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for byte in name.as_bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(*byte as char);
+            }
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_extracts_status_and_body() {
+        let raw = "HTTP/1.1 404 Not Found\r\ncontent-length: 2\r\n\r\nno";
+        assert_eq!(parse_response(raw), Some((404, "no".to_string())));
+        assert_eq!(parse_response("garbage"), None);
+    }
+
+    #[test]
+    fn segment_encoding_round_trips_through_the_server_decoder() {
+        let name = "edge \"eu\"/β tier";
+        let encoded = encode_segment(name);
+        assert!(!encoded.contains(' '), "{encoded}");
+        assert!(!encoded.contains('/'), "{encoded}");
+        assert_eq!(crate::http::percent_decode(&encoded).unwrap(), name);
+    }
+}

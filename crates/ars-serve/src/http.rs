@@ -1,0 +1,433 @@
+//! Hand-rolled HTTP/1.1 wire handling: bounded request parsing and
+//! response writing over any `Read`/`Write` pair.
+//!
+//! The build environment vendors no HTTP crate, and the serving surface
+//! needs only a small, strict subset of RFC 9112: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked transfer), and hard limits on every dimension
+//! an unauthenticated peer controls — request-line length, header count
+//! and bytes, body size. Anything outside the subset is a typed
+//! [`HttpError`] that the server maps to a 4xx response; nothing in this
+//! module panics on attacker-controlled input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Hard limits on attacker-controlled request dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum request-line bytes (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum total header bytes.
+    pub max_header_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum body bytes (`Content-Length` above this is refused with
+    /// 413 before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_request_line: 8 * 1024,
+            max_header_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A wire-level request defect, carrying the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request is malformed (400).
+    BadRequest(String),
+    /// The request exceeds a [`Limits`] bound (413).
+    PayloadTooLarge(String),
+}
+
+impl HttpError {
+    /// The response status code for this defect.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::BadRequest(_) => 400,
+            Self::PayloadTooLarge(_) => 413,
+        }
+    }
+
+    /// The human-readable reason.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        match self {
+            Self::BadRequest(reason) | Self::PayloadTooLarge(reason) => reason,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status(), self.reason())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request: method, percent-decoded path segments, and the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target (path + optional query), as received.
+    pub target: String,
+    /// The path's `/`-separated segments, percent-decoded. Empty segments
+    /// are dropped, so `/tenants/edge%2Fus/query` parses to
+    /// `["tenants", "edge/us", "query"]`.
+    pub segments: Vec<String>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+fn bad(reason: impl Into<String>) -> HttpError {
+    HttpError::BadRequest(reason.into())
+}
+
+fn too_large(reason: impl Into<String>) -> HttpError {
+    HttpError::PayloadTooLarge(reason.into())
+}
+
+/// Reads one line terminated by `\n` (tolerating a preceding `\r`),
+/// refusing lines longer than `limit` and connections that close mid-line.
+fn read_line<R: BufRead>(reader: &mut R, limit: usize, what: &str) -> Result<String, HttpError> {
+    let mut line = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Err(bad(format!("connection closed mid-{what}")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    return Err(too_large(format!("{what} exceeds {limit} bytes")));
+                }
+            }
+            Err(err) => {
+                return Err(bad(format!("read error in {what}: {err}")));
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad(format!("{what} is not valid UTF-8")))
+}
+
+/// Percent-decodes one path segment. `%XX` escapes must be complete and
+/// hexadecimal, and the decoded bytes must be valid UTF-8; `+` is left
+/// alone (it only encodes a space in query strings, not in paths).
+pub fn percent_decode(segment: &str) -> Result<String, HttpError> {
+    let bytes = segment.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| bad(format!("truncated percent escape in {segment:?}")))?;
+            let hex = std::str::from_utf8(hex)
+                .ok()
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| bad(format!("invalid percent escape in {segment:?}")))?;
+            out.push(hex);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| bad(format!("percent-decoded {segment:?} is not UTF-8")))
+}
+
+/// Reads and parses one request from `stream`, enforcing `limits`.
+///
+/// Defects are typed, never panics: a malformed request line, unsupported
+/// transfer encoding, bad or missing `Content-Length` framing, a body the
+/// peer never delivers, or any limit violation all come back as
+/// [`HttpError`].
+pub fn read_request<R: Read>(stream: R, limits: &Limits) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_line(&mut reader, limits.max_request_line, "request line")?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(bad(format!("malformed request line {request_line:?}")));
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol version {version:?}")));
+    }
+
+    let mut header_bytes = 0usize;
+    let mut header_count = 0usize;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(&mut reader, limits.max_header_bytes, "header")?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        header_count += 1;
+        if header_bytes > limits.max_header_bytes {
+            return Err(too_large(format!(
+                "headers exceed {} bytes",
+                limits.max_header_bytes
+            )));
+        }
+        if header_count > limits.max_headers {
+            return Err(too_large(format!(
+                "more than {} header fields",
+                limits.max_headers
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header field {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+                if let Some(previous) = content_length {
+                    if previous != parsed {
+                        return Err(bad("conflicting content-length headers".to_string()));
+                    }
+                }
+                content_length = Some(parsed);
+            }
+            "transfer-encoding" => {
+                return Err(bad("transfer-encoding is not supported; \
+                                send a content-length body"
+                    .to_string()));
+            }
+            "expect" => {
+                return Err(bad(format!("expect: {value} is not supported")));
+            }
+            _ => {}
+        }
+    }
+
+    let body = match content_length {
+        None | Some(0) => String::new(),
+        Some(len) => {
+            if len > limits.max_body_bytes {
+                return Err(too_large(format!(
+                    "content-length {len} exceeds {} bytes",
+                    limits.max_body_bytes
+                )));
+            }
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|_| bad(format!("body shorter than content-length {len}")))?;
+            String::from_utf8(buf).map_err(|_| bad("body is not valid UTF-8".to_string()))?
+        }
+    };
+
+    let path = target.split('?').next().unwrap_or("");
+    let mut segments = Vec::new();
+    for raw in path.split('/') {
+        if raw.is_empty() {
+            continue;
+        }
+        segments.push(percent_decode(raw)?);
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        segments,
+        body,
+    })
+}
+
+/// A response ready to serialize: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition format).
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into(),
+        }
+    }
+
+    /// Serializes the response to `stream` with `Connection: close`
+    /// framing. Write errors are returned (the peer may have hung up —
+    /// routine for a server, not a defect).
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(raw.as_bytes(), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse("GET /health HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.segments, vec!["health"]);
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_percent_escapes() {
+        let req = parse(
+            "POST /tenants/edge%20%22eu%22/update HTTP/1.1\r\ncontent-length: 20\r\n\r\n\
+             {\"item\":1,\"delta\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.segments, vec!["tenants", "edge \"eu\"", "update"]);
+        assert_eq!(req.body, "{\"item\":1,\"delta\":1}");
+    }
+
+    #[test]
+    fn query_strings_are_stripped_from_segments() {
+        let req = parse("GET /tenants/a/query?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments, vec!["tenants", "a", "query"]);
+        assert_eq!(req.target, "/tenants/a/query?verbose=1");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for (raw, status) in [
+            ("", 400),                              // empty connection
+            ("GET\r\n\r\n", 400),                   // no target
+            ("GET /x\r\n\r\n", 400),                // no version
+            ("GET /x SPDY/3\r\n\r\n", 400),         // wrong protocol
+            ("GET /x HTTP/1.1 extra\r\n\r\n", 400), // trailing junk
+            ("GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\ncontent-length: ten\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\n",
+                400,
+            ),
+            (
+                "POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                400,
+            ),
+            ("POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort", 400), // truncated body
+            ("GET /tenants/%zz HTTP/1.1\r\n\r\n", 400),                   // bad escape
+            ("GET /tenants/%2 HTTP/1.1\r\n\r\n", 400),                    // truncated escape
+        ] {
+            let err = parse(raw).expect_err(raw);
+            assert_eq!(err.status(), status, "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn limits_map_to_413() {
+        let limits = Limits {
+            max_request_line: 32,
+            max_header_bytes: 64,
+            max_headers: 2,
+            max_body_bytes: 8,
+        };
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64));
+        assert_eq!(
+            read_request(long_line.as_bytes(), &limits)
+                .unwrap_err()
+                .status(),
+            413
+        );
+        let many_headers = "GET /x HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert_eq!(
+            read_request(many_headers.as_bytes(), &limits)
+                .unwrap_err()
+                .status(),
+            413
+        );
+        let big_body = "POST /x HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789";
+        assert_eq!(
+            read_request(big_body.as_bytes(), &limits)
+                .unwrap_err()
+                .status(),
+            413
+        );
+    }
+
+    #[test]
+    fn responses_frame_with_content_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(201, "{\"ok\":true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

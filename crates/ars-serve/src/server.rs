@@ -1,0 +1,772 @@
+//! [`FleetServer`]: the HTTP serving surface over a shared
+//! [`SessionManager`].
+//!
+//! One acceptor thread hands connections to a fixed pool of worker
+//! threads over a channel; each worker parses one request (bounded by
+//! [`Limits`]), routes it against the mutex-guarded manager, records the
+//! outcome in the [`MetricsRegistry`], and answers with
+//! `Connection: close` framing. Every failure an HTTP peer can cause is a
+//! typed 4xx/5xx with the reason in the body — the workers never panic on
+//! wire input, and a lost connection mid-response is ignored (the peer
+//! hung up; that is their privilege).
+//!
+//! # Routes
+//!
+//! | Method | Path | Body | Success |
+//! |---|---|---|---|
+//! | `POST` | `/tenants/{name}` | provisioner spec JSON | 201, registration echo |
+//! | `POST` | `/tenants/{name}/update` | `{"item":i,"delta":d}` or `{"updates":[[i,d],…]}` | 200, ingestion receipt |
+//! | `GET` | `/tenants/{name}/query` | — | 200, [`ars_core::estimate::Estimate::to_json`] verbatim |
+//! | `POST` | `/tenants/{name}/reprovision` | — | 200, the λ provisioned |
+//! | `DELETE` | `/tenants/{name}` | — | 200 |
+//! | `GET` | `/health` | — | 200/503, fleet health + embedded readings |
+//! | `GET` | `/metrics` | — | 200, Prometheus text format |
+//! | `GET` | `/snapshot` | — | 200, [`SessionManager::snapshot_json`] |
+//! | `POST` | `/restore` | snapshot JSON | 200, tenants restored |
+//!
+//! Errors map [`ArsError`] onto statuses: `Wire`/`Build` → 400,
+//! `UnknownSession` → 404, `StateUnavailable` → 409, `Stream` → 422,
+//! `BudgetExhausted` → 503.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ars_core::error::ArsError;
+use ars_core::estimate::Health;
+use ars_core::json::{JsonValue, JsonWriter};
+use ars_core::manager::SessionManager;
+use ars_core::spec::ProvisionerSpec;
+use ars_stream::Update;
+
+use crate::http::{read_request, HttpError, Limits, Request, Response};
+use crate::metrics::MetricsRegistry;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port (the bound
+    /// address is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads serving parsed requests.
+    pub workers: usize,
+    /// Per-connection read timeout — a peer that opens a socket and goes
+    /// silent occupies a worker for at most this long.
+    pub read_timeout: Duration,
+    /// Wire-level request limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            read_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// The serving surface: a [`SessionManager`] behind a mutex, shared by a
+/// pool of HTTP workers.
+pub struct FleetServer {
+    manager: Arc<Mutex<SessionManager>>,
+    config: ServerConfig,
+}
+
+impl FleetServer {
+    /// Wraps `manager` with the default configuration.
+    #[must_use]
+    pub fn new(manager: SessionManager) -> Self {
+        Self::with_config(manager, ServerConfig::default())
+    }
+
+    /// Wraps `manager` with an explicit configuration.
+    #[must_use]
+    pub fn with_config(manager: SessionManager, config: ServerConfig) -> Self {
+        Self {
+            manager: Arc::new(Mutex::new(manager)),
+            config,
+        }
+    }
+
+    /// Binds the listener and starts the acceptor and worker threads.
+    /// Returns the handle owning the threads; the server runs until
+    /// [`ServerHandle::shutdown`].
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = self.config.workers.max(1);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            let manager = Arc::clone(&self.manager);
+            let metrics = Arc::clone(&metrics);
+            let config = self.config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ars-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let guard = receiver.lock().expect("worker queue poisoned");
+                            guard.recv()
+                        };
+                        match stream {
+                            Ok(stream) => serve_connection(stream, &manager, &metrics, &config),
+                            // The acceptor dropped the sender: shutdown.
+                            Err(_) => break,
+                        }
+                    })?,
+            );
+        }
+
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ars-serve-acceptor".to_string())
+                    .spawn(move || {
+                        // `sender` moves in here; dropping it on exit ends
+                        // the workers once the queue drains.
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if let Ok(stream) = stream {
+                                if sender.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        Ok(ServerHandle {
+            addr,
+            manager: self.manager,
+            metrics,
+            stop,
+            threads,
+        })
+    }
+}
+
+/// A running server: the bound address, shared state handles, and the
+/// thread pool. Dropping the handle without [`ServerHandle::shutdown`]
+/// detaches the threads (they keep serving until the process exits).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    manager: Arc<Mutex<SessionManager>>,
+    metrics: Arc<MetricsRegistry>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared access to the manager behind the server — e.g. to
+    /// snapshot it out-of-band or register tenants in-process.
+    #[must_use]
+    pub fn manager(&self) -> Arc<Mutex<SessionManager>> {
+        Arc::clone(&self.manager)
+    }
+
+    /// The server's metrics registry (what `GET /metrics` renders from).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, drains the workers, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with one self-connect.
+        let _ = TcpStream::connect(self.addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one connection: parse (bounded), route, respond, close.
+fn serve_connection(
+    stream: TcpStream,
+    manager: &Arc<Mutex<SessionManager>>,
+    metrics: &Arc<MetricsRegistry>,
+    config: &ServerConfig,
+) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let (route, response) = match read_request(&stream, &config.limits) {
+        Ok(request) => route_request(&request, manager, metrics),
+        Err(err) => ("(malformed)", wire_error_response(&err)),
+    };
+    metrics.record(route, response.status, started.elapsed());
+    // A write failure means the peer hung up; nothing to do.
+    let _ = response.write_to(&mut writer);
+}
+
+fn wire_error_response(err: &HttpError) -> Response {
+    let mut w = JsonWriter::with_capacity(128);
+    w.raw("{")
+        .key("error")
+        .raw("{")
+        .key("kind")
+        .string("http")
+        .raw(",")
+        .key("message")
+        .string(err.reason())
+        .raw(",")
+        .key("status")
+        .uint(u64::from(err.status()))
+        .raw("}}");
+    Response::json(err.status(), w.finish())
+}
+
+/// Maps a typed core error onto (status, kind).
+fn status_for(err: &ArsError) -> (u16, &'static str) {
+    match err {
+        ArsError::Wire { .. } => (400, "wire"),
+        ArsError::Build(_) => (400, "build"),
+        ArsError::UnknownSession { .. } => (404, "unknown-session"),
+        ArsError::StateUnavailable { .. } => (409, "state-unavailable"),
+        ArsError::Stream(_) => (422, "stream"),
+        ArsError::BudgetExhausted { .. } => (503, "budget-exhausted"),
+    }
+}
+
+fn error_response(err: &ArsError) -> Response {
+    let (status, kind) = status_for(err);
+    let mut w = JsonWriter::with_capacity(160);
+    w.raw("{")
+        .key("error")
+        .raw("{")
+        .key("kind")
+        .string(kind)
+        .raw(",")
+        .key("message")
+        .string(&err.to_string())
+        .raw(",")
+        .key("status")
+        .uint(u64::from(status))
+        .raw("}}");
+    Response::json(status, w.finish())
+}
+
+fn not_found(target: &str) -> Response {
+    let mut w = JsonWriter::with_capacity(96);
+    w.raw("{")
+        .key("error")
+        .raw("{")
+        .key("kind")
+        .string("not-found")
+        .raw(",")
+        .key("message")
+        .string(&format!("no route for {target}"))
+        .raw(",")
+        .key("status")
+        .uint(404)
+        .raw("}}");
+    Response::json(404, w.finish())
+}
+
+fn method_not_allowed(method: &str, route: &str) -> Response {
+    let mut w = JsonWriter::with_capacity(96);
+    w.raw("{")
+        .key("error")
+        .raw("{")
+        .key("kind")
+        .string("method-not-allowed")
+        .raw(",")
+        .key("message")
+        .string(&format!("{method} is not supported on {route}"))
+        .raw(",")
+        .key("status")
+        .uint(405)
+        .raw("}}");
+    Response::json(405, w.finish())
+}
+
+/// Routes one parsed request. Returns the normalized route label (for
+/// metrics cardinality — tenant names never become label values here)
+/// and the response. Public within the crate for the wire tests.
+pub(crate) fn route_request(
+    request: &Request,
+    manager: &Arc<Mutex<SessionManager>>,
+    metrics: &MetricsRegistry,
+) -> (&'static str, Response) {
+    let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
+    let method = request.method.as_str();
+    match segments.as_slice() {
+        ["health"] => match method {
+            "GET" => ("/health", health(manager)),
+            _ => ("/health", method_not_allowed(method, "/health")),
+        },
+        ["metrics"] => match method {
+            "GET" => ("/metrics", render_metrics(manager, metrics)),
+            _ => ("/metrics", method_not_allowed(method, "/metrics")),
+        },
+        ["snapshot"] => match method {
+            "GET" => (
+                "/snapshot",
+                Response::json(200, lock(manager).snapshot_json()),
+            ),
+            _ => ("/snapshot", method_not_allowed(method, "/snapshot")),
+        },
+        ["restore"] => match method {
+            "POST" => ("/restore", restore(manager, &request.body)),
+            _ => ("/restore", method_not_allowed(method, "/restore")),
+        },
+        ["tenants", name] => match method {
+            "POST" => ("/tenants/{name}", register(manager, name, &request.body)),
+            "DELETE" => ("/tenants/{name}", deregister(manager, name)),
+            _ => (
+                "/tenants/{name}",
+                method_not_allowed(method, "/tenants/{name}"),
+            ),
+        },
+        ["tenants", name, "update"] => match method {
+            "POST" => (
+                "/tenants/{name}/update",
+                update(manager, name, &request.body),
+            ),
+            _ => (
+                "/tenants/{name}/update",
+                method_not_allowed(method, "/tenants/{name}/update"),
+            ),
+        },
+        ["tenants", name, "query"] => match method {
+            "GET" => ("/tenants/{name}/query", query(manager, name)),
+            _ => (
+                "/tenants/{name}/query",
+                method_not_allowed(method, "/tenants/{name}/query"),
+            ),
+        },
+        ["tenants", name, "reprovision"] => match method {
+            "POST" => ("/tenants/{name}/reprovision", reprovision(manager, name)),
+            _ => (
+                "/tenants/{name}/reprovision",
+                method_not_allowed(method, "/tenants/{name}/reprovision"),
+            ),
+        },
+        _ => ("(unrouted)", not_found(&request.target)),
+    }
+}
+
+fn render_metrics(manager: &Arc<Mutex<SessionManager>>, metrics: &MetricsRegistry) -> Response {
+    let report = lock(manager).health_report();
+    Response::text(200, metrics.render(&report))
+}
+
+fn lock(manager: &Arc<Mutex<SessionManager>>) -> std::sync::MutexGuard<'_, SessionManager> {
+    manager.lock().expect("session manager mutex poisoned")
+}
+
+fn health(manager: &Arc<Mutex<SessionManager>>) -> Response {
+    let guard = lock(manager);
+    let report = guard.health_report();
+    let degraded = report
+        .iter()
+        .filter(|row| row.health != Health::WithinGuarantee)
+        .count();
+    let status = if degraded == 0 { 200 } else { 503 };
+    let mut w = JsonWriter::with_capacity(256 + 256 * report.len());
+    w.raw("{")
+        .key("status")
+        .string(if degraded == 0 { "ok" } else { "degraded" })
+        .raw(",")
+        .key("tenants")
+        .uint(report.len() as u64)
+        .raw(",")
+        .key("degraded")
+        .uint(degraded as u64)
+        .raw(",")
+        .key("report")
+        .raw("[");
+    for (i, row) in report.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.raw("{")
+            .key("name")
+            .string(&row.name)
+            .raw(",")
+            .key("health")
+            .string(&row.health.to_string())
+            .raw(",")
+            .key("tier")
+            .string(row.tier.as_str())
+            .raw(",")
+            .key("accepted")
+            .uint(row.accepted)
+            .raw(",")
+            .key("rejected")
+            .uint(row.rejected as u64)
+            .raw(",")
+            .key("dropped")
+            .uint(row.dropped as u64)
+            .raw(",")
+            .key("flips_used")
+            .uint(row.flips_used as u64)
+            .raw(",")
+            .key("reprovisions")
+            .uint(row.reprovisions as u64)
+            .raw(",")
+            .key("space_bytes")
+            .uint(row.space_bytes as u64)
+            .raw("}");
+    }
+    w.raw("]")
+        .raw(",")
+        .key("readings")
+        .raw(&guard.readings_json())
+        .raw("}");
+    Response::json(status, w.finish())
+}
+
+fn register(manager: &Arc<Mutex<SessionManager>>, name: &str, body: &str) -> Response {
+    let spec = match ProvisionerSpec::try_from_json(body) {
+        Ok(spec) => spec,
+        Err(err) => return error_response(&err),
+    };
+    let mut guard = lock(manager);
+    match guard.register_spec(name, spec) {
+        Ok(replaced) => {
+            let mut w = JsonWriter::with_capacity(128);
+            w.raw("{")
+                .key("registered")
+                .string(name)
+                .raw(",")
+                .key("replaced")
+                .boolean(replaced.is_some())
+                .raw(",")
+                .key("spec")
+                .raw(&spec.to_json())
+                .raw("}");
+            Response::json(201, w.finish())
+        }
+        Err(err) => error_response(&err),
+    }
+}
+
+fn deregister(manager: &Arc<Mutex<SessionManager>>, name: &str) -> Response {
+    if lock(manager).deregister(name).is_some() {
+        let mut w = JsonWriter::with_capacity(64);
+        w.raw("{").key("deregistered").string(name).raw("}");
+        Response::json(200, w.finish())
+    } else {
+        error_response(&ArsError::UnknownSession {
+            name: name.to_string(),
+        })
+    }
+}
+
+/// Parses an update body: either a single `{"item":i,"delta":d}` object
+/// (`delta` defaults to 1) or a batch `{"updates":[[i,d],…]}`.
+fn parse_updates(body: &str) -> Result<Vec<Update>, ArsError> {
+    fn wire(reason: String) -> ArsError {
+        ArsError::Wire { reason }
+    }
+    let doc = JsonValue::parse_strict(body).map_err(|err| wire(format!("update body: {err}")))?;
+    if let Some(batch) = doc.get("updates") {
+        let rows = batch
+            .items()
+            .ok_or_else(|| wire("update body: \"updates\" must be an array".to_string()))?;
+        let mut updates = Vec::with_capacity(rows.len());
+        for row in rows {
+            let pair = row.items().filter(|p| p.len() == 2).ok_or_else(|| {
+                wire("update body: batch entries must be [item, delta] pairs".to_string())
+            })?;
+            match (pair[0].as_u64(), pair[1].as_i64()) {
+                (Some(item), Some(delta)) => updates.push(Update::new(item, delta)),
+                _ => return Err(wire("update body: non-integer batch entry".to_string())),
+            }
+        }
+        Ok(updates)
+    } else {
+        let item = doc
+            .get("item")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| wire("update body: missing integer \"item\"".to_string()))?;
+        let delta = match doc.get("delta") {
+            None => 1,
+            Some(node) => node
+                .as_i64()
+                .ok_or_else(|| wire("update body: non-integer \"delta\"".to_string()))?,
+        };
+        Ok(vec![Update::new(item, delta)])
+    }
+}
+
+fn update(manager: &Arc<Mutex<SessionManager>>, name: &str, body: &str) -> Response {
+    let updates = match parse_updates(body) {
+        Ok(updates) => updates,
+        Err(err) => return error_response(&err),
+    };
+    let mut guard = lock(manager);
+    match guard.update_batch(name, &updates) {
+        Ok(ingested) => {
+            let health = guard
+                .health_report()
+                .into_iter()
+                .find(|row| row.name == name)
+                .map(|row| row.health.to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            let mut w = JsonWriter::with_capacity(96);
+            w.raw("{")
+                .key("ingested")
+                .uint(ingested as u64)
+                .raw(",")
+                .key("health")
+                .string(&health)
+                .raw("}");
+            Response::json(200, w.finish())
+        }
+        Err(err) => error_response(&err),
+    }
+}
+
+fn query(manager: &Arc<Mutex<SessionManager>>, name: &str) -> Response {
+    match lock(manager).query(name) {
+        Ok(reading) => Response::json(200, reading.to_json()),
+        Err(err) => error_response(&err),
+    }
+}
+
+fn reprovision(manager: &Arc<Mutex<SessionManager>>, name: &str) -> Response {
+    match lock(manager).reprovision(name) {
+        Ok(lambda) => {
+            let mut w = JsonWriter::with_capacity(64);
+            w.raw("{").key("lambda").uint(lambda as u64).raw("}");
+            Response::json(200, w.finish())
+        }
+        Err(err) => error_response(&err),
+    }
+}
+
+fn restore(manager: &Arc<Mutex<SessionManager>>, body: &str) -> Response {
+    match lock(manager).restore_json(body) {
+        Ok(count) => {
+            let mut w = JsonWriter::with_capacity(64);
+            w.raw("{").key("restored").uint(count as u64).raw("}");
+            Response::json(200, w.finish())
+        }
+        Err(err) => error_response(&err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_core::spec::ProblemSpec;
+
+    fn shared(manager: SessionManager) -> Arc<Mutex<SessionManager>> {
+        Arc::new(Mutex::new(manager))
+    }
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        let raw = format!(
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        read_request(raw.as_bytes(), &Limits::default()).unwrap()
+    }
+
+    fn dispatch(
+        request: Request,
+        manager: &Arc<Mutex<SessionManager>>,
+    ) -> (&'static str, Response) {
+        route_request(&request, manager, &MetricsRegistry::new())
+    }
+
+    #[test]
+    fn register_update_query_round_trip_without_sockets() {
+        let manager = shared(SessionManager::new());
+        let spec = ProvisionerSpec::new(ProblemSpec::F0, 0.25)
+            .domain(1 << 10)
+            .stream_length(4_000)
+            .seed(3);
+        let (route, response) =
+            dispatch(request("POST", "/tenants/edge", &spec.to_json()), &manager);
+        assert_eq!(
+            (route, response.status),
+            ("/tenants/{name}", 201),
+            "{}",
+            response.body
+        );
+
+        let batch: Vec<String> = (0..200u64).map(|i| format!("[{},1]", i % 50)).collect();
+        let body = format!("{{\"updates\":[{}]}}", batch.join(","));
+        let (_, response) = dispatch(request("POST", "/tenants/edge/update", &body), &manager);
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(
+            response.body.contains("\"ingested\":200"),
+            "{}",
+            response.body
+        );
+
+        let (_, response) = dispatch(request("GET", "/tenants/edge/query", ""), &manager);
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.body,
+            manager.lock().unwrap().query("edge").unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn typed_errors_map_to_statuses() {
+        let manager = shared(SessionManager::new());
+        // Unknown tenant: 404.
+        let (_, response) = dispatch(request("GET", "/tenants/ghost/query", ""), &manager);
+        assert_eq!(response.status, 404);
+        assert!(
+            response.body.contains("unknown-session"),
+            "{}",
+            response.body
+        );
+        // Malformed spec: 400.
+        let (_, response) = dispatch(request("POST", "/tenants/x", "{}"), &manager);
+        assert_eq!(response.status, 400);
+        assert!(
+            response.body.contains("\"kind\":\"wire\""),
+            "{}",
+            response.body
+        );
+        // Invalid parameters: 400 build error.
+        let (_, response) = dispatch(
+            request("POST", "/tenants/x", "{\"problem\":\"f0\",\"epsilon\":2.0}"),
+            &manager,
+        );
+        assert_eq!(response.status, 400);
+        assert!(
+            response.body.contains("\"kind\":\"build\""),
+            "{}",
+            response.body
+        );
+        // Model violation: 422.
+        let spec = ProvisionerSpec::new(ProblemSpec::F0, 0.25).domain(1 << 10);
+        dispatch(request("POST", "/tenants/x", &spec.to_json()), &manager);
+        let (_, response) = dispatch(
+            request("POST", "/tenants/x/update", "{\"item\":1,\"delta\":-1}"),
+            &manager,
+        );
+        assert_eq!(response.status, 422);
+        assert!(
+            response.body.contains("\"kind\":\"stream\""),
+            "{}",
+            response.body
+        );
+        // Reprovision with nothing wrong but an analytic budget: 409 is the
+        // stateless case; here exact state is on, so it succeeds (200).
+        let (_, response) = dispatch(request("POST", "/tenants/x/reprovision", ""), &manager);
+        assert_eq!(response.status, 200, "{}", response.body);
+        // Unrouted path: 404; wrong method: 405.
+        let (_, response) = dispatch(request("GET", "/nope", ""), &manager);
+        assert_eq!(response.status, 404);
+        let (_, response) = dispatch(request("DELETE", "/health", ""), &manager);
+        assert_eq!(response.status, 405);
+    }
+
+    #[test]
+    fn health_reports_degradation_with_503() {
+        let manager = shared(SessionManager::new());
+        let spec = ProvisionerSpec::new(ProblemSpec::F0, 0.25).domain(1 << 10);
+        dispatch(request("POST", "/tenants/ok", &spec.to_json()), &manager);
+        let (_, response) = dispatch(request("GET", "/health", ""), &manager);
+        assert_eq!(response.status, 200);
+        assert!(
+            response.body.contains("\"status\":\"ok\""),
+            "{}",
+            response.body
+        );
+        // Violate the model: the tenant degrades and health flips to 503.
+        dispatch(
+            request("POST", "/tenants/ok/update", "{\"item\":1,\"delta\":-2}"),
+            &manager,
+        );
+        let (_, response) = dispatch(request("GET", "/health", ""), &manager);
+        assert_eq!(response.status, 503);
+        assert!(
+            response.body.contains("\"degraded\":1"),
+            "{}",
+            response.body
+        );
+        assert!(
+            response.body.contains("promise-violated"),
+            "{}",
+            response.body
+        );
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_through_the_router() {
+        let manager = shared(SessionManager::new());
+        let spec = ProvisionerSpec::new(ProblemSpec::F0, 0.25)
+            .domain(1 << 10)
+            .stream_length(4_000)
+            .seed(9);
+        dispatch(request("POST", "/tenants/edge", &spec.to_json()), &manager);
+        let body = "{\"updates\":[[1,1],[2,1],[3,1]]}";
+        dispatch(request("POST", "/tenants/edge/update", body), &manager);
+
+        let (_, snapshot) = dispatch(request("GET", "/snapshot", ""), &manager);
+        assert_eq!(snapshot.status, 200);
+
+        let fresh = shared(SessionManager::new());
+        let (_, restored) = dispatch(request("POST", "/restore", &snapshot.body), &fresh);
+        assert_eq!(restored.status, 200, "{}", restored.body);
+        assert!(
+            restored.body.contains("\"restored\":1"),
+            "{}",
+            restored.body
+        );
+        let (_, a) = dispatch(request("GET", "/tenants/edge/query", ""), &manager);
+        let (_, b) = dispatch(request("GET", "/tenants/edge/query", ""), &fresh);
+        assert_eq!(a.body, b.body, "restored reading must be bitwise identical");
+
+        // A malformed snapshot is a 400, not a panic.
+        let (_, response) = dispatch(request("POST", "/restore", "{}"), &fresh);
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn metrics_render_against_the_live_report() {
+        let manager = shared(SessionManager::new());
+        let spec = ProvisionerSpec::new(ProblemSpec::F0, 0.25).domain(1 << 10);
+        dispatch(request("POST", "/tenants/edge", &spec.to_json()), &manager);
+        let registry = MetricsRegistry::new();
+        registry.record("/tenants/{name}", 201, Duration::from_micros(80));
+        let response = render_metrics(&manager, &registry);
+        assert_eq!(response.status, 200);
+        assert!(response.content_type.starts_with("text/plain"));
+        assert!(response.body.contains("ars_tenants 1"), "{}", response.body);
+        assert!(
+            response
+                .body
+                .contains("ars_tenant_flips_used{tenant=\"edge\"}"),
+            "{}",
+            response.body
+        );
+    }
+}

@@ -26,6 +26,10 @@
 //!   `docs/ARCHITECTURE.md` is the guided tour of how these layers fit.
 //! * [`adversary`] — the two-player adversarial game harness and the AMS
 //!   attack of Section 9 ([`ars_adversary`]).
+//! * [`serve`] — the network serving surface: a dependency-free HTTP/1.1
+//!   server ([`serve::FleetServer`]) over a shared
+//!   [`robust::SessionManager`], with Prometheus-style metrics and
+//!   snapshot/restore ([`ars_serve`]).
 //!
 //! # Quickstart
 //!
@@ -76,5 +80,6 @@ pub use ars_adversary as adversary;
 pub use ars_core as robust;
 pub use ars_dp as dp;
 pub use ars_hash as hash;
+pub use ars_serve as serve;
 pub use ars_sketch as sketch;
 pub use ars_stream as stream;

@@ -102,6 +102,49 @@ fn internal_documentation_links_resolve() {
 }
 
 #[test]
+fn serving_layer_documentation_is_present_and_grounded() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let architecture =
+        std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("handbook exists");
+    assert!(
+        architecture.contains("## The network serving surface (ars-serve)"),
+        "ARCHITECTURE.md lost its serving-layer section"
+    );
+    // The section's claims are anchored to artifacts that must exist.
+    for (claim, path) in [
+        ("the serve crate", "crates/ars-serve/src/lib.rs"),
+        ("the wire gauntlet", "crates/ars-serve/tests/wire.rs"),
+        ("the e2e acceptance flow", "crates/ars-serve/tests/e2e.rs"),
+        ("the conformance suite", "tests/snapshot_conformance.rs"),
+        ("the example", "examples/serve_fleet.rs"),
+        ("the bench", "crates/ars-bench/benches/serve_throughput.rs"),
+    ] {
+        assert!(root.join(path).exists(), "{claim} is missing: {path}");
+    }
+    // Every snapshot/metrics identifier the docs promise is spelled the
+    // way the code spells it.
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    for needle in [
+        "/snapshot",
+        "/restore",
+        "/metrics",
+        "/health",
+        "serve_fleet",
+    ] {
+        assert!(
+            readme.contains(needle),
+            "README lost the serving quickstart: {needle}"
+        );
+    }
+    for metric in ["ars_tenant_reprovisions_total", "ars_tenant_flip_budget"] {
+        assert!(
+            architecture.contains(metric),
+            "ARCHITECTURE.md lost the metric contract: {metric}"
+        );
+    }
+}
+
+#[test]
 fn link_scanner_catches_dangling_and_skips_external() {
     let targets = link_targets(
         "see [a](docs/ARCHITECTURE.md), [b](https://example.com), \
