@@ -18,7 +18,12 @@
 //!   to under-report and spreads mass across fresh light items whenever it
 //!   appears to over-report, amplifying whichever bias the estimator
 //!   currently has.
+//! * [`ModelViolator`] — not response-guided but adversarial in the other
+//!   direction: a client that mostly behaves like an honest generator and
+//!   periodically strays outside the declared stream model, exercising the
+//!   validator's typed rejections and the `PromiseViolated` health path.
 
+use ars_stream::generator::Generator;
 use ars_stream::Update;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -158,6 +163,56 @@ impl Adversary for SurgeAdversary {
     }
 }
 
+/// A tenant that mostly follows an honest generator but periodically emits
+/// an update outside its declared stream model.
+///
+/// The guarantees of the paper are conditional on the stream respecting the
+/// promised model; a real fleet always contains clients that break the
+/// promise (bugs, protocol confusion, actual attacks). This wrapper turns
+/// any honest [`Generator`] into such a client: every `period`-th update is
+/// replaced by the configured out-of-model `violation` update. The
+/// validator should reject exactly those updates and flag the session
+/// `PromiseViolated`; everything in between is the inner generator's
+/// stream, so the source stays deterministic under a fixed seed.
+#[derive(Debug)]
+pub struct ModelViolator<G> {
+    inner: G,
+    violation: Update,
+    period: u64,
+    emitted: u64,
+}
+
+impl<G: Generator> ModelViolator<G> {
+    /// Wraps `inner`, replacing every `period`-th update with `violation`.
+    #[must_use]
+    pub fn new(inner: G, violation: Update, period: u64) -> Self {
+        assert!(period > 0, "violation period must be positive");
+        Self {
+            inner,
+            violation,
+            period,
+            emitted: 0,
+        }
+    }
+
+    /// Number of violation updates emitted so far.
+    #[must_use]
+    pub fn violations_emitted(&self) -> u64 {
+        self.emitted / self.period
+    }
+}
+
+impl<G: Generator> Generator for ModelViolator<G> {
+    fn next_update(&mut self) -> Update {
+        self.emitted += 1;
+        if self.emitted.is_multiple_of(self.period) {
+            self.violation
+        } else {
+            self.inner.next_update()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +295,25 @@ mod tests {
             outcome.max_error.is_finite(),
             "game must complete and produce finite errors"
         );
+    }
+
+    #[test]
+    fn model_violator_replaces_every_periodth_update() {
+        use ars_stream::generator::UniformGenerator;
+        let violation = Update::delete(7);
+        let mut violator = ModelViolator::new(UniformGenerator::new(100, 3), violation, 5);
+        let updates = violator.take_updates(50);
+        for (i, u) in updates.iter().enumerate() {
+            if (i + 1) % 5 == 0 {
+                assert_eq!(*u, violation, "update {i} should be the violation");
+            } else {
+                assert!(u.delta > 0, "update {i} should be the honest insert");
+            }
+        }
+        assert_eq!(violator.violations_emitted(), 10);
+        // Deterministic: same inner seed, same mixed stream.
+        let mut again = ModelViolator::new(UniformGenerator::new(100, 3), violation, 5);
+        assert_eq!(again.take_updates(50), updates);
     }
 
     #[test]

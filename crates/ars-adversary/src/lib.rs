@@ -35,6 +35,6 @@ pub mod adaptive;
 pub mod ams_attack;
 pub mod game;
 
-pub use adaptive::{DistinctDuplicateAdversary, SurgeAdversary};
+pub use adaptive::{DistinctDuplicateAdversary, ModelViolator, SurgeAdversary};
 pub use ams_attack::AmsAttackAdversary;
 pub use game::{Adversary, GameConfig, GameOutcome, GameRunner};

@@ -14,6 +14,7 @@
 //!
 //! | Method | Path | Body | Success |
 //! |---|---|---|---|
+//! | `GET` | `/tenants` | — | 200, registered tenant names |
 //! | `POST` | `/tenants/{name}` | provisioner spec JSON | 201, registration echo |
 //! | `POST` | `/tenants/{name}/update` | `{"item":i,"delta":d}` or `{"updates":[[i,d],…]}` | 200, ingestion receipt |
 //! | `GET` | `/tenants/{name}/query` | — | 200, [`ars_core::estimate::Estimate::to_json`] verbatim |
@@ -338,6 +339,10 @@ pub(crate) fn route_request(
             "POST" => ("/restore", restore(manager, &request.body)),
             _ => ("/restore", method_not_allowed(method, "/restore")),
         },
+        ["tenants"] => match method {
+            "GET" => ("/tenants", list_tenants(manager)),
+            _ => ("/tenants", method_not_allowed(method, "/tenants")),
+        },
         ["tenants", name] => match method {
             "POST" => ("/tenants/{name}", register(manager, name, &request.body)),
             "DELETE" => ("/tenants/{name}", deregister(manager, name)),
@@ -381,6 +386,25 @@ fn render_metrics(manager: &Arc<Mutex<SessionManager>>, metrics: &MetricsRegistr
 
 fn lock(manager: &Arc<Mutex<SessionManager>>) -> std::sync::MutexGuard<'_, SessionManager> {
     manager.lock().expect("session manager mutex poisoned")
+}
+
+/// `GET /tenants` — the fleet roster: registered names (in the manager's
+/// sorted order) and the count, without the per-tenant detail of
+/// `/health`. This is what a load harness or an operator shell iterates.
+fn list_tenants(manager: &Arc<Mutex<SessionManager>>) -> Response {
+    let guard = lock(manager);
+    let names = guard.names();
+    let mut w = JsonWriter::with_capacity(32 + 24 * names.len());
+    w.raw("{").key("count").uint(names.len() as u64).raw(",");
+    w.key("tenants").raw("[");
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.string(name);
+    }
+    w.raw("]").raw("}");
+    Response::json(200, w.finish())
 }
 
 fn health(manager: &Arc<Mutex<SessionManager>>) -> Response {

@@ -130,6 +130,39 @@ fn malformed_wire_input_is_a_typed_4xx_never_a_panic() {
 }
 
 #[test]
+fn tenant_listing_enumerates_the_fleet_in_sorted_order() {
+    let handle = FleetServer::new(SessionManager::new())
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    // Empty fleet: a well-formed empty roster, and only GET is allowed.
+    let (status, body) = client::request(addr, "GET", "/tenants", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, r#"{"count":0,"tenants":[]}"#);
+    let (status, _) = client::request(addr, "DELETE", "/tenants", "").unwrap();
+    assert_eq!(status, 405);
+
+    for name in ["zeta", "alpha", "mid tier"] {
+        let (status, body) = client::request(
+            addr,
+            "POST",
+            &format!("/tenants/{}", client::encode_segment(name)),
+            r#"{"problem":"f0","epsilon":0.25}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 201, "{body}");
+    }
+
+    let (status, body) = client::request(addr, "GET", "/tenants", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    // The manager stores tenants in a BTreeMap, so the roster is sorted —
+    // and names that needed percent-encoding on the path come back raw.
+    assert_eq!(body, r#"{"count":3,"tenants":["alpha","mid tier","zeta"]}"#);
+    handle.shutdown();
+}
+
+#[test]
 fn sequential_connection_churn_does_not_wedge_the_pool() {
     let handle = FleetServer::new(SessionManager::new())
         .spawn()

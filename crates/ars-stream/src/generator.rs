@@ -20,6 +20,12 @@
 //! * [`TurnstileWaveGenerator`] — turnstile streams whose `F_p` rises and
 //!   falls a configurable number of times, i.e. with a prescribed flip
 //!   number (Section 4.3).
+//! * [`PacketTraceGenerator`] — a CAIDA-like packet trace: heavy-tailed
+//!   flow sizes (Pareto) with bursty per-flow arrivals, the shape of the
+//!   network-monitoring workloads the paper motivates with.
+//! * [`QueryLogGenerator`] — a query-log shape: zipf-skewed interactive
+//!   keys whose share of the traffic swells and fades on a diurnal-style
+//!   wave over a uniform batch-traffic floor.
 //!
 //! Every generator is deterministic given its seed, so experiments are
 //! reproducible.
@@ -40,6 +46,18 @@ pub trait Generator {
     /// Convenience: materializes the next `m` updates.
     fn take_updates(&mut self, m: usize) -> Vec<Update> {
         (0..m).map(|_| self.next_update()).collect()
+    }
+}
+
+impl Generator for Box<dyn Generator> {
+    fn next_update(&mut self) -> Update {
+        (**self).next_update()
+    }
+}
+
+impl Generator for Box<dyn Generator + Send> {
+    fn next_update(&mut self) -> Update {
+        (**self).next_update()
     }
 }
 
@@ -338,6 +356,148 @@ impl Generator for TurnstileWaveGenerator {
     }
 }
 
+/// A CAIDA-like packet trace: a fixed-size pool of concurrent flows whose
+/// sizes are heavy-tailed (Pareto) and whose packets arrive in bursts.
+///
+/// Each update is one packet attributed to a flow identifier (the stand-in
+/// for a hashed 5-tuple). With probability `burst` the next packet belongs
+/// to the same flow as the previous one — the back-to-back packet trains of
+/// real traces — otherwise a uniformly random active flow sends. A flow
+/// that has exhausted its packet budget is replaced by a fresh flow with a
+/// fresh Pareto-distributed size, so a small number of elephant flows carry
+/// most of the packets while a churning tail of mice keeps the distinct
+/// count moving.
+#[derive(Debug, Clone)]
+pub struct PacketTraceGenerator {
+    domain: u64,
+    tail_exponent: f64,
+    burst: f64,
+    /// `(flow id, packets remaining)` for every concurrently active flow.
+    active: Vec<(Item, u64)>,
+    /// Index into `active` of the flow the previous packet belonged to.
+    current: usize,
+    rng: StdRng,
+}
+
+impl PacketTraceGenerator {
+    /// Largest flow size the Pareto sampler may return, so a single draw
+    /// near `u → 0` cannot freeze the trace on one flow forever.
+    const MAX_FLOW_PACKETS: u64 = 100_000;
+
+    /// Creates a packet-trace generator over flow ids `[0, domain)` with
+    /// `active_flows` concurrent flows, Pareto tail exponent
+    /// `tail_exponent > 0` (smaller = heavier elephants) and per-flow burst
+    /// probability `burst ∈ [0, 1)`.
+    #[must_use]
+    pub fn new(
+        domain: u64,
+        active_flows: usize,
+        tail_exponent: f64,
+        burst: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(active_flows > 0, "need at least one active flow");
+        assert!(tail_exponent > 0.0, "Pareto tail exponent must be positive");
+        assert!((0.0..1.0).contains(&burst), "burst must be in [0, 1)");
+        let mut generator = Self {
+            domain,
+            tail_exponent,
+            burst,
+            active: Vec::with_capacity(active_flows),
+            current: 0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        for _ in 0..active_flows {
+            let flow = generator.fresh_flow();
+            generator.active.push(flow);
+        }
+        generator
+    }
+
+    /// Draws a fresh flow: a uniform identifier and a Pareto(`tail`) size.
+    fn fresh_flow(&mut self) -> (Item, u64) {
+        let id = self.rng.gen_range(0..self.domain);
+        // Inverse-CDF Pareto with x_min = 1: size = ceil(u^{-1/alpha}).
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let size = u.powf(-1.0 / self.tail_exponent).ceil() as u64;
+        (id, size.clamp(1, Self::MAX_FLOW_PACKETS))
+    }
+}
+
+impl Generator for PacketTraceGenerator {
+    fn next_update(&mut self) -> Update {
+        if self.rng.gen::<f64>() >= self.burst {
+            self.current = self.rng.gen_range(0..self.active.len() as u64) as usize;
+        }
+        let (id, remaining) = self.active[self.current];
+        if remaining > 1 {
+            self.active[self.current].1 = remaining - 1;
+        } else {
+            let fresh = self.fresh_flow();
+            self.active[self.current] = fresh;
+        }
+        Update::insert(id)
+    }
+}
+
+/// A query-log shape: zipf-skewed interactive keys riding a diurnal-style
+/// wave over a uniform batch-traffic floor.
+///
+/// Real query logs mix a skewed interactive workload (popular entities,
+/// trending queries) with flat background traffic (crawlers, batch jobs),
+/// and the interactive share rises and falls with the day. Here the stream
+/// position plays the clock: update `t` is drawn from the zipf head with
+/// probability `½(1 + sin(2πt / wave_period))` — peaking once and
+/// bottoming out once per period — and uniformly from `[0, domain)`
+/// otherwise. Trackers therefore face alternating regimes of concentrated
+/// heavy hitters and fast-growing distinct counts.
+#[derive(Debug, Clone)]
+pub struct QueryLogGenerator {
+    domain: u64,
+    wave_period: u64,
+    emitted: u64,
+    zipf: ZipfGenerator,
+    rng: StdRng,
+}
+
+impl QueryLogGenerator {
+    /// Creates a query-log generator over `[0, domain)` with zipf exponent
+    /// `exponent > 0` for the interactive head and one diurnal cycle every
+    /// `wave_period` updates.
+    #[must_use]
+    pub fn new(domain: u64, exponent: f64, wave_period: u64, seed: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(wave_period > 0, "wave period must be positive");
+        Self {
+            domain,
+            wave_period,
+            emitted: 0,
+            zipf: ZipfGenerator::new(domain, exponent, seed ^ 0x9E37_79B9_7F4A_7C15),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The interactive (zipf) share of the traffic at stream position `t`.
+    fn interactive_share(&self, t: u64) -> f64 {
+        let phase =
+            2.0 * std::f64::consts::PI * (t % self.wave_period) as f64 / self.wave_period as f64;
+        0.5 * (1.0 + phase.sin())
+    }
+}
+
+impl Generator for QueryLogGenerator {
+    fn next_update(&mut self) -> Update {
+        let share = self.interactive_share(self.emitted);
+        self.emitted += 1;
+        if self.rng.gen::<f64>() < share {
+            self.zipf.next_update()
+        } else {
+            Update::insert(self.rng.gen_range(0..self.domain))
+        }
+    }
+}
+
 /// A declarative description of a benchmark workload, recorded by the
 /// bench harness so reports state exactly which stream each row used.
 #[derive(Debug, Clone, PartialEq)]
@@ -380,6 +540,26 @@ pub enum WorkloadSpec {
         /// Updates per wave.
         wave_length: u64,
     },
+    /// CAIDA-like packet trace: heavy-tailed flows with bursty arrivals.
+    PacketTrace {
+        /// Flow-identifier space size `n`.
+        domain: u64,
+        /// Concurrently active flows.
+        active_flows: usize,
+        /// Pareto tail exponent of flow sizes (smaller = heavier).
+        tail_exponent: f64,
+        /// Probability the next packet continues the previous flow.
+        burst: f64,
+    },
+    /// Query-log shape: zipf keys on a diurnal-style traffic wave.
+    QueryLog {
+        /// Key space size `n`.
+        domain: u64,
+        /// Zipf exponent of the interactive head.
+        exponent: f64,
+        /// Updates per diurnal cycle.
+        wave_period: u64,
+    },
 }
 
 impl WorkloadSpec {
@@ -409,6 +589,23 @@ impl WorkloadSpec {
             Self::TurnstileWave { wave_length } => {
                 Box::new(TurnstileWaveGenerator::new(wave_length))
             }
+            Self::PacketTrace {
+                domain,
+                active_flows,
+                tail_exponent,
+                burst,
+            } => Box::new(PacketTraceGenerator::new(
+                domain,
+                active_flows,
+                tail_exponent,
+                burst,
+                seed,
+            )),
+            Self::QueryLog {
+                domain,
+                exponent,
+                wave_period,
+            } => Box::new(QueryLogGenerator::new(domain, exponent, wave_period, seed)),
         }
     }
 
@@ -424,6 +621,16 @@ impl WorkloadSpec {
             Self::SlidingDistinct { fresh_items } => format!("sliding(f={fresh_items})"),
             Self::BoundedDeletion { alpha, .. } => format!("bounded-del(alpha={alpha})"),
             Self::TurnstileWave { wave_length } => format!("wave(len={wave_length})"),
+            Self::PacketTrace {
+                domain,
+                active_flows,
+                ..
+            } => format!("packet-trace(n={domain}, flows={active_flows})"),
+            Self::QueryLog {
+                domain,
+                exponent,
+                wave_period,
+            } => format!("query-log(n={domain}, s={exponent}, day={wave_period})"),
         }
     }
 }
@@ -543,6 +750,17 @@ mod tests {
                 phase_length: 10,
             },
             WorkloadSpec::TurnstileWave { wave_length: 4 },
+            WorkloadSpec::PacketTrace {
+                domain: 1 << 12,
+                active_flows: 8,
+                tail_exponent: 1.3,
+                burst: 0.5,
+            },
+            WorkloadSpec::QueryLog {
+                domain: 1 << 10,
+                exponent: 1.1,
+                wave_period: 32,
+            },
         ];
         for spec in specs {
             let mut g = spec.build(42);
@@ -550,5 +768,51 @@ mod tests {
             assert_eq!(updates.len(), 64);
             assert!(!spec.label().is_empty());
         }
+    }
+
+    #[test]
+    fn packet_trace_is_heavy_tailed_bursty_and_deterministic() {
+        let domain = 1 << 16;
+        let mut a = PacketTraceGenerator::new(domain, 32, 1.2, 0.6, 21);
+        let mut b = PacketTraceGenerator::new(domain, 32, 1.2, 0.6, 21);
+        let ua = a.take_updates(50_000);
+        assert_eq!(ua, b.take_updates(50_000), "same seed, same trace");
+        assert!(ua.iter().all(|u| u.item < domain && u.delta == 1));
+        let f: FrequencyVector = ua.iter().copied().collect();
+        // Heavy tail: the largest flow should carry far more packets than
+        // a typical flow (mean = total / distinct).
+        let top = f.iter().map(|(_, c)| c).max().unwrap();
+        let mean = 50_000 / f.f0().max(1);
+        assert!(
+            top as u64 > 20 * mean,
+            "top flow {top} should dwarf the mean flow size {mean}"
+        );
+        // Bursts: consecutive packets repeat the same flow far more often
+        // than independent draws from this distribution would.
+        let repeats = ua.windows(2).filter(|w| w[0].item == w[1].item).count();
+        assert!(
+            repeats as f64 / ua.len() as f64 > 0.3,
+            "burst trains should make ~burst of adjacent packets same-flow"
+        );
+    }
+
+    #[test]
+    fn query_log_head_share_follows_the_diurnal_wave() {
+        let period = 8_192u64;
+        let mut g = QueryLogGenerator::new(1 << 16, 1.3, period, 9);
+        let updates = g.take_updates(2 * period as usize);
+        let head_share = |slice: &[Update]| {
+            slice.iter().filter(|u| u.item < 64).count() as f64 / slice.len() as f64
+        };
+        // sin peaks in the first half-period and troughs in the second.
+        let peak = head_share(&updates[..(period / 2) as usize]);
+        let trough = head_share(&updates[(period / 2) as usize..period as usize]);
+        assert!(
+            peak > 2.0 * trough.max(0.01),
+            "zipf head share at peak ({peak:.3}) should dominate the trough ({trough:.3})"
+        );
+        // And the second day looks like the first.
+        let peak2 = head_share(&updates[period as usize..(period + period / 2) as usize]);
+        assert!((peak - peak2).abs() < 0.1, "daily cycle should repeat");
     }
 }

@@ -1,0 +1,231 @@
+//! The RPS-ramp scalability harness CLI.
+//!
+//! ```text
+//! cargo run --release --bin ramp -- --config examples/fleet.json
+//! ```
+//!
+//! Loads a fleet config, ramps the offered request rate against the
+//! selected backend(s) — direct in-process `SessionManager` calls and/or
+//! a freshly spawned `ars-serve` HTTP server — prints the per-step
+//! trajectory, detects the saturation knee, and writes
+//! `BENCH_scalability.json` (schema-checked before the process exits).
+//!
+//! Flags:
+//!
+//! * `--config <path>` — fleet JSON (required).
+//! * `--backend both|in-process|http` — which surfaces to ramp
+//!   (default `both`).
+//! * `--out <path>` — artifact destination (default the workspace-root
+//!   `BENCH_scalability.json`).
+//! * `--initial-rps / --increment-rps / --max-rps / --step-ms` —
+//!   override the config's ramp schedule (the CI smoke leg uses these to
+//!   shrink the ramp to two cheap steps).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ars_core::manager::SessionManager;
+use ars_serve::server::FleetServer;
+use ars_workload::{
+    detect_knee, validate_scalability_json, Backend, FleetConfig, HttpBackend, InProcessBackend,
+    RampEngine, RampRun, ScalabilityReport, StepReport,
+};
+
+const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scalability.json");
+
+struct Cli {
+    config_path: String,
+    backends: Vec<&'static str>,
+    out: String,
+    initial_rps: Option<f64>,
+    increment_rps: Option<f64>,
+    max_rps: Option<f64>,
+    step_ms: Option<u64>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        config_path: String::new(),
+        backends: vec!["in-process", "http"],
+        out: DEFAULT_OUT.to_string(),
+        initial_rps: None,
+        increment_rps: None,
+        max_rps: None,
+        step_ms: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--config" => cli.config_path = value("--config")?,
+            "--backend" => {
+                cli.backends = match value("--backend")?.as_str() {
+                    "both" => vec!["in-process", "http"],
+                    "in-process" => vec!["in-process"],
+                    "http" => vec!["http"],
+                    other => {
+                        return Err(format!(
+                            "--backend {other:?}: expected both, in-process or http"
+                        ))
+                    }
+                }
+            }
+            "--out" => cli.out = value("--out")?,
+            "--initial-rps" => cli.initial_rps = Some(parse_num(&value("--initial-rps")?)?),
+            "--increment-rps" => cli.increment_rps = Some(parse_num(&value("--increment-rps")?)?),
+            "--max-rps" => cli.max_rps = Some(parse_num(&value("--max-rps")?)?),
+            "--step-ms" => {
+                cli.step_ms = Some(
+                    value("--step-ms")?
+                        .parse()
+                        .map_err(|err| format!("--step-ms: {err}"))?,
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (see --help in module docs)"
+                ))
+            }
+        }
+    }
+    if cli.config_path.is_empty() {
+        return Err("--config <fleet.json> is required".into());
+    }
+    Ok(cli)
+}
+
+fn parse_num(text: &str) -> Result<f64, String> {
+    text.parse::<f64>()
+        .map_err(|err| format!("{text:?}: {err}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ramp: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let text = std::fs::read_to_string(&cli.config_path)
+        .map_err(|err| format!("reading {}: {err}", cli.config_path))?;
+    let mut config = FleetConfig::try_from_json(&text)
+        .map_err(|err| format!("parsing {}: {err}", cli.config_path))?;
+    if let Some(rps) = cli.initial_rps {
+        config.ramp.initial_rps = rps;
+    }
+    if let Some(rps) = cli.increment_rps {
+        config.ramp.increment_rps = rps;
+    }
+    if let Some(rps) = cli.max_rps {
+        config.ramp.max_rps = rps;
+    }
+    if let Some(ms) = cli.step_ms {
+        config.ramp.step_ms = ms;
+    }
+
+    println!(
+        "fleet: {} ({} tenants, seed {})",
+        config.label(),
+        config.total_tenants(),
+        config.seed
+    );
+    println!(
+        "ramp: {}..{} rps in steps of {} ({} ms/step, {} workers)",
+        config.ramp.initial_rps,
+        config.ramp.max_rps,
+        config.ramp.increment_rps,
+        config.ramp.step_ms,
+        config.ramp.workers
+    );
+
+    let mut runs = Vec::new();
+    for backend_name in &cli.backends {
+        runs.push(ramp_backend(backend_name, &config)?);
+    }
+
+    let report = ScalabilityReport {
+        fleet: config.label(),
+        seed: config.seed,
+        tenants: config.total_tenants(),
+        runs,
+    };
+    let json = report.to_json();
+    validate_scalability_json(&json).map_err(|err| format!("emitted artifact invalid: {err}"))?;
+    std::fs::write(&cli.out, &json).map_err(|err| format!("writing {}: {err}", cli.out))?;
+    println!("wrote {}", cli.out);
+    Ok(())
+}
+
+fn ramp_backend(name: &str, config: &FleetConfig) -> Result<RampRun, String> {
+    println!("\n== backend: {name} ==");
+    // Each ramp gets a fresh manager so earlier runs can't warm it up.
+    let run = match name {
+        "in-process" => {
+            let backend: Arc<dyn Backend> = Arc::new(InProcessBackend::new());
+            ramp_one(name, config, &backend)?
+        }
+        "http" => {
+            let handle = FleetServer::new(SessionManager::new())
+                .spawn()
+                .map_err(|err| format!("spawn server: {err}"))?;
+            let backend: Arc<dyn Backend> = Arc::new(HttpBackend::new(handle.addr()));
+            let run = ramp_one(name, config, &backend);
+            handle.shutdown();
+            run?
+        }
+        other => return Err(format!("unknown backend {other:?}")),
+    };
+    Ok(run)
+}
+
+fn ramp_one(
+    name: &str,
+    config: &FleetConfig,
+    backend: &Arc<dyn Backend>,
+) -> Result<RampRun, String> {
+    let engine = RampEngine::new(config.clone());
+    let steps = engine
+        .run(backend)
+        .map_err(|err| format!("{name} ramp: {err}"))?;
+    println!(
+        "{:>10} {:>10} {:>8} {:>9} {:>9} {:>9} {:>6} {:>6} {:>9}",
+        "offered", "achieved", "reqs", "p50_us", "p95_us", "p99_us", "errs", "rejs", "viol/qry"
+    );
+    for step in &steps {
+        print_step(step);
+    }
+    let knee = detect_knee(&steps, &config.knee);
+    match &knee {
+        Some(knee) => println!(
+            "knee at step {} ({} rps offered): {}",
+            knee.step, knee.offered_rps, knee.reason
+        ),
+        None => println!("no knee: the whole ramp stayed inside the capacity region"),
+    }
+    Ok(RampRun {
+        backend: name.to_string(),
+        steps,
+        knee,
+    })
+}
+
+fn print_step(step: &StepReport) {
+    println!(
+        "{:>10.1} {:>10.1} {:>8} {:>9} {:>9} {:>9} {:>6} {:>6} {:>5}/{:<4}",
+        step.offered_rps,
+        step.achieved_rps,
+        step.requests,
+        step.p50_us,
+        step.p95_us,
+        step.p99_us,
+        step.errors,
+        step.rejections,
+        step.guarantee_violations,
+        step.queries,
+    );
+}

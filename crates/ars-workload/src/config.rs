@@ -1,0 +1,702 @@
+//! The JSON fleet configuration: tenant groups, ramp schedule, knee limits.
+//!
+//! Everything here is hand-rolled over [`ars_core::json`] (no serde in the
+//! container) and round-trips exactly: `parse → emit → parse` reproduces
+//! the same document byte for byte, because [`JsonWriter`] writes floats
+//! with `{:?}` (shortest round-trip form) and integers verbatim. A minimal
+//! config is one group:
+//!
+//! ```json
+//! {
+//!   "seed": 42,
+//!   "groups": [
+//!     {"name": "edge", "count": 2, "behavior": "honest", "batch": 128,
+//!      "spec": {"problem": "f0", "epsilon": 0.2},
+//!      "workload": {"kind": "zipf", "domain": 65536, "exponent": 1.1}}
+//!   ]
+//! }
+//! ```
+//!
+//! `ramp` and `knee` are optional objects with the defaults documented on
+//! [`RampConfig`] and [`KneeConfig`].
+
+use ars_core::error::ArsError;
+use ars_core::json::{JsonValue, JsonWriter};
+use ars_core::spec::ProvisionerSpec;
+use ars_stream::generator::WorkloadSpec;
+
+fn wire(reason: String) -> ArsError {
+    ArsError::Wire { reason }
+}
+
+/// Serializes a [`WorkloadSpec`] as one JSON object with a `kind` tag.
+///
+/// `ars-stream` deliberately has no JSON dependency (the codec lives in
+/// `ars-core`, which sits *above* it), so the wire form of a workload is
+/// defined here, next to the fleet config that embeds it.
+#[must_use]
+pub fn workload_to_json(spec: &WorkloadSpec) -> String {
+    let mut w = JsonWriter::with_capacity(96);
+    w.raw("{").key("kind");
+    match *spec {
+        WorkloadSpec::Uniform { domain } => {
+            w.string("uniform").raw(",").key("domain").uint(domain);
+        }
+        WorkloadSpec::Zipf { domain, exponent } => {
+            w.string("zipf").raw(",").key("domain").uint(domain);
+            w.raw(",").key("exponent").number(exponent);
+        }
+        WorkloadSpec::Bursty {
+            domain,
+            num_heavy,
+            heavy_fraction,
+        } => {
+            w.string("bursty").raw(",").key("domain").uint(domain);
+            w.raw(",").key("num_heavy").uint(num_heavy);
+            w.raw(",").key("heavy_fraction").number(heavy_fraction);
+        }
+        WorkloadSpec::SlidingDistinct { fresh_items } => {
+            w.string("sliding-distinct")
+                .raw(",")
+                .key("fresh_items")
+                .uint(fresh_items);
+        }
+        WorkloadSpec::BoundedDeletion {
+            alpha,
+            phase_length,
+        } => {
+            w.string("bounded-deletion")
+                .raw(",")
+                .key("alpha")
+                .number(alpha);
+            w.raw(",").key("phase_length").uint(phase_length);
+        }
+        WorkloadSpec::TurnstileWave { wave_length } => {
+            w.string("turnstile-wave")
+                .raw(",")
+                .key("wave_length")
+                .uint(wave_length);
+        }
+        WorkloadSpec::PacketTrace {
+            domain,
+            active_flows,
+            tail_exponent,
+            burst,
+        } => {
+            w.string("packet-trace").raw(",").key("domain").uint(domain);
+            w.raw(",").key("active_flows").uint(active_flows as u64);
+            w.raw(",").key("tail_exponent").number(tail_exponent);
+            w.raw(",").key("burst").number(burst);
+        }
+        WorkloadSpec::QueryLog {
+            domain,
+            exponent,
+            wave_period,
+        } => {
+            w.string("query-log").raw(",").key("domain").uint(domain);
+            w.raw(",").key("exponent").number(exponent);
+            w.raw(",").key("wave_period").uint(wave_period);
+        }
+    }
+    w.raw("}");
+    w.finish()
+}
+
+/// Parses a [`WorkloadSpec`] from the object form written by
+/// [`workload_to_json`].
+pub fn workload_from_value(doc: &JsonValue) -> Result<WorkloadSpec, ArsError> {
+    let req_uint = |key: &str| -> Result<u64, ArsError> {
+        doc.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| wire(format!("workload: missing or non-integer {key:?}")))
+    };
+    let req_num = |key: &str| -> Result<f64, ArsError> {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| wire(format!("workload: missing or non-numeric {key:?}")))
+    };
+    let kind = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| wire("workload: missing \"kind\"".to_string()))?;
+    match kind {
+        "uniform" => Ok(WorkloadSpec::Uniform {
+            domain: req_uint("domain")?,
+        }),
+        "zipf" => Ok(WorkloadSpec::Zipf {
+            domain: req_uint("domain")?,
+            exponent: req_num("exponent")?,
+        }),
+        "bursty" => Ok(WorkloadSpec::Bursty {
+            domain: req_uint("domain")?,
+            num_heavy: req_uint("num_heavy")?,
+            heavy_fraction: req_num("heavy_fraction")?,
+        }),
+        "sliding-distinct" => Ok(WorkloadSpec::SlidingDistinct {
+            fresh_items: req_uint("fresh_items")?,
+        }),
+        "bounded-deletion" => Ok(WorkloadSpec::BoundedDeletion {
+            alpha: req_num("alpha")?,
+            phase_length: req_uint("phase_length")?,
+        }),
+        "turnstile-wave" => Ok(WorkloadSpec::TurnstileWave {
+            wave_length: req_uint("wave_length")?,
+        }),
+        "packet-trace" => Ok(WorkloadSpec::PacketTrace {
+            domain: req_uint("domain")?,
+            active_flows: doc
+                .get("active_flows")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| wire("workload: missing or non-integer \"active_flows\"".into()))?,
+            tail_exponent: req_num("tail_exponent")?,
+            burst: req_num("burst")?,
+        }),
+        "query-log" => Ok(WorkloadSpec::QueryLog {
+            domain: req_uint("domain")?,
+            exponent: req_num("exponent")?,
+            wave_period: req_uint("wave_period")?,
+        }),
+        other => Err(wire(format!(
+            "workload: unknown kind {other:?} (expected one of uniform, zipf, bursty, \
+             sliding-distinct, bounded-deletion, turnstile-wave, packet-trace, query-log)"
+        ))),
+    }
+}
+
+/// What kind of client a tenant group simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantBehavior {
+    /// Streams its workload spec verbatim.
+    Honest,
+    /// Adaptive: watches the published readings and attacks them — the
+    /// dip-hunting `F₀` adversary for distinct-count problems, the surge
+    /// adversary for moments (see `ars-adversary`). Its workload spec is
+    /// ignored; the adversary *is* the stream.
+    DipHunter,
+    /// Streams its workload spec but periodically emits an update outside
+    /// the declared stream model, exercising rejections and the
+    /// `PromiseViolated` health path.
+    ModelViolating,
+}
+
+impl TenantBehavior {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Honest => "honest",
+            Self::DipHunter => "dip-hunter",
+            Self::ModelViolating => "model-violating",
+        }
+    }
+
+    /// Parses a wire name written by [`TenantBehavior::as_str`].
+    pub fn from_wire(name: &str) -> Result<Self, ArsError> {
+        match name {
+            "honest" => Ok(Self::Honest),
+            "dip-hunter" => Ok(Self::DipHunter),
+            "model-violating" => Ok(Self::ModelViolating),
+            other => Err(wire(format!(
+                "behavior: unknown {other:?} (expected honest, dip-hunter or model-violating)"
+            ))),
+        }
+    }
+}
+
+/// One homogeneous slice of the fleet: `count` tenants named
+/// `{name}-{index}`, all provisioned from the same spec and streaming the
+/// same workload shape (with per-tenant derived seeds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantGroup {
+    /// Name prefix; tenants are `{name}-0`, `{name}-1`, …
+    pub name: String,
+    /// Number of tenants in the group.
+    pub count: usize,
+    /// The adversarial-mix role of the group.
+    pub behavior: TenantBehavior,
+    /// Updates per ingest request.
+    pub batch: usize,
+    /// The problem each tenant is provisioned for.
+    pub spec: ProvisionerSpec,
+    /// The stream shape (ignored for dip-hunter groups).
+    pub workload: WorkloadSpec,
+}
+
+/// The ramp schedule, after the Internet-Computer scalability suite's
+/// `initial_rps` / `increment_rps` / `max_rps` shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampConfig {
+    /// Offered request rate of the first step (default 50).
+    pub initial_rps: f64,
+    /// Added to the offered rate at each subsequent step (default 50).
+    pub increment_rps: f64,
+    /// The ramp stops after the last step at or below this rate
+    /// (default 400).
+    pub max_rps: f64,
+    /// Wall-clock length of each step's send window in milliseconds
+    /// (default 500).
+    pub step_ms: u64,
+    /// Load-engine worker threads (default 4).
+    pub workers: usize,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        Self {
+            initial_rps: 50.0,
+            increment_rps: 50.0,
+            max_rps: 400.0,
+            step_ms: 500,
+            workers: 4,
+        }
+    }
+}
+
+impl RampConfig {
+    /// The offered rates of every step, `initial, initial+increment, …`
+    /// up to and including `max_rps`.
+    #[must_use]
+    pub fn offered_rates(&self) -> Vec<f64> {
+        let mut rates = Vec::new();
+        let mut rps = self.initial_rps;
+        while rps <= self.max_rps + 1e-9 {
+            rates.push(rps);
+            if self.increment_rps <= 0.0 {
+                break;
+            }
+            rps += self.increment_rps;
+        }
+        rates
+    }
+}
+
+/// The saturation-knee limits — the first ramp step breaching any of them
+/// is the knee (see [`crate::knee::detect_knee`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KneeConfig {
+    /// Achieved RPS below this fraction of offered RPS is saturation
+    /// (default 0.9).
+    pub min_achieved_fraction: f64,
+    /// Optional hard p99 latency limit in milliseconds (default none).
+    pub max_p99_ms: Option<f64>,
+    /// Fraction of scored readings allowed outside their guarantee
+    /// interval (default 0.25 — dip-hunter fleets make some violations
+    /// routine at saturation, not a knee on their own in small samples).
+    pub max_violation_fraction: f64,
+    /// Fraction of ingest requests allowed to fail outright
+    /// (default 0.05). Model-violating rejections are accounted
+    /// separately and never count here.
+    pub max_error_fraction: f64,
+}
+
+impl Default for KneeConfig {
+    fn default() -> Self {
+        Self {
+            min_achieved_fraction: 0.9,
+            max_p99_ms: None,
+            max_violation_fraction: 0.25,
+            max_error_fraction: 0.05,
+        }
+    }
+}
+
+/// The whole harness input: a seed, a ramp schedule, knee limits and the
+/// tenant groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Master seed; every per-tenant stream and sketch seed derives from
+    /// it, so the same config + seed reproduces the same fleet bit for
+    /// bit.
+    pub seed: u64,
+    /// The ramp schedule.
+    pub ramp: RampConfig,
+    /// The knee limits.
+    pub knee: KneeConfig,
+    /// The tenant groups.
+    pub groups: Vec<TenantGroup>,
+}
+
+impl FleetConfig {
+    /// Total tenants across all groups.
+    #[must_use]
+    pub fn total_tenants(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// A one-line summary for reports, e.g.
+    /// `2x honest/f0 + 1x dip-hunter/f0`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.groups
+            .iter()
+            .map(|g| {
+                format!(
+                    "{}x {}/{}",
+                    g.count,
+                    g.behavior.as_str(),
+                    g.spec.problem.name()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    /// Serializes the config; [`FleetConfig::try_from_json`] inverts this
+    /// exactly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(512);
+        w.raw("{").key("seed").uint(self.seed).raw(",");
+        w.key("ramp").raw("{");
+        w.key("initial_rps").number(self.ramp.initial_rps).raw(",");
+        w.key("increment_rps")
+            .number(self.ramp.increment_rps)
+            .raw(",");
+        w.key("max_rps").number(self.ramp.max_rps).raw(",");
+        w.key("step_ms").uint(self.ramp.step_ms).raw(",");
+        w.key("workers").uint(self.ramp.workers as u64).raw("}");
+        w.raw(",").key("knee").raw("{");
+        w.key("min_achieved_fraction")
+            .number(self.knee.min_achieved_fraction)
+            .raw(",");
+        w.key("max_p99_ms");
+        match self.knee.max_p99_ms {
+            Some(ms) => {
+                w.number(ms);
+            }
+            None => {
+                w.null();
+            }
+        }
+        w.raw(",")
+            .key("max_violation_fraction")
+            .number(self.knee.max_violation_fraction)
+            .raw(",")
+            .key("max_error_fraction")
+            .number(self.knee.max_error_fraction)
+            .raw("}");
+        w.raw(",").key("groups").raw("[");
+        for (i, group) in self.groups.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            w.raw("{").key("name").string(&group.name).raw(",");
+            w.key("count").uint(group.count as u64).raw(",");
+            w.key("behavior").string(group.behavior.as_str()).raw(",");
+            w.key("batch").uint(group.batch as u64).raw(",");
+            w.key("spec").raw(&group.spec.to_json()).raw(",");
+            w.key("workload")
+                .raw(&workload_to_json(&group.workload))
+                .raw("}");
+        }
+        w.raw("]").raw("}");
+        w.finish()
+    }
+
+    /// Parses a config document (strict JSON: one value, no trailing
+    /// garbage).
+    pub fn try_from_json(text: &str) -> Result<Self, ArsError> {
+        let doc =
+            JsonValue::parse_strict(text).map_err(|err| wire(format!("fleet config: {err}")))?;
+        Self::from_value(&doc)
+    }
+
+    /// Parses a config from an already-parsed document.
+    pub fn from_value(doc: &JsonValue) -> Result<Self, ArsError> {
+        let seed = match doc.get("seed") {
+            None => 42,
+            Some(node) => node
+                .as_u64()
+                .ok_or_else(|| wire("fleet config: non-integer \"seed\"".into()))?,
+        };
+        let ramp = match doc.get("ramp") {
+            None => RampConfig::default(),
+            Some(node) => parse_ramp(node)?,
+        };
+        let knee = match doc.get("knee") {
+            None => KneeConfig::default(),
+            Some(node) => parse_knee(node)?,
+        };
+        let groups_node = doc
+            .get("groups")
+            .and_then(JsonValue::items)
+            .ok_or_else(|| wire("fleet config: missing \"groups\" array".into()))?;
+        if groups_node.is_empty() {
+            return Err(wire("fleet config: \"groups\" must be non-empty".into()));
+        }
+        let mut groups = Vec::with_capacity(groups_node.len());
+        for node in groups_node {
+            groups.push(parse_group(node)?);
+        }
+        if ramp.initial_rps <= 0.0 || ramp.max_rps < ramp.initial_rps {
+            return Err(wire(format!(
+                "fleet config: ramp needs 0 < initial_rps ({}) <= max_rps ({})",
+                ramp.initial_rps, ramp.max_rps
+            )));
+        }
+        if ramp.step_ms == 0 || ramp.workers == 0 {
+            return Err(wire(
+                "fleet config: ramp step_ms and workers must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            seed,
+            ramp,
+            knee,
+            groups,
+        })
+    }
+}
+
+fn parse_ramp(doc: &JsonValue) -> Result<RampConfig, ArsError> {
+    let defaults = RampConfig::default();
+    let num = |key: &str, default: f64| -> Result<f64, ArsError> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(node) => node
+                .as_f64()
+                .ok_or_else(|| wire(format!("ramp: non-numeric {key:?}"))),
+        }
+    };
+    let uint = |key: &str, default: u64| -> Result<u64, ArsError> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(node) => node
+                .as_u64()
+                .ok_or_else(|| wire(format!("ramp: non-integer {key:?}"))),
+        }
+    };
+    Ok(RampConfig {
+        initial_rps: num("initial_rps", defaults.initial_rps)?,
+        increment_rps: num("increment_rps", defaults.increment_rps)?,
+        max_rps: num("max_rps", defaults.max_rps)?,
+        step_ms: uint("step_ms", defaults.step_ms)?,
+        workers: uint("workers", defaults.workers as u64)? as usize,
+    })
+}
+
+fn parse_knee(doc: &JsonValue) -> Result<KneeConfig, ArsError> {
+    let defaults = KneeConfig::default();
+    let num = |key: &str, default: f64| -> Result<f64, ArsError> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(node) => node
+                .as_f64()
+                .ok_or_else(|| wire(format!("knee: non-numeric {key:?}"))),
+        }
+    };
+    let max_p99_ms = match doc.get("max_p99_ms") {
+        None => defaults.max_p99_ms,
+        Some(JsonValue::Null) => None,
+        Some(node) => Some(
+            node.as_f64()
+                .ok_or_else(|| wire("knee: non-numeric \"max_p99_ms\"".into()))?,
+        ),
+    };
+    Ok(KneeConfig {
+        min_achieved_fraction: num("min_achieved_fraction", defaults.min_achieved_fraction)?,
+        max_p99_ms,
+        max_violation_fraction: num("max_violation_fraction", defaults.max_violation_fraction)?,
+        max_error_fraction: num("max_error_fraction", defaults.max_error_fraction)?,
+    })
+}
+
+fn parse_group(doc: &JsonValue) -> Result<TenantGroup, ArsError> {
+    let name = doc
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| wire("group: missing \"name\"".into()))?
+        .to_string();
+    let count = doc
+        .get("count")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| wire(format!("group {name:?}: missing or non-integer \"count\"")))?;
+    if count == 0 {
+        return Err(wire(format!("group {name:?}: count must be positive")));
+    }
+    let behavior = TenantBehavior::from_wire(
+        doc.get("behavior")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| wire(format!("group {name:?}: missing \"behavior\"")))?,
+    )?;
+    let batch = match doc.get("batch") {
+        None => 64,
+        Some(node) => node
+            .as_usize()
+            .ok_or_else(|| wire(format!("group {name:?}: non-integer \"batch\"")))?,
+    };
+    if batch == 0 {
+        return Err(wire(format!("group {name:?}: batch must be positive")));
+    }
+    let spec = ProvisionerSpec::from_value(
+        doc.get("spec")
+            .ok_or_else(|| wire(format!("group {name:?}: missing \"spec\"")))?,
+    )?;
+    let workload = workload_from_value(
+        doc.get("workload")
+            .ok_or_else(|| wire(format!("group {name:?}: missing \"workload\"")))?,
+    )?;
+    Ok(TenantGroup {
+        name,
+        count,
+        behavior,
+        batch,
+        spec,
+        workload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_core::spec::ProblemSpec;
+
+    fn all_workloads() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::Uniform { domain: 1 << 10 },
+            WorkloadSpec::Zipf {
+                domain: 1 << 10,
+                exponent: 1.25,
+            },
+            WorkloadSpec::Bursty {
+                domain: 1 << 10,
+                num_heavy: 4,
+                heavy_fraction: 0.3,
+            },
+            WorkloadSpec::SlidingDistinct { fresh_items: 500 },
+            WorkloadSpec::BoundedDeletion {
+                alpha: 2.0,
+                phase_length: 100,
+            },
+            WorkloadSpec::TurnstileWave { wave_length: 64 },
+            WorkloadSpec::PacketTrace {
+                domain: 1 << 12,
+                active_flows: 16,
+                tail_exponent: 1.3,
+                burst: 0.55,
+            },
+            WorkloadSpec::QueryLog {
+                domain: 1 << 12,
+                exponent: 1.1,
+                wave_period: 4096,
+            },
+        ]
+    }
+
+    #[test]
+    fn workload_json_round_trips_exactly_for_every_variant() {
+        for spec in all_workloads() {
+            let emitted = workload_to_json(&spec);
+            let doc = JsonValue::parse_strict(&emitted).expect("emitted JSON parses");
+            let parsed = workload_from_value(&doc).expect("emitted JSON decodes");
+            assert_eq!(parsed, spec, "value round trip: {emitted}");
+            assert_eq!(
+                workload_to_json(&parsed),
+                emitted,
+                "textual round trip must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_rejects_unknown_kind_and_missing_fields() {
+        let doc = JsonValue::parse_strict(r#"{"kind":"mystery"}"#).unwrap();
+        assert!(workload_from_value(&doc).is_err());
+        let doc = JsonValue::parse_strict(r#"{"kind":"zipf","domain":8}"#).unwrap();
+        assert!(workload_from_value(&doc).is_err(), "zipf needs exponent");
+        let doc = JsonValue::parse_strict(r#"{"domain":8}"#).unwrap();
+        assert!(workload_from_value(&doc).is_err(), "kind is required");
+    }
+
+    #[test]
+    fn fleet_config_round_trips_exactly() {
+        let config = FleetConfig {
+            seed: 7,
+            ramp: RampConfig {
+                initial_rps: 25.0,
+                increment_rps: 25.0,
+                max_rps: 100.0,
+                step_ms: 250,
+                workers: 2,
+            },
+            knee: KneeConfig {
+                max_p99_ms: Some(50.0),
+                ..KneeConfig::default()
+            },
+            groups: vec![
+                TenantGroup {
+                    name: "edge".into(),
+                    count: 2,
+                    behavior: TenantBehavior::Honest,
+                    batch: 64,
+                    spec: ProvisionerSpec::new(ProblemSpec::F0, 0.2),
+                    workload: WorkloadSpec::Zipf {
+                        domain: 1 << 12,
+                        exponent: 1.1,
+                    },
+                },
+                TenantGroup {
+                    name: "attacker".into(),
+                    count: 1,
+                    behavior: TenantBehavior::DipHunter,
+                    batch: 32,
+                    spec: ProvisionerSpec::new(ProblemSpec::F0, 0.25),
+                    workload: WorkloadSpec::Uniform { domain: 1 << 10 },
+                },
+            ],
+        };
+        let emitted = config.to_json();
+        let parsed = FleetConfig::try_from_json(&emitted).expect("emitted config parses");
+        assert_eq!(parsed, config);
+        assert_eq!(parsed.to_json(), emitted, "textual round trip");
+        assert_eq!(config.total_tenants(), 3);
+        assert_eq!(config.label(), "2x honest/f0 + 1x dip-hunter/f0");
+    }
+
+    #[test]
+    fn config_defaults_apply_and_bad_configs_are_typed_errors() {
+        let minimal = r#"{"groups":[{"name":"a","count":1,"behavior":"honest",
+            "spec":{"problem":"f0","epsilon":0.2},
+            "workload":{"kind":"uniform","domain":1024}}]}"#;
+        let config = FleetConfig::try_from_json(minimal).expect("minimal config");
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.ramp, RampConfig::default());
+        assert_eq!(config.knee, KneeConfig::default());
+        assert_eq!(config.groups[0].batch, 64);
+
+        for bad in [
+            "{not json",
+            r#"{"groups":[]}"#,
+            r#"{"groups":[{"name":"a","count":0,"behavior":"honest",
+                "spec":{"problem":"f0","epsilon":0.2},
+                "workload":{"kind":"uniform","domain":8}}]}"#,
+            r#"{"groups":[{"name":"a","count":1,"behavior":"sneaky",
+                "spec":{"problem":"f0","epsilon":0.2},
+                "workload":{"kind":"uniform","domain":8}}]}"#,
+            r#"{"ramp":{"initial_rps":0},"groups":[{"name":"a","count":1,"behavior":"honest",
+                "spec":{"problem":"f0","epsilon":0.2},
+                "workload":{"kind":"uniform","domain":8}}]}"#,
+        ] {
+            assert!(
+                FleetConfig::try_from_json(bad).is_err(),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn offered_rates_cover_the_whole_ramp() {
+        let ramp = RampConfig {
+            initial_rps: 50.0,
+            increment_rps: 50.0,
+            max_rps: 200.0,
+            ..RampConfig::default()
+        };
+        assert_eq!(ramp.offered_rates(), vec![50.0, 100.0, 150.0, 200.0]);
+        let flat = RampConfig {
+            increment_rps: 0.0,
+            ..ramp
+        };
+        assert_eq!(flat.offered_rates(), vec![50.0]);
+    }
+}

@@ -1,0 +1,396 @@
+//! Compiles a [`FleetConfig`] into live per-tenant runtimes.
+//!
+//! Determinism is the whole point: every tenant's stream seed is derived
+//! from the master seed with splitmix64 over `(group index, tenant
+//! index)`, and every source — honest generator, adaptive adversary,
+//! model violator — is a deterministic function of that seed plus the
+//! readings it has observed. Because readings are themselves deterministic
+//! functions of the ingested prefix (the estimators are seeded sketches),
+//! the same config + seed produces byte-identical per-tenant streams on
+//! every run and on *both* backends; `tests/determinism.rs` pins this.
+//!
+//! The adaptive protocol is batch-granular: the adversary choosing batch
+//! `k` sees the reading published after batch `k − 1` (`0.0` before the
+//! first batch, matching the game convention in `ars-adversary`). Within a
+//! batch every update sees the same `last_response` — the fleet driver
+//! only queries between requests, never mid-batch.
+
+use ars_adversary::{Adversary, DistinctDuplicateAdversary, ModelViolator, SurgeAdversary};
+use ars_core::spec::{ProblemSpec, ProvisionerSpec};
+use ars_stream::exact::{ExactOracle, Query};
+use ars_stream::generator::Generator;
+use ars_stream::{StreamModel, Update};
+
+use crate::config::{FleetConfig, TenantBehavior, TenantGroup};
+
+/// splitmix64 finalizer — the standard seed-derivation mixer (same one the
+/// in-tree generators use for stream splitting).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What actually produces a tenant's updates.
+enum Source {
+    /// The group's workload generator, verbatim.
+    Honest(Box<dyn Generator>),
+    /// An adaptive adversary from `ars-adversary`, fed the readings the
+    /// backend publishes.
+    Adaptive(Box<dyn Adversary>),
+    /// The workload generator with a periodic out-of-model update spliced
+    /// in.
+    Violating(ModelViolator<Box<dyn Generator>>),
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Honest(_) => "Honest",
+            Self::Adaptive(_) => "Adaptive",
+            Self::Violating(_) => "Violating",
+        })
+    }
+}
+
+/// One live tenant: its name, provisioning spec, update source, and —
+/// when the problem has an exact oracle query — its ground truth.
+#[derive(Debug)]
+pub struct TenantRuntime {
+    name: String,
+    spec: ProvisionerSpec,
+    behavior: TenantBehavior,
+    batch: usize,
+    source: Source,
+    /// `None` for model-violating tenants: the session ingests only the
+    /// valid prefix of a rejected batch, so a client-side replica of the
+    /// full stream stops matching what the backend actually holds.
+    oracle: Option<ExactOracle>,
+    query: Option<Query>,
+    last_response: f64,
+    batches: u64,
+}
+
+impl TenantRuntime {
+    /// The tenant's registered name, `{group}-{index}`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spec the backend must register this tenant with (already
+    /// carrying the derived per-tenant sketch seed).
+    #[must_use]
+    pub fn spec(&self) -> ProvisionerSpec {
+        self.spec
+    }
+
+    /// The adversarial-mix role.
+    #[must_use]
+    pub fn behavior(&self) -> TenantBehavior {
+        self.behavior
+    }
+
+    /// Updates per ingest request.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// `true` if the tenant must run closed-loop (depth-1 pipelined): its
+    /// next batch depends on the reading published after the previous one.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.source, Source::Adaptive(_))
+    }
+
+    /// Batches generated so far.
+    #[must_use]
+    pub fn batches_emitted(&self) -> u64 {
+        self.batches
+    }
+
+    /// Generates the next update batch and folds it into the ground-truth
+    /// oracle.
+    pub fn next_batch(&mut self) -> Vec<Update> {
+        let mut updates = Vec::with_capacity(self.batch);
+        match &mut self.source {
+            Source::Honest(generator) => {
+                for _ in 0..self.batch {
+                    updates.push(generator.next_update());
+                }
+            }
+            Source::Adaptive(adversary) => {
+                let response = self.last_response;
+                for _ in 0..self.batch {
+                    updates.push(adversary.next_update(response));
+                }
+            }
+            Source::Violating(violator) => {
+                for _ in 0..self.batch {
+                    updates.push(violator.next_update());
+                }
+            }
+        }
+        if let Some(oracle) = &mut self.oracle {
+            oracle.update_all(&updates);
+        }
+        self.batches += 1;
+        updates
+    }
+
+    /// Records the reading the backend published after the last ingested
+    /// batch; adaptive tenants attack it when choosing the next batch.
+    pub fn observe(&mut self, reading: f64) {
+        self.last_response = reading;
+    }
+
+    /// The exact answer to the tenant's query over everything generated
+    /// so far, or `None` when the problem has no scalar oracle query
+    /// (heavy hitters) or the truth replica is off (model violators).
+    #[must_use]
+    pub fn truth(&self) -> Option<f64> {
+        let oracle = self.oracle.as_ref()?;
+        self.query.map(|query| oracle.answer(query))
+    }
+}
+
+/// The scalar [`Query`] that scores a problem's readings, if one exists.
+fn query_for(problem: ProblemSpec) -> Option<Query> {
+    match problem {
+        ProblemSpec::F0 | ProblemSpec::CryptoF0 => Some(Query::F0),
+        ProblemSpec::Fp { p }
+        | ProblemSpec::FpLarge { p }
+        | ProblemSpec::TurnstileFp { p, .. }
+        | ProblemSpec::BoundedDeletionFp { p, .. } => Some(Query::Fp(p)),
+        ProblemSpec::Entropy => Some(Query::ShannonEntropy),
+        ProblemSpec::HeavyHitters => None,
+    }
+}
+
+/// The dip-hunting adversary matched to the tenant's problem.
+///
+/// Distinct-count problems get the duplicate-insertion dip hunter; every
+/// moment-like problem gets the surge adversary at its own `p`. The dip
+/// hunter's lock threshold must account for response lag: at batch
+/// granularity the reading it sees trails the truth by up to one batch, so
+/// the pre-lock count floor is raised to `2·batch/ε` to keep lag from
+/// masquerading as estimator error.
+fn adversary_for(spec: &ProvisionerSpec, batch: usize, seed: u64) -> Box<dyn Adversary> {
+    match spec.problem {
+        ProblemSpec::F0 | ProblemSpec::CryptoF0 => {
+            let lag_floor = (2.0 * batch as f64 / spec.epsilon).ceil() as u64;
+            Box::new(
+                DistinctDuplicateAdversary::new(spec.epsilon).with_min_count(lag_floor.max(200)),
+            )
+        }
+        ProblemSpec::Fp { p }
+        | ProblemSpec::FpLarge { p }
+        | ProblemSpec::TurnstileFp { p, .. }
+        | ProblemSpec::BoundedDeletionFp { p, .. } => Box::new(SurgeAdversary::new(p, seed)),
+        // No bespoke attack for these; the surge shape still concentrates
+        // mass adaptively, which is the stressful direction for both.
+        ProblemSpec::Entropy | ProblemSpec::HeavyHitters => {
+            Box::new(SurgeAdversary::new(2.0, seed))
+        }
+    }
+}
+
+/// The out-of-model update a violating tenant splices in.
+///
+/// Insertion-only models reject any deletion outright; deletion-allowing
+/// models accept signed updates, so the violation is an increment of
+/// `i64::MIN` — its second occurrence overflows the frequency counter,
+/// which every model refuses.
+fn violation_for(model: StreamModel) -> Update {
+    if model.allows_deletions() {
+        Update::new(0, i64::MIN)
+    } else {
+        Update::delete(7)
+    }
+}
+
+/// Expands every group of `config` into named [`TenantRuntime`]s with
+/// derived seeds. Tenant order (and therefore seed assignment) is the
+/// config's group order — stable, so the fleet is reproducible.
+#[must_use]
+pub fn compile_fleet(config: &FleetConfig) -> Vec<TenantRuntime> {
+    let mut tenants = Vec::with_capacity(config.total_tenants());
+    for (group_index, group) in config.groups.iter().enumerate() {
+        for index in 0..group.count {
+            tenants.push(compile_tenant(config.seed, group_index, index, group));
+        }
+    }
+    tenants
+}
+
+fn compile_tenant(
+    master_seed: u64,
+    group_index: usize,
+    index: usize,
+    group: &TenantGroup,
+) -> TenantRuntime {
+    let lane = ((group_index as u64) << 32) | index as u64;
+    let tenant_seed = splitmix64(master_seed ^ splitmix64(lane));
+    let mut spec = group.spec;
+    // Distinct sketch randomness per tenant; the stream seed stays
+    // independent of it so changing the sketch seed never changes the
+    // workload bytes.
+    spec.seed = splitmix64(tenant_seed);
+
+    let source = match group.behavior {
+        TenantBehavior::Honest => Source::Honest(group.workload.build(tenant_seed)),
+        TenantBehavior::DipHunter => {
+            Source::Adaptive(adversary_for(&spec, group.batch, tenant_seed))
+        }
+        TenantBehavior::ModelViolating => {
+            let period = (group.batch as u64).saturating_mul(4).max(1);
+            Source::Violating(ModelViolator::new(
+                group.workload.build(tenant_seed),
+                violation_for(spec.model()),
+                period,
+            ))
+        }
+    };
+    let oracle = match group.behavior {
+        TenantBehavior::ModelViolating => None,
+        _ => Some(ExactOracle::new()),
+    };
+    TenantRuntime {
+        name: format!("{}-{}", group.name, index),
+        spec,
+        behavior: group.behavior,
+        batch: group.batch,
+        source,
+        oracle,
+        query: query_for(group.spec.problem),
+        last_response: 0.0,
+        batches: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_stream::generator::WorkloadSpec;
+
+    fn config_with(groups: Vec<TenantGroup>) -> FleetConfig {
+        FleetConfig {
+            seed: 99,
+            ramp: crate::config::RampConfig::default(),
+            knee: crate::config::KneeConfig::default(),
+            groups,
+        }
+    }
+
+    fn honest_group(count: usize) -> TenantGroup {
+        TenantGroup {
+            name: "edge".into(),
+            count,
+            behavior: TenantBehavior::Honest,
+            batch: 32,
+            spec: ProvisionerSpec::new(ProblemSpec::F0, 0.2),
+            workload: WorkloadSpec::Zipf {
+                domain: 1 << 12,
+                exponent: 1.1,
+            },
+        }
+    }
+
+    #[test]
+    fn compilation_is_deterministic_and_tenants_are_distinct() {
+        let config = config_with(vec![honest_group(3)]);
+        let mut first = compile_fleet(&config);
+        let mut second = compile_fleet(&config);
+        assert_eq!(first.len(), 3);
+        let names: Vec<_> = first.iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names, ["edge-0", "edge-1", "edge-2"]);
+
+        for (a, b) in first.iter_mut().zip(second.iter_mut()) {
+            assert_eq!(a.spec().seed, b.spec().seed);
+            assert_eq!(a.next_batch(), b.next_batch(), "same seed, same stream");
+        }
+        // Different tenants in the same group get different streams.
+        assert_ne!(first[0].next_batch(), first[1].next_batch());
+        assert_ne!(first[0].spec().seed, first[1].spec().seed);
+    }
+
+    #[test]
+    fn honest_truth_tracks_the_generated_stream() {
+        let config = config_with(vec![honest_group(1)]);
+        let mut tenant = compile_fleet(&config).pop().unwrap();
+        assert!(!tenant.is_adaptive());
+        assert_eq!(tenant.truth(), Some(0.0));
+        let mut oracle = ExactOracle::new();
+        for _ in 0..5 {
+            oracle.update_all(&tenant.next_batch());
+        }
+        assert_eq!(tenant.batches_emitted(), 5);
+        assert_eq!(tenant.truth(), Some(oracle.answer(Query::F0)));
+    }
+
+    #[test]
+    fn adaptive_tenants_react_to_observed_readings() {
+        let mut group = honest_group(1);
+        group.behavior = TenantBehavior::DipHunter;
+        let config = config_with(vec![group]);
+        let mut a = compile_fleet(&config).pop().unwrap();
+        let mut b = compile_fleet(&config).pop().unwrap();
+        assert!(a.is_adaptive());
+
+        // Same observation history ⇒ identical batches.
+        assert_eq!(a.next_batch(), b.next_batch());
+        let truth = a.truth().unwrap();
+        a.observe(truth);
+        b.observe(truth);
+        assert_eq!(a.next_batch(), b.next_batch());
+
+        // Diverging observations eventually diverge the attack. The dip
+        // hunter needs its pre-lock count floor first, so run past it.
+        let floor = 2.0 * 32.0 / 0.2;
+        let mut steps = 0u32;
+        let mut diverged = false;
+        while steps < 200 && !diverged {
+            let ta = a.truth().unwrap();
+            a.observe(ta);
+            // b sees a reading dipping far below truth once past the floor.
+            let tb = b.truth().unwrap();
+            b.observe(if tb > floor { tb * 0.5 } else { tb });
+            diverged = a.next_batch() != b.next_batch();
+            steps += 1;
+        }
+        assert!(diverged, "dip hunter never reacted to the dipped readings");
+    }
+
+    #[test]
+    fn violating_tenants_emit_out_of_model_updates_on_schedule() {
+        let mut group = honest_group(1);
+        group.behavior = TenantBehavior::ModelViolating;
+        group.batch = 8;
+        let config = config_with(vec![group]);
+        let mut tenant = compile_fleet(&config).pop().unwrap();
+        assert_eq!(tenant.truth(), None, "violators have no truth replica");
+
+        let mut violations = 0usize;
+        for _ in 0..8 {
+            violations += tenant
+                .next_batch()
+                .iter()
+                .filter(|u| u.is_deletion())
+                .count();
+        }
+        // period = 4·batch = 32 updates, 64 updates generated ⇒ exactly 2.
+        assert_eq!(violations, 2);
+    }
+
+    #[test]
+    fn violations_match_the_declared_model() {
+        assert_eq!(violation_for(StreamModel::InsertionOnly), Update::delete(7));
+        assert_eq!(
+            violation_for(StreamModel::Turnstile),
+            Update::new(0, i64::MIN)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Saturation-knee detection over a recorded ramp trajectory.
+//!
+//! The "knee" is the first ramp step where the system visibly stops
+//! keeping up with the offered load — the scalability suites this harness
+//! is modeled on ramp the request rate in increments exactly to find this
+//! point. A step is the knee when it breaches *any* of the
+//! [`KneeConfig`] limits:
+//!
+//! * achieved RPS fell below `min_achieved_fraction` of offered,
+//! * p99 latency exceeded `max_p99_ms` (when configured),
+//! * more than `max_violation_fraction` of scored readings missed their
+//!   guarantee interval,
+//! * more than `max_error_fraction` of requests failed outright.
+//!
+//! The knee is a *trajectory* property: the steps before it are the
+//! system's proven capacity region, the knee itself is where the
+//! degradation story starts, and `BENCH_scalability.json` records all of
+//! it so regressions show up as the knee moving left.
+
+use crate::config::KneeConfig;
+use crate::engine::StepReport;
+
+/// The detected saturation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knee {
+    /// Index into the step trajectory.
+    pub step: usize,
+    /// The offered rate at the knee.
+    pub offered_rps: f64,
+    /// The achieved rate at the knee.
+    pub achieved_rps: f64,
+    /// Which limits were breached, human-readable, `" + "`-joined.
+    pub reason: String,
+}
+
+/// Scans the trajectory in ramp order and returns the first step
+/// breaching any configured limit, or `None` if the whole ramp stayed
+/// inside the capacity region.
+#[must_use]
+pub fn detect_knee(steps: &[StepReport], config: &KneeConfig) -> Option<Knee> {
+    for (index, step) in steps.iter().enumerate() {
+        let mut reasons = Vec::new();
+        if step.achieved_fraction() < config.min_achieved_fraction {
+            reasons.push(format!(
+                "achieved {:.1}% of offered (limit {:.1}%)",
+                100.0 * step.achieved_fraction(),
+                100.0 * config.min_achieved_fraction
+            ));
+        }
+        if let Some(limit_ms) = config.max_p99_ms {
+            let p99_ms = step.p99_us as f64 / 1000.0;
+            if p99_ms > limit_ms {
+                reasons.push(format!("p99 {p99_ms:.2}ms (limit {limit_ms:.2}ms)"));
+            }
+        }
+        if step.violation_fraction() > config.max_violation_fraction {
+            reasons.push(format!(
+                "{:.1}% of readings outside guarantee (limit {:.1}%)",
+                100.0 * step.violation_fraction(),
+                100.0 * config.max_violation_fraction
+            ));
+        }
+        if step.error_fraction() > config.max_error_fraction {
+            reasons.push(format!(
+                "{:.1}% requests failed (limit {:.1}%)",
+                100.0 * step.error_fraction(),
+                100.0 * config.max_error_fraction
+            ));
+        }
+        if !reasons.is_empty() {
+            return Some(Knee {
+                step: index,
+                offered_rps: step.offered_rps,
+                achieved_rps: step.achieved_rps,
+                reason: reasons.join(" + "),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_step(offered: f64) -> StepReport {
+        StepReport {
+            offered_rps: offered,
+            achieved_rps: offered * 0.99,
+            requests: 100,
+            ingested_updates: 6400,
+            p50_us: 200,
+            p95_us: 400,
+            p99_us: 900,
+            errors: 0,
+            rejections: 0,
+            queries: 25,
+            guarantee_violations: 0,
+        }
+    }
+
+    #[test]
+    fn clean_trajectories_have_no_knee() {
+        let steps = vec![clean_step(50.0), clean_step(100.0), clean_step(150.0)];
+        assert_eq!(detect_knee(&steps, &KneeConfig::default()), None);
+    }
+
+    #[test]
+    fn first_breaching_step_wins_and_reasons_compose() {
+        let mut saturated = clean_step(150.0);
+        saturated.achieved_rps = 100.0; // 66% of offered
+        saturated.errors = 10; // 10% failures
+        let steps = vec![clean_step(50.0), clean_step(100.0), saturated];
+        let knee = detect_knee(&steps, &KneeConfig::default()).expect("knee");
+        assert_eq!(knee.step, 2);
+        assert_eq!(knee.offered_rps, 150.0);
+        assert!(knee.reason.contains("achieved"), "{}", knee.reason);
+        assert!(knee.reason.contains("failed"), "{}", knee.reason);
+        assert!(knee.reason.contains(" + "), "{}", knee.reason);
+    }
+
+    #[test]
+    fn p99_limit_only_applies_when_configured() {
+        let mut slow = clean_step(50.0);
+        slow.p99_us = 75_000;
+        let steps = vec![slow];
+        assert_eq!(detect_knee(&steps, &KneeConfig::default()), None);
+        let strict = KneeConfig {
+            max_p99_ms: Some(50.0),
+            ..KneeConfig::default()
+        };
+        let knee = detect_knee(&steps, &strict).expect("latency knee");
+        assert!(knee.reason.contains("p99"), "{}", knee.reason);
+    }
+
+    #[test]
+    fn violation_fraction_breaches_are_knees() {
+        let mut fooled = clean_step(50.0);
+        fooled.queries = 20;
+        fooled.guarantee_violations = 10;
+        let knee = detect_knee(&[fooled], &KneeConfig::default()).expect("accuracy knee");
+        assert!(knee.reason.contains("guarantee"), "{}", knee.reason);
+    }
+}

@@ -1,0 +1,52 @@
+//! Fleet-scale workload generation and the RPS-ramp scalability harness.
+//!
+//! The paper's guarantees are statements about *single* streams; this crate
+//! asks what happens to a whole fleet of them under load. It has three
+//! layers, each usable on its own:
+//!
+//! * [`config`] — a JSON fleet description ([`FleetConfig`]): tenant
+//!   groups, each with a [`ars_core::spec::ProvisionerSpec`] problem, an
+//!   [`ars_stream::generator::WorkloadSpec`] stream shape, an update-batch
+//!   size, and a behavior from the adversarial mix — honest, dip-hunter
+//!   (driving `ars-adversary`'s adaptive game against the published
+//!   readings), or model-violating. Hand-rolled parsing via
+//!   [`ars_core::json`]; the same config + seed compiles to byte-identical
+//!   per-tenant streams.
+//! * [`fleet`] — the compiler from config to live [`TenantRuntime`]s:
+//!   deterministic per-tenant seeds, exact ground-truth oracles for
+//!   accuracy scoring, and the batch-granular adaptive protocol (an
+//!   adaptive tenant observes the reading published after its previous
+//!   batch before choosing the next one).
+//! * [`backend`] + [`engine`] — the open-loop load engine: a
+//!   `std::thread` + channel worker pool ramps the offered request rate in
+//!   steps (`initial_rps`, `increment_rps`, `max_rps`, `step_duration`)
+//!   against a pluggable [`Backend`] — in-process
+//!   [`ars_core::manager::SessionManager`] calls or the `ars-serve` socket
+//!   path — recording per-step achieved RPS, latency percentiles, error
+//!   counts, and guarantee violations against the known ground truth.
+//! * [`knee`] + [`report`] — saturation-knee detection over the recorded
+//!   trajectory and the `BENCH_scalability.json` emission (with a schema
+//!   validator the CI smoke leg runs).
+//!
+//! The `ramp` binary ties the layers together:
+//!
+//! ```text
+//! cargo run --release --bin ramp -- --config examples/fleet.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod config;
+pub mod engine;
+pub mod fleet;
+pub mod knee;
+pub mod report;
+
+pub use backend::{Backend, BackendError, HttpBackend, InProcessBackend};
+pub use config::{FleetConfig, KneeConfig, RampConfig, TenantBehavior, TenantGroup};
+pub use engine::{RampEngine, StepReport};
+pub use fleet::{compile_fleet, TenantRuntime};
+pub use knee::{detect_knee, Knee};
+pub use report::{validate_scalability_json, RampRun, ScalabilityReport};

@@ -1,0 +1,259 @@
+//! `BENCH_scalability.json`: the recorded knee trajectory.
+//!
+//! Same conventions as the other `BENCH_*.json` artifacts in the
+//! workspace root: one flat object with a `"bench"` discriminator,
+//! written by the `ramp` binary and versioned so regressions are visible
+//! in diffs (the knee moving to a lower offered rate is the regression
+//! signal). [`validate_scalability_json`] is the schema check the CI
+//! smoke leg runs against a freshly produced file.
+
+use ars_core::json::{JsonValue, JsonWriter};
+
+use crate::engine::StepReport;
+use crate::knee::Knee;
+
+/// One backend's full ramp: its step trajectory plus the detected knee
+/// (if the ramp reached saturation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampRun {
+    /// Backend label (`in-process` / `http`).
+    pub backend: String,
+    /// Per-step measurements in ramp order.
+    pub steps: Vec<StepReport>,
+    /// The saturation point, or `None` if the whole ramp stayed clean.
+    pub knee: Option<Knee>,
+}
+
+/// The whole artifact: fleet identity plus one [`RampRun`] per backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityReport {
+    /// The fleet's one-line composition label
+    /// (see [`crate::config::FleetConfig::label`]).
+    pub fleet: String,
+    /// The master seed the fleet was compiled from.
+    pub seed: u64,
+    /// Total tenants across all groups.
+    pub tenants: usize,
+    /// The recorded ramps.
+    pub runs: Vec<RampRun>,
+}
+
+impl ScalabilityReport {
+    /// Serializes the artifact; [`validate_scalability_json`] accepts
+    /// exactly this shape.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(1024);
+        w.raw("{").key("bench").string("scalability").raw(",");
+        w.key("fleet").string(&self.fleet).raw(",");
+        w.key("seed").uint(self.seed).raw(",");
+        w.key("tenants").uint(self.tenants as u64).raw(",");
+        w.key("runs").raw("[");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            w.raw("{").key("backend").string(&run.backend).raw(",");
+            w.key("steps").raw("[");
+            for (j, step) in run.steps.iter().enumerate() {
+                if j > 0 {
+                    w.raw(",");
+                }
+                write_step(&mut w, step);
+            }
+            w.raw("]").raw(",").key("knee");
+            match &run.knee {
+                None => {
+                    w.null();
+                }
+                Some(knee) => {
+                    w.raw("{").key("step").uint(knee.step as u64).raw(",");
+                    w.key("offered_rps").number(knee.offered_rps).raw(",");
+                    w.key("achieved_rps").number(knee.achieved_rps).raw(",");
+                    w.key("reason").string(&knee.reason).raw("}");
+                }
+            }
+            w.raw("}");
+        }
+        w.raw("]").raw("}");
+        w.finish()
+    }
+}
+
+fn write_step(w: &mut JsonWriter, step: &StepReport) {
+    w.raw("{")
+        .key("offered_rps")
+        .number(step.offered_rps)
+        .raw(",");
+    w.key("achieved_rps").number(step.achieved_rps).raw(",");
+    w.key("requests").uint(step.requests).raw(",");
+    w.key("ingested_updates")
+        .uint(step.ingested_updates)
+        .raw(",");
+    w.key("p50_us").uint(step.p50_us).raw(",");
+    w.key("p95_us").uint(step.p95_us).raw(",");
+    w.key("p99_us").uint(step.p99_us).raw(",");
+    w.key("errors").uint(step.errors).raw(",");
+    w.key("rejections").uint(step.rejections).raw(",");
+    w.key("queries").uint(step.queries).raw(",");
+    w.key("guarantee_violations")
+        .uint(step.guarantee_violations)
+        .raw("}");
+}
+
+/// Checks that `text` is a well-formed scalability artifact: the
+/// discriminator, the fleet identity fields, at least one run, every step
+/// carrying the full measurement row, and each knee (when present)
+/// pointing at a step that exists. Returns a description of the first
+/// problem found.
+pub fn validate_scalability_json(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse_strict(text).map_err(|err| format!("not JSON: {err}"))?;
+    if doc.get("bench").and_then(JsonValue::as_str) != Some("scalability") {
+        return Err("missing \"bench\":\"scalability\" discriminator".into());
+    }
+    doc.get("fleet")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string \"fleet\"")?;
+    doc.get("seed")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing integer \"seed\"")?;
+    doc.get("tenants")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing integer \"tenants\"")?;
+    let runs = doc
+        .get("runs")
+        .and_then(JsonValue::items)
+        .ok_or("missing \"runs\" array")?;
+    if runs.is_empty() {
+        return Err("\"runs\" must be non-empty".into());
+    }
+    for (r, run) in runs.iter().enumerate() {
+        let backend = run
+            .get("backend")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("run {r}: missing string \"backend\""))?;
+        let steps = run
+            .get("steps")
+            .and_then(JsonValue::items)
+            .ok_or_else(|| format!("run {backend}: missing \"steps\" array"))?;
+        if steps.is_empty() {
+            return Err(format!("run {backend}: \"steps\" must be non-empty"));
+        }
+        for (s, step) in steps.iter().enumerate() {
+            for key in ["offered_rps", "achieved_rps"] {
+                step.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("run {backend} step {s}: missing number {key:?}"))?;
+            }
+            for key in [
+                "requests",
+                "ingested_updates",
+                "p50_us",
+                "p95_us",
+                "p99_us",
+                "errors",
+                "rejections",
+                "queries",
+                "guarantee_violations",
+            ] {
+                step.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("run {backend} step {s}: missing integer {key:?}"))?;
+            }
+        }
+        match run.get("knee") {
+            None => return Err(format!("run {backend}: missing \"knee\" (use null)")),
+            Some(JsonValue::Null) => {}
+            Some(knee) => {
+                let step = knee
+                    .get("step")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| format!("run {backend}: knee missing integer \"step\""))?;
+                if step >= steps.len() {
+                    return Err(format!(
+                        "run {backend}: knee step {step} out of range ({} steps)",
+                        steps.len()
+                    ));
+                }
+                for key in ["offered_rps", "achieved_rps"] {
+                    knee.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("run {backend}: knee missing number {key:?}"))?;
+                }
+                knee.get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("run {backend}: knee missing string \"reason\""))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScalabilityReport {
+        let step = |offered: f64, achieved: f64| StepReport {
+            offered_rps: offered,
+            achieved_rps: achieved,
+            requests: 100,
+            ingested_updates: 6400,
+            p50_us: 210,
+            p95_us: 480,
+            p99_us: 950,
+            errors: 0,
+            rejections: 3,
+            queries: 25,
+            guarantee_violations: 1,
+        };
+        ScalabilityReport {
+            fleet: "2x honest/f0 + 1x dip-hunter/f0".into(),
+            seed: 42,
+            tenants: 3,
+            runs: vec![
+                RampRun {
+                    backend: "in-process".into(),
+                    steps: vec![step(50.0, 49.7), step(100.0, 99.1)],
+                    knee: None,
+                },
+                RampRun {
+                    backend: "http".into(),
+                    steps: vec![step(50.0, 49.2), step(100.0, 61.0)],
+                    knee: Some(Knee {
+                        step: 1,
+                        offered_rps: 100.0,
+                        achieved_rps: 61.0,
+                        reason: "achieved 61.0% of offered (limit 90.0%)".into(),
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn emitted_report_passes_its_own_validator() {
+        let text = sample_report().to_json();
+        assert!(text.starts_with(r#"{"bench":"scalability""#), "{text}");
+        validate_scalability_json(&text).expect("self-validates");
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        let good = sample_report().to_json();
+        for (mutation, needle) in [
+            (
+                good.replace("\"scalability\"", "\"other\""),
+                "discriminator",
+            ),
+            (good.replace("\"runs\":[", "\"ramps\":["), "runs"),
+            (good.replace("\"p99_us\"", "\"p99\""), "p99_us"),
+            (good.replace("\"step\":1", "\"step\":7"), "out of range"),
+            (good.replace("\"reason\"", "\"cause\""), "reason"),
+        ] {
+            let err = validate_scalability_json(&mutation).expect_err(&mutation);
+            assert!(err.contains(needle), "{err} (wanted {needle})");
+        }
+        assert!(validate_scalability_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end ramp: a small fleet, a two-step schedule, both backends,
+//! and a schema-valid artifact — the library-level version of what the CI
+//! `workload_ramp_smoke` step runs through the `ramp` binary.
+
+use std::sync::Arc;
+
+use ars_core::manager::SessionManager;
+use ars_serve::server::FleetServer;
+use ars_workload::{
+    detect_knee, validate_scalability_json, Backend, FleetConfig, HttpBackend, InProcessBackend,
+    RampEngine, RampRun, ScalabilityReport,
+};
+
+fn smoke_config() -> FleetConfig {
+    FleetConfig::try_from_json(
+        r#"{
+            "seed": 8,
+            "ramp": {"initial_rps": 100, "increment_rps": 100, "max_rps": 200,
+                     "step_ms": 150, "workers": 2},
+            "groups": [
+                {"name": "edge", "count": 2, "behavior": "honest", "batch": 16,
+                 "spec": {"problem": "f0", "epsilon": 0.25},
+                 "workload": {"kind": "zipf", "domain": 4096, "exponent": 1.1}},
+                {"name": "rogue", "count": 1, "behavior": "model-violating", "batch": 16,
+                 "spec": {"problem": "f0", "epsilon": 0.25},
+                 "workload": {"kind": "uniform", "domain": 4096}}
+            ]
+        }"#,
+    )
+    .expect("smoke config")
+}
+
+#[test]
+fn two_step_ramp_on_both_backends_yields_a_schema_valid_artifact() {
+    let config = smoke_config();
+    let engine = RampEngine::new(config.clone());
+
+    let in_process: Arc<dyn Backend> = Arc::new(InProcessBackend::new());
+    let in_process_steps = engine.run(&in_process).expect("in-process ramp");
+
+    let handle = FleetServer::new(SessionManager::new())
+        .spawn()
+        .expect("spawn");
+    let http: Arc<dyn Backend> = Arc::new(HttpBackend::new(handle.addr()));
+    let http_steps = engine.run(&http).expect("http ramp");
+    handle.shutdown();
+
+    let mut runs = Vec::new();
+    for (label, steps) in [("in-process", in_process_steps), ("http", http_steps)] {
+        assert_eq!(steps.len(), 2, "{label}: two ramp steps");
+        for step in &steps {
+            assert!(step.requests > 0, "{label}: {step:?}");
+            assert_eq!(step.errors, 0, "{label}: {step:?}");
+            assert!(step.queries > 0, "{label}: {step:?}");
+        }
+        // The rogue group's violation period (4·batch = 64 updates) fires
+        // within the ramp, and the backend refuses those batches without
+        // counting them as transport errors.
+        let rejections: u64 = steps.iter().map(|s| s.rejections).sum();
+        assert!(rejections > 0, "{label}: violations never rejected");
+        let knee = detect_knee(&steps, &config.knee);
+        runs.push(RampRun {
+            backend: label.to_string(),
+            steps,
+            knee,
+        });
+    }
+
+    let report = ScalabilityReport {
+        fleet: config.label(),
+        seed: config.seed,
+        tenants: config.total_tenants(),
+        runs,
+    };
+    let json = report.to_json();
+    validate_scalability_json(&json).expect("artifact is schema-valid");
+    assert!(json.contains("\"fleet\":\"2x honest/f0 + 1x model-violating/f0\""));
+}
+
+#[test]
+fn honest_f0_fleet_ramp_is_violation_free() {
+    let config = FleetConfig::try_from_json(
+        r#"{
+            "seed": 3,
+            "ramp": {"initial_rps": 150, "increment_rps": 150, "max_rps": 300,
+                     "step_ms": 120, "workers": 2},
+            "groups": [
+                {"name": "clean", "count": 3, "behavior": "honest", "batch": 24,
+                 "spec": {"problem": "f0", "epsilon": 0.25},
+                 "workload": {"kind": "query-log", "domain": 4096,
+                              "exponent": 1.2, "wave_period": 2048}}
+            ]
+        }"#,
+    )
+    .expect("config");
+    let backend: Arc<dyn Backend> = Arc::new(InProcessBackend::new());
+    let steps = RampEngine::new(config).run(&backend).expect("ramp");
+    for step in &steps {
+        assert_eq!(step.guarantee_violations, 0, "{step:?}");
+        assert_eq!(step.rejections, 0, "{step:?}");
+        assert_eq!(step.errors, 0, "{step:?}");
+        assert!(step.ingested_updates > 0, "{step:?}");
+    }
+}

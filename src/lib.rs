@@ -30,6 +30,12 @@
 //!   server ([`serve::FleetServer`]) over a shared
 //!   [`robust::SessionManager`], with Prometheus-style metrics and
 //!   snapshot/restore ([`ars_serve`]).
+//! * [`workload`] — the fleet-scale load harness: JSON fleet configs that
+//!   compile to deterministic per-tenant streams (honest, dip-hunting and
+//!   model-violating behaviors), an open-loop RPS-ramp engine
+//!   ([`workload::RampEngine`]) over pluggable backends (in-process or
+//!   HTTP), and knee detection over the recorded trajectory
+//!   ([`ars_workload`]).
 //!
 //! # Quickstart
 //!
@@ -83,3 +89,4 @@ pub use ars_hash as hash;
 pub use ars_serve as serve;
 pub use ars_sketch as sketch;
 pub use ars_stream as stream;
+pub use ars_workload as workload;
